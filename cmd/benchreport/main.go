@@ -1,0 +1,82 @@
+// Command benchreport regenerates the tables and figures of the Gear
+// paper's evaluation on the synthetic corpus and prints the same rows
+// the paper reports, annotated with the paper's own numbers.
+//
+// Usage:
+//
+//	benchreport -exp all                 # every experiment, calibrated scale
+//	benchreport -exp fig9 -quick         # one experiment, reduced scale
+//	benchreport -exp table2 -scale 0.5   # custom scale
+//
+// Experiments: table2, fig2, fig6, fig7, fig8, fig9, fig10, fig11, all.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/gear-image/gear/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp      = flag.String("exp", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+", or all)")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON instead of the text report (single experiment only)")
+		quick    = flag.Bool("quick", false, "reduced corpus for a fast run")
+		scale    = flag.Float64("scale", 0, "override corpus scale (default 1.0, or the quick preset)")
+		seed     = flag.Int64("seed", 0, "override corpus seed")
+		versions = flag.Int("versions", 0, "cap versions per series (0 = all)")
+		series   = flag.Int("series-per-category", 0, "cap series per category (0 = all)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *versions > 0 {
+		cfg.VersionsPerSeries = *versions
+	}
+	if *series > 0 {
+		cfg.SeriesPerCategory = *series
+	}
+
+	if *jsonOut {
+		if *exp == "all" {
+			return fmt.Errorf("-json requires a single experiment id")
+		}
+		res, err := experiments.Result(*exp, cfg)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+
+	fmt.Printf("gear benchreport: exp=%s scale=%g seed=%d versions=%d series/cat=%d\n",
+		*exp, cfg.Scale, cfg.Seed, cfg.VersionsPerSeries, cfg.SeriesPerCategory)
+	start := time.Now()
+	if err := experiments.Run(*exp, cfg, os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

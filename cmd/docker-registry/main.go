@@ -1,0 +1,52 @@
+// Command docker-registry runs a standalone Docker-style registry: named
+// manifests plus content-addressed compressed layers, deduplicated at
+// layer granularity. It stores both regular images and the single-layer
+// Gear index images the converter produces.
+//
+//	GET/PUT /v2/manifests/{name}/{tag}
+//	GET     /v2/manifests/            (list references)
+//	HEAD/GET/PUT /v2/blobs/{digest}
+//
+// Usage:
+//
+//	docker-registry -addr :7000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"github.com/gear-image/gear/internal/registry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "docker-registry:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":7000", "listen address")
+	flag.Parse()
+
+	reg := registry.New()
+	mux := http.NewServeMux()
+	mux.Handle("/v2/", registry.NewHandler(reg))
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		s := reg.Stats()
+		fmt.Fprintf(w, "manifests=%d blobs=%d blobBytes=%d manifestBytes=%d dedupHits=%d\n",
+			s.Manifests, s.Blobs, s.BlobBytes, s.ManifestBytes, s.DedupHits)
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("docker-registry listening on %s", ln.Addr())
+	return http.Serve(ln, mux)
+}

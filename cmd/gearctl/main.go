@@ -1,0 +1,323 @@
+// Command gearctl drives Gear registries: it seeds them with synthetic
+// workload images (originals plus converted Gear images), lists what a
+// registry holds, inspects Gear indexes, and deploys containers against
+// remote registries while reporting phase timing and transfer volumes.
+//
+// Usage:
+//
+//	gearctl seed   -docker URL -gear URL -series nginx -versions 3
+//	gearctl list   -docker URL
+//	gearctl index  -docker URL -image gear/nginx:v01
+//	gearctl deploy -docker URL -gear URL -image gear/nginx:v01 -mode gear -mbps 100
+//	gearctl gc     -docker URL -gear URL
+//
+// The deploy subcommand's -mode selects the Docker baseline ("docker",
+// full image pull) or Gear ("gear", lazy index pull). Bandwidth is the
+// simulated link; transfer byte counts are exact HTTP volumes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/gear-image/gear/internal/corpus"
+	"github.com/gear-image/gear/internal/dockersim"
+	"github.com/gear-image/gear/internal/gear/convert"
+	"github.com/gear-image/gear/internal/gear/index"
+	"github.com/gear-image/gear/internal/gearregistry"
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/netsim"
+	"github.com/gear-image/gear/internal/registry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gearctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: gearctl <seed|list|index|deploy> [flags]")
+	}
+	switch args[0] {
+	case "seed":
+		return cmdSeed(args[1:])
+	case "list":
+		return cmdList(args[1:])
+	case "index":
+		return cmdIndex(args[1:])
+	case "deploy":
+		return cmdDeploy(args[1:])
+	case "gc":
+		return cmdGC(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want seed, list, index, deploy, or gc)", args[0])
+	}
+}
+
+func splitRef(ref string) (name, tag string, err error) {
+	i := strings.LastIndex(ref, ":")
+	if i <= 0 || i == len(ref)-1 {
+		return "", "", fmt.Errorf("image reference %q: want name:tag", ref)
+	}
+	return ref[:i], ref[i+1:], nil
+}
+
+func cmdSeed(args []string) error {
+	fs := flag.NewFlagSet("seed", flag.ContinueOnError)
+	var (
+		dockerURL = fs.String("docker", "http://localhost:7000", "docker registry URL")
+		gearURL   = fs.String("gear", "http://localhost:7001", "gear registry URL")
+		series    = fs.String("series", "nginx", "workload series to seed")
+		versions  = fs.Int("versions", 3, "number of versions")
+		scale     = fs.Float64("scale", 1.0, "workload scale")
+		seed      = fs.Int64("seed", 20211107, "workload seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	co, err := corpus.New(corpus.Options{
+		Seed: *seed, Scale: *scale,
+		SeriesFilter: []string{*series}, MaxVersions: *versions,
+	})
+	if err != nil {
+		return err
+	}
+	docker := registry.NewClient(*dockerURL, nil)
+	gearStore := gearregistry.NewClient(*gearURL, nil)
+	conv, err := convert.New(convert.Options{})
+	if err != nil {
+		return err
+	}
+	s := co.Series()[0]
+	for v := 0; v < s.NumVersions; v++ {
+		img, err := co.Image(s.Name, v)
+		if err != nil {
+			return err
+		}
+		pushed, err := registry.Push(docker, img)
+		if err != nil {
+			return err
+		}
+		res, err := conv.Convert(img)
+		if err != nil {
+			return err
+		}
+		res.Index.Name = "gear/" + s.Name
+		ixImg, err := res.Index.ToImage()
+		if err != nil {
+			return err
+		}
+		res.IndexImage = ixImg
+		ixBytes, fileBytes, err := convert.Publish(res, docker, gearStore)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("seeded %s:%s: image %d B, index %d B, new gear files %d B (conversion %v)\n",
+			s.Name, s.Tags()[v], pushed, ixBytes, fileBytes, res.Timing.Total().Round(time.Millisecond))
+	}
+	return nil
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	dockerURL := fs.String("docker", "http://localhost:7000", "docker registry URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	refs, err := registry.NewClient(*dockerURL, nil).ListManifests()
+	if err != nil {
+		return err
+	}
+	for _, ref := range refs {
+		fmt.Println(ref)
+	}
+	return nil
+}
+
+func cmdIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ContinueOnError)
+	var (
+		dockerURL = fs.String("docker", "http://localhost:7000", "docker registry URL")
+		image     = fs.String("image", "", "gear index image reference (name:tag)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	name, tag, err := splitRef(*image)
+	if err != nil {
+		return err
+	}
+	img, err := registry.Pull(registry.NewClient(*dockerURL, nil), name, tag)
+	if err != nil {
+		return err
+	}
+	ix, err := index.FromImage(img)
+	if err != nil {
+		return err
+	}
+	st, err := ix.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("index %s: %d dirs, %d files (%d unique), %d symlinks\n",
+		ix.Reference(), st.Dirs, st.Files, st.UniqueFiles, st.Symlinks)
+	fmt.Printf("index size %d B; referenced data %d B (%.2f%% metadata)\n",
+		st.IndexBytes, st.DataBytes, 100*float64(st.IndexBytes)/float64(st.DataBytes))
+	return nil
+}
+
+// cmdGC collects every fingerprint referenced by the Gear index images
+// still in the Docker registry and asks the Gear registry to retain only
+// those — the reference-driven file deletion that the three-level
+// lifecycle decoupling calls for.
+func cmdGC(args []string) error {
+	fs := flag.NewFlagSet("gc", flag.ContinueOnError)
+	var (
+		dockerURL = fs.String("docker", "http://localhost:7000", "docker registry URL")
+		gearURL   = fs.String("gear", "http://localhost:7001", "gear registry URL")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	docker := registry.NewClient(*dockerURL, nil)
+	refs, err := docker.ListManifests()
+	if err != nil {
+		return err
+	}
+	keepSet := make(map[string]bool)
+	var keep []hashing.Fingerprint
+	indexImages := 0
+	for _, ref := range refs {
+		name, tag, err := splitRef(ref)
+		if err != nil {
+			return err
+		}
+		img, err := registry.Pull(docker, name, tag)
+		if err != nil {
+			return err
+		}
+		ix, err := index.FromImage(img)
+		if err != nil {
+			continue // not a gear index image
+		}
+		indexImages++
+		for _, fileRef := range ix.Files() {
+			if !keepSet[string(fileRef.Fingerprint)] {
+				keepSet[string(fileRef.Fingerprint)] = true
+				keep = append(keep, fileRef.Fingerprint)
+			}
+		}
+	}
+	removed, freed, err := gearregistry.NewClient(*gearURL, nil).GC(keep)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gc: %d index images reference %d files; removed %d orphans, freed %d B\n",
+		indexImages, len(keep), removed, freed)
+	return nil
+}
+
+func cmdDeploy(args []string) error {
+	fs := flag.NewFlagSet("deploy", flag.ContinueOnError)
+	var (
+		dockerURL = fs.String("docker", "http://localhost:7000", "docker registry URL")
+		gearURL   = fs.String("gear", "http://localhost:7001", "gear registry URL")
+		image     = fs.String("image", "", "image reference (name:tag)")
+		mode      = fs.String("mode", "gear", "deployment mode: gear or docker")
+		mbps      = fs.Float64("mbps", 904, "simulated link bandwidth, Mbps")
+		series    = fs.String("series", "", "workload series for the launch access list (default: derived from the image name)")
+		scale     = fs.Float64("scale", 1.0, "workload scale (must match seed)")
+		seed      = fs.Int64("seed", 20211107, "workload seed (must match seed)")
+		trace     = fs.Bool("trace", false, "print the slowest run-phase accesses")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	name, tag, err := splitRef(*image)
+	if err != nil {
+		return err
+	}
+	seriesName := *series
+	if seriesName == "" {
+		seriesName = strings.TrimPrefix(name, "gear/")
+	}
+	co, err := corpus.New(corpus.Options{
+		Seed: *seed, Scale: *scale, SeriesFilter: []string{seriesName},
+	})
+	if err != nil {
+		return err
+	}
+	version := 0
+	for i, t := range co.Series()[0].Tags() {
+		if t == tag {
+			version = i
+			break
+		}
+	}
+	items, err := co.NecessarySet(seriesName, version)
+	if err != nil {
+		return err
+	}
+	access := make([]string, len(items))
+	for i, it := range items {
+		access[i] = it.Path
+	}
+	compute, err := co.TaskCompute(seriesName)
+	if err != nil {
+		return err
+	}
+
+	daemon, err := dockersim.NewDaemon(
+		registry.NewClient(*dockerURL, nil),
+		gearregistry.NewClient(*gearURL, nil),
+		dockersim.Options{
+			Link:  netsim.DefaultLAN().WithBandwidth(*mbps / 1000 * *scale),
+			Trace: *trace,
+		},
+	)
+	if err != nil {
+		return err
+	}
+
+	var dep *dockersim.Deployment
+	switch *mode {
+	case "gear":
+		dep, err = daemon.DeployGear(name, tag, access, compute)
+	case "docker":
+		dep, err = daemon.DeployDocker(name, tag, access, compute)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deployed %s (%s mode) as %s\n", *image, *mode, dep.ContainerID)
+	fmt.Printf("pull: %v, %d B, %d requests\n",
+		dep.Pull.Time.Round(time.Millisecond), dep.Pull.Bytes, dep.Pull.Requests)
+	fmt.Printf("run:  %v, %d B, %d requests\n",
+		dep.Run.Time.Round(time.Millisecond), dep.Run.Bytes, dep.Run.Requests)
+	fmt.Printf("total: %v\n", dep.Total().Round(time.Millisecond))
+	if *trace {
+		events := dep.Events
+		sort.Slice(events, func(i, j int) bool { return events[i].Cost > events[j].Cost })
+		if len(events) > 10 {
+			events = events[:10]
+		}
+		fmt.Println("slowest accesses:")
+		for _, e := range events {
+			origin := "local"
+			if e.RemoteBytes > 0 {
+				origin = fmt.Sprintf("remote %d B / %d req", e.RemoteBytes, e.Requests)
+			}
+			fmt.Printf("  %-45s %10v  %s\n", e.Path, e.Cost.Round(time.Microsecond), origin)
+		}
+	}
+	return nil
+}

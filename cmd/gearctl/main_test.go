@@ -1,0 +1,77 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/gear-image/gear/internal/gearregistry"
+	"github.com/gear-image/gear/internal/registry"
+)
+
+func TestSplitRef(t *testing.T) {
+	tests := []struct {
+		in        string
+		name, tag string
+		ok        bool
+	}{
+		{"nginx:v01", "nginx", "v01", true},
+		{"gear/nginx:v01", "gear/nginx", "v01", true},
+		{"a:b:c", "a:b", "c", true},
+		{"noTag", "", "", false},
+		{":tagonly", "", "", false},
+		{"nameonly:", "", "", false},
+		{"", "", "", false},
+	}
+	for _, tt := range tests {
+		name, tag, err := splitRef(tt.in)
+		if (err == nil) != tt.ok {
+			t.Errorf("splitRef(%q) err = %v", tt.in, err)
+			continue
+		}
+		if err == nil && (name != tt.name || tag != tt.tag) {
+			t.Errorf("splitRef(%q) = %q,%q, want %q,%q", tt.in, name, tag, tt.name, tt.tag)
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	if err := run(nil); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Errorf("empty args err = %v", err)
+	}
+	if err := run([]string{"bogus"}); err == nil || !strings.Contains(err.Error(), "unknown subcommand") {
+		t.Errorf("bogus subcommand err = %v", err)
+	}
+}
+
+// TestSeedListIndexDeployGC drives every subcommand against live HTTP
+// registries — the CLI's full integration path.
+func TestSeedListIndexDeployGC(t *testing.T) {
+	dockerSrv := httptest.NewServer(registry.NewHandler(registry.New()))
+	defer dockerSrv.Close()
+	gearSrv := httptest.NewServer(gearregistry.NewHandler(gearregistry.New(gearregistry.Options{Compress: true})))
+	defer gearSrv.Close()
+
+	steps := [][]string{
+		{"seed", "-docker", dockerSrv.URL, "-gear", gearSrv.URL,
+			"-series", "redis", "-versions", "2", "-scale", "0.2"},
+		{"list", "-docker", dockerSrv.URL},
+		{"index", "-docker", dockerSrv.URL, "-image", "gear/redis:v01"},
+		{"deploy", "-docker", dockerSrv.URL, "-gear", gearSrv.URL,
+			"-image", "gear/redis:v02", "-mode", "gear", "-mbps", "100", "-scale", "0.2"},
+		{"deploy", "-docker", dockerSrv.URL, "-gear", gearSrv.URL,
+			"-image", "redis:v01", "-mode", "docker", "-scale", "0.2"},
+		{"gc", "-docker", dockerSrv.URL, "-gear", gearSrv.URL},
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("gearctl %s: %v", strings.Join(args, " "), err)
+		}
+	}
+	// Deploying a missing image fails cleanly.
+	err := run([]string{"deploy", "-docker", dockerSrv.URL, "-gear", gearSrv.URL,
+		"-image", "ghost-img:v01", "-series", "redis", "-scale", "0.2"})
+	if err == nil {
+		t.Error("missing image deployed")
+	}
+}

@@ -1,0 +1,308 @@
+// Package gear is the public API of the Gear reproduction — an
+// implementation of "Gear: Enable Efficient Container Storage and
+// Deployment with a New Image Format" (ICDCS 2021).
+//
+// Gear replaces the monolithic Docker image with two decoupled parts:
+//
+//   - a tiny Gear index — the image's directory tree with every regular
+//     file replaced by the MD5 fingerprint of its content, packaged as a
+//     single-layer Docker image so the stock distribution path carries it;
+//   - a pool of Gear files — the file contents, stored content-addressed
+//     in a Gear registry and deduplicated across all images.
+//
+// A client deploys a container by pulling only the index and faulting
+// files in on demand, through a three-level local store (shared file
+// cache / image indexes / per-container diffs). The package exposes the
+// whole pipeline:
+//
+//	fs := gear.NewFS()                       // author a root filesystem
+//	... fs.MkdirAll / fs.WriteFile ...
+//	img, _ := gear.SingleLayerImage("app", "v1", fs, gear.ImageConfig{})
+//
+//	docker := gear.NewRegistry()             // Docker-side registry
+//	files := gear.NewFileStore(gear.FileStoreOptions{Compress: true})
+//	conv, _ := gear.NewConverter(gear.ConverterOptions{})
+//	res, _ := conv.Convert(img)              // Docker image -> Gear image
+//	gear.Publish(res, docker, files)
+//
+//	daemon, _ := gear.NewDaemon(docker, files, gear.DaemonOptions{})
+//	dep, _ := daemon.DeployGear("app", "v1", accessPaths, 0)
+//	data, _, _ := dep.Read("/etc/app.conf")  // lazily fetched
+//
+// Both registries also speak HTTP (RegistryHandler/FileStoreHandler and
+// the matching clients), mirroring the paper's two-server deployment.
+package gear
+
+import (
+	"io"
+	"net/http"
+
+	"github.com/gear-image/gear/internal/cache"
+	"github.com/gear-image/gear/internal/corpus"
+	"github.com/gear-image/gear/internal/dedup"
+	"github.com/gear-image/gear/internal/dockersim"
+	"github.com/gear-image/gear/internal/experiments"
+	"github.com/gear-image/gear/internal/gear/convert"
+	"github.com/gear-image/gear/internal/gear/index"
+	"github.com/gear-image/gear/internal/gear/store"
+	"github.com/gear-image/gear/internal/gear/viewer"
+	"github.com/gear-image/gear/internal/gearregistry"
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/imagefmt"
+	"github.com/gear-image/gear/internal/netsim"
+	"github.com/gear-image/gear/internal/registry"
+	"github.com/gear-image/gear/internal/slacker"
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// Content addressing.
+type (
+	// Fingerprint identifies a Gear file (MD5 of its content).
+	Fingerprint = hashing.Fingerprint
+	// Digest identifies a Docker layer or manifest (SHA256).
+	Digest = hashing.Digest
+)
+
+// FingerprintBytes returns the MD5 fingerprint of data.
+func FingerprintBytes(data []byte) Fingerprint { return hashing.FingerprintBytes(data) }
+
+// DigestBytes returns the SHA256 digest of data.
+func DigestBytes(data []byte) Digest { return hashing.DigestBytes(data) }
+
+// Filesystem authoring.
+type (
+	// FS is an in-memory root filesystem tree.
+	FS = vfs.FS
+	// FSNode is one entry of an FS.
+	FSNode = vfs.Node
+)
+
+// NewFS returns an empty filesystem containing only the root directory.
+func NewFS() *FS { return vfs.New() }
+
+// Docker image model.
+type (
+	// Image is a Docker image: manifest plus layer payloads.
+	Image = imagefmt.Image
+	// Manifest describes an image in a registry.
+	Manifest = imagefmt.Manifest
+	// ImageConfig carries environment/entrypoint/labels.
+	ImageConfig = imagefmt.Config
+	// ImageBuilder assembles an image layer by layer.
+	ImageBuilder = imagefmt.Builder
+	// Layer is one read-only image layer.
+	Layer = imagefmt.Layer
+)
+
+// NewImageBuilder starts an image build for name:tag.
+func NewImageBuilder(name, tag string) *ImageBuilder { return imagefmt.NewBuilder(name, tag) }
+
+// SingleLayerImage packages one tree as a single-layer image.
+func SingleLayerImage(name, tag string, tree *FS, cfg ImageConfig) (*Image, error) {
+	return imagefmt.SingleLayerImage(name, tag, tree, cfg)
+}
+
+// The Gear image format.
+type (
+	// Index is a Gear index: the metadata half of a Gear image.
+	Index = index.Index
+	// IndexEntry is one node of the index tree.
+	IndexEntry = index.Entry
+	// FileRef is one unique Gear file an index references.
+	FileRef = index.FileRef
+)
+
+// BuildIndex constructs an Index and its file pool from a flattened root
+// filesystem.
+func BuildIndex(name, tag string, cfg ImageConfig, root *FS) (*Index, map[Fingerprint][]byte, error) {
+	return index.Build(name, tag, cfg, root, nil)
+}
+
+// IndexFromImage extracts the Index from a pulled single-layer Gear
+// index image.
+func IndexFromImage(img *Image) (*Index, error) { return index.FromImage(img) }
+
+// Registries.
+type (
+	// Registry is the Docker-side registry: manifests plus compressed
+	// layers, deduplicated at layer granularity.
+	Registry = registry.Registry
+	// RegistryStore is the protocol shared by in-process and HTTP
+	// registries.
+	RegistryStore = registry.Store
+	// RegistryClient speaks to a remote Registry over HTTP.
+	RegistryClient = registry.Client
+	// FileStore is the Gear registry: content-addressed Gear files with
+	// query/upload/download.
+	FileStore = gearregistry.Registry
+	// FileStoreOptions configures a FileStore.
+	FileStoreOptions = gearregistry.Options
+	// GearStore is the protocol shared by in-process and HTTP Gear
+	// registries.
+	GearStore = gearregistry.Store
+	// FileStoreClient speaks to a remote FileStore over HTTP.
+	FileStoreClient = gearregistry.Client
+)
+
+// NewRegistry returns an empty in-process Docker-side registry.
+func NewRegistry() *Registry { return registry.New() }
+
+// NewFileStore returns an empty in-process Gear registry.
+func NewFileStore(opts FileStoreOptions) *FileStore { return gearregistry.New(opts) }
+
+// RegistryHandler serves a Registry over HTTP.
+func RegistryHandler(r *Registry) http.Handler { return registry.NewHandler(r) }
+
+// FileStoreHandler serves a FileStore over HTTP.
+func FileStoreHandler(f *FileStore) http.Handler { return gearregistry.NewHandler(f) }
+
+// NewRegistryClient returns a Store for the registry at baseURL.
+func NewRegistryClient(baseURL string, hc *http.Client) *RegistryClient {
+	return registry.NewClient(baseURL, hc)
+}
+
+// NewFileStoreClient returns a Store for the Gear registry at baseURL.
+func NewFileStoreClient(baseURL string, hc *http.Client) *FileStoreClient {
+	return gearregistry.NewClient(baseURL, hc)
+}
+
+// PushImage uploads an image, skipping layers the registry already has.
+func PushImage(s RegistryStore, img *Image) (int64, error) { return registry.Push(s, img) }
+
+// PullImage fetches a complete image.
+func PullImage(s RegistryStore, name, tag string) (*Image, error) {
+	return registry.Pull(s, name, tag)
+}
+
+// Conversion.
+type (
+	// Converter turns Docker images into Gear images.
+	Converter = convert.Converter
+	// ConverterOptions configures a Converter.
+	ConverterOptions = convert.Options
+	// ConvertResult is one converted image: index, file pool, index
+	// image, and the modeled conversion timing.
+	ConvertResult = convert.Result
+)
+
+// NewConverter returns a Converter.
+func NewConverter(opts ConverterOptions) (*Converter, error) { return convert.New(opts) }
+
+// Publish stores a conversion result: index image to the Docker
+// registry, absent Gear files to the Gear registry.
+func Publish(res *ConvertResult, docker RegistryStore, files GearStore) (indexBytes, fileBytes int64, err error) {
+	return convert.Publish(res, docker, files)
+}
+
+// Client-side storage and deployment.
+type (
+	// Store is the client's three-level Gear storage.
+	Store = store.Store
+	// StoreOptions configures a Store.
+	StoreOptions = store.Options
+	// Viewer is one container's lazy filesystem view.
+	Viewer = viewer.Viewer
+	// CachePolicy selects the level-1 replacement algorithm.
+	CachePolicy = cache.Policy
+	// Daemon deploys containers from registries (Docker, Gear, or
+	// Slacker mode) with modeled phase timing.
+	Daemon = dockersim.Daemon
+	// DaemonOptions configures a Daemon's cost model.
+	DaemonOptions = dockersim.Options
+	// Deployment is one deployed container.
+	Deployment = dockersim.Deployment
+	// LinkConfig models the client-registry network.
+	LinkConfig = netsim.LinkConfig
+)
+
+// Cache replacement policies (§III-D1).
+const (
+	CacheFIFO = cache.FIFO
+	CacheLRU  = cache.LRU
+)
+
+// NewStore returns an empty client store.
+func NewStore(opts StoreOptions) (*Store, error) { return store.New(opts) }
+
+// NewDaemon returns a deployment daemon speaking to the given registries.
+// A zero-valued DaemonOptions.Link defaults to the paper's measured
+// 904 Mbps LAN.
+func NewDaemon(docker RegistryStore, files GearStore, opts DaemonOptions) (*Daemon, error) {
+	if opts.Link == (netsim.LinkConfig{}) {
+		opts.Link = netsim.DefaultLAN()
+	}
+	return dockersim.NewDaemon(docker, files, opts)
+}
+
+// DefaultLAN is the paper's measured 904 Mbps two-server link.
+func DefaultLAN() LinkConfig { return netsim.DefaultLAN() }
+
+// Baselines and workloads.
+type (
+	// SlackerServer hosts block-device images (the Fig 10 baseline).
+	SlackerServer = slacker.Server
+	// Workload generates the paper-shaped synthetic image corpus.
+	Workload = corpus.Corpus
+	// WorkloadOptions configures corpus generation.
+	WorkloadOptions = corpus.Options
+	// WorkloadCategory is one of Table I's six categories.
+	WorkloadCategory = corpus.Category
+)
+
+// NewSlackerServer returns an empty Slacker block server.
+func NewSlackerServer() *SlackerServer { return slacker.NewServer() }
+
+// SlackerImage lays out an image as a virtual block device.
+func SlackerImage(img *Image, blockSize int64) (*slacker.BlockImage, error) {
+	return slacker.FromImage(img, blockSize)
+}
+
+// NewWorkload generates the deterministic synthetic corpus (Table I
+// shape: 50 series, 971 images at full version counts).
+func NewWorkload(opts WorkloadOptions) (*Workload, error) { return corpus.New(opts) }
+
+// Deduplication analysis (the Table II study).
+type (
+	// DedupAnalyzer measures storage and object counts under
+	// none/layer/file/chunk deduplication.
+	DedupAnalyzer = dedup.Analyzer
+	// DedupReport is one granularity's measurement.
+	DedupReport = dedup.Report
+	// DedupGranularity selects the dedup unit.
+	DedupGranularity = dedup.Granularity
+)
+
+// Dedup granularities.
+const (
+	DedupNone  = dedup.None
+	DedupLayer = dedup.Layer
+	DedupFile  = dedup.File
+	DedupChunk = dedup.Chunk
+)
+
+// NewDedupAnalyzer returns an analyzer using chunkSize for the chunk row.
+func NewDedupAnalyzer(chunkSize int64) (*DedupAnalyzer, error) {
+	return dedup.NewAnalyzer(chunkSize)
+}
+
+// Experiments.
+type (
+	// ExperimentConfig scales and seeds an experiment run.
+	ExperimentConfig = experiments.Config
+)
+
+// DefaultExperimentConfig is the calibrated full-corpus configuration.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.Default() }
+
+// QuickExperimentConfig is a reduced configuration for fast runs.
+func QuickExperimentConfig() ExperimentConfig { return experiments.Quick() }
+
+// RunExperiment regenerates one of the paper's tables/figures ("table2",
+// "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", or "all"),
+// writing the report to w.
+func RunExperiment(id string, cfg ExperimentConfig, w io.Writer) error {
+	return experiments.Run(id, cfg, w)
+}
+
+// ExperimentIDs lists the available experiments in paper order.
+func ExperimentIDs() []string { return experiments.IDs() }

@@ -1,0 +1,219 @@
+// Black-box tests of the public API: everything a downstream user does
+// goes through these entry points.
+package gear_test
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	gear "github.com/gear-image/gear"
+)
+
+// buildApp authors a small application image through the public API.
+func buildApp(t *testing.T, tag, payload string) *gear.Image {
+	t.Helper()
+	fs := gear.NewFS()
+	if err := fs.MkdirAll("/app", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/app/bin", []byte(payload), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/app/conf", []byte("shared config"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	img, err := gear.SingleLayerImage("app", tag, fs, gear.ImageConfig{
+		Entrypoint: []string{"/app/bin"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestPublicPipeline(t *testing.T) {
+	img := buildApp(t, "v1", "binary-v1")
+
+	conv, err := gear.NewConverter(gear.ConverterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := conv.Convert(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docker := gear.NewRegistry()
+	files := gear.NewFileStore(gear.FileStoreOptions{Compress: true})
+	if _, _, err := gear.Publish(res, docker, files); err != nil {
+		t.Fatal(err)
+	}
+
+	daemon, err := gear.NewDaemon(docker, files, gear.DaemonOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := daemon.DeployGear("app", "v1", []string{"/app/bin"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, latency, err := dep.Read("/app/conf")
+	if err != nil || string(data) != "shared config" || latency <= 0 {
+		t.Errorf("Read = %q, %v, %v", data, latency, err)
+	}
+	if _, err := dep.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicHTTPRoundTrip(t *testing.T) {
+	dockerReg := gear.NewRegistry()
+	fileReg := gear.NewFileStore(gear.FileStoreOptions{Compress: true})
+	dockerSrv := httptest.NewServer(gear.RegistryHandler(dockerReg))
+	defer dockerSrv.Close()
+	fileSrv := httptest.NewServer(gear.FileStoreHandler(fileReg))
+	defer fileSrv.Close()
+
+	dockerClient := gear.NewRegistryClient(dockerSrv.URL, dockerSrv.Client())
+	fileClient := gear.NewFileStoreClient(fileSrv.URL, fileSrv.Client())
+
+	img := buildApp(t, "v1", "binary-v1")
+	if _, err := gear.PushImage(dockerClient, img); err != nil {
+		t.Fatal(err)
+	}
+	conv, err := gear.NewConverter(gear.ConverterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := conv.Convert(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Index.Name = "gear/app"
+	ixImg, err := res.Index.ToImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.IndexImage = ixImg
+	if _, _, err := gear.Publish(res, dockerClient, fileClient); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both image forms are pullable; the Gear one decodes to an index.
+	if _, err := gear.PullImage(dockerClient, "app", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	pulled, err := gear.PullImage(dockerClient, "gear/app", "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := gear.IndexFromImage(pulled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Lookup("/app/bin") == nil {
+		t.Error("index missing entry")
+	}
+
+	// Deploy over HTTP end to end.
+	daemon, err := gear.NewDaemon(dockerClient, fileClient, gear.DaemonOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := daemon.DeployGear("gear/app", "v1", []string{"/app/bin"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := dep.Read("/app/bin")
+	if err != nil || string(data) != "binary-v1" {
+		t.Errorf("Read = %q, %v", data, err)
+	}
+}
+
+func TestPublicWorkloadAndDedup(t *testing.T) {
+	w, err := gear.NewWorkload(gear.WorkloadOptions{
+		Seed: 5, Scale: 0.15, SeriesFilter: []string{"redis"}, MaxVersions: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzer, err := gear.NewDedupAnalyzer(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 2; v++ {
+		img, err := w.Image("redis", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := analyzer.Add(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reports := analyzer.Reports()
+	if len(reports) != 4 || reports[0].Granularity != gear.DedupNone {
+		t.Errorf("reports = %+v", reports)
+	}
+}
+
+func TestPublicExperimentDispatch(t *testing.T) {
+	ids := gear.ExperimentIDs()
+	if len(ids) != 11 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if err := gear.RunExperiment("bogus", gear.QuickExperimentConfig(), io.Discard); err == nil {
+		t.Error("bogus experiment accepted")
+	}
+	// Run the cheapest real experiment end to end through the facade.
+	cfg := gear.QuickExperimentConfig()
+	cfg.Scale = 0.1
+	cfg.SeriesPerCategory = 1
+	cfg.VersionsPerSeries = 2
+	var buf bytes.Buffer
+	if err := gear.RunExperiment("fig2", cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "average") {
+		t.Error("experiment report missing content")
+	}
+}
+
+func TestPublicFingerprints(t *testing.T) {
+	fp := gear.FingerprintBytes([]byte("abc"))
+	if string(fp) != "900150983cd24fb0d6963f7d28e17f72" {
+		t.Errorf("fingerprint = %s", fp)
+	}
+	d := gear.DigestBytes([]byte("abc"))
+	if !strings.HasPrefix(string(d), "sha256:") {
+		t.Errorf("digest = %s", d)
+	}
+}
+
+func TestPublicSlacker(t *testing.T) {
+	img := buildApp(t, "v1", "payload")
+	srv := gear.NewSlackerServer()
+	bi, err := gear.SlackerImage(img, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Put(bi)
+	docker := gear.NewRegistry()
+	if _, err := gear.PushImage(docker, img); err != nil {
+		t.Fatal(err)
+	}
+	daemon, err := gear.NewDaemon(docker, gear.NewFileStore(gear.FileStoreOptions{}), gear.DaemonOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon.ConfigureSlacker(srv)
+	dep, err := daemon.DeploySlacker("app", "v1", []string{"/app/bin"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := dep.Read("/app/conf")
+	if err != nil || string(data) != "shared config" {
+		t.Errorf("slacker read = %q, %v", data, err)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/gear-image/gear
+
+go 1.22

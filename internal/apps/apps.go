@@ -1,0 +1,157 @@
+// Package apps provides the synthetic long-running and short-running
+// workloads of Fig 11: a key-value service driven memtier-style with a
+// 1:10 SET:GET mix (standing in for Memcached/Redis), and a web server
+// driven ab-style with concurrent content requests (standing in for
+// Nginx/Httpd). Both run against a deployed container's filesystem, so
+// the only difference between Docker and Gear in steady state is the
+// file-serving path — which is exactly what the paper's normalized-rate
+// comparison isolates.
+//
+// All time is virtual: each operation's cost is its modeled compute plus
+// whatever the container charges for file reads.
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Container is the filesystem surface a service runs on; satisfied by
+// dockersim.Deployment.
+type Container interface {
+	// Read returns a file's content and the modeled latency of serving it.
+	Read(path string) ([]byte, time.Duration, error)
+	// Write stores a file in the container's writable layer.
+	Write(path string, data []byte) error
+}
+
+// Errors returned by workload runs.
+var (
+	ErrNoPaths    = errors.New("workload needs at least one data path")
+	ErrBadRequest = errors.New("request count must be positive")
+)
+
+// Result summarizes a workload run.
+type Result struct {
+	// Ops is the number of operations completed.
+	Ops int `json:"ops"`
+	// Elapsed is the total virtual time spent.
+	Elapsed time.Duration `json:"elapsed"`
+	// ReadBytes is the volume served from container files.
+	ReadBytes int64 `json:"readBytes"`
+}
+
+// Throughput returns operations per virtual second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// KVConfig drives the memtier-style key-value workload.
+type KVConfig struct {
+	// Requests is the total operation count.
+	Requests int
+	// SetEvery issues one SET per this many operations (the paper's
+	// 1:10 SET-GET ratio is SetEvery=11).
+	SetEvery int
+	// DataPaths are container files the service occasionally pages in
+	// (cold values spilled to disk); one in ColdEvery GETs touches one.
+	DataPaths []string
+	// ColdEvery controls how often a GET misses RAM and reads a file.
+	ColdEvery int
+	// PerOpCompute is the CPU cost of one operation.
+	PerOpCompute time.Duration
+}
+
+func (c KVConfig) withDefaults() KVConfig {
+	if c.SetEvery == 0 {
+		c.SetEvery = 11
+	}
+	if c.ColdEvery == 0 {
+		c.ColdEvery = 64
+	}
+	if c.PerOpCompute == 0 {
+		c.PerOpCompute = 20 * time.Microsecond
+	}
+	return c
+}
+
+// RunKV executes the key-value workload.
+func RunKV(ct Container, cfg KVConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Requests <= 0 {
+		return Result{}, fmt.Errorf("apps: kv: %w", ErrBadRequest)
+	}
+	if len(cfg.DataPaths) == 0 {
+		return Result{}, fmt.Errorf("apps: kv: %w", ErrNoPaths)
+	}
+	var res Result
+	var appendLog []byte
+	for i := 0; i < cfg.Requests; i++ {
+		res.Elapsed += cfg.PerOpCompute
+		if i%cfg.SetEvery == 0 {
+			// SET: append to the store's log in the writable layer (the
+			// root always exists in a container filesystem).
+			appendLog = append(appendLog, byte(i))
+			if err := ct.Write("/kv.log", appendLog); err != nil {
+				return res, fmt.Errorf("apps: kv set %d: %w", i, err)
+			}
+			// Write-back cost is modeled as one compute unit.
+			res.Elapsed += cfg.PerOpCompute
+		} else if i%cfg.ColdEvery == 0 {
+			p := cfg.DataPaths[i%len(cfg.DataPaths)]
+			data, cost, err := ct.Read(p)
+			if err != nil {
+				return res, fmt.Errorf("apps: kv get %d: %w", i, err)
+			}
+			res.Elapsed += cost
+			res.ReadBytes += int64(len(data))
+		}
+		res.Ops++
+	}
+	return res, nil
+}
+
+// WebConfig drives the ab-style web workload.
+type WebConfig struct {
+	// Requests is the total request count.
+	Requests int
+	// ContentPaths are the documents served round-robin.
+	ContentPaths []string
+	// PerReqCompute is the CPU cost of one request (parsing, headers).
+	PerReqCompute time.Duration
+}
+
+func (c WebConfig) withDefaults() WebConfig {
+	if c.PerReqCompute == 0 {
+		c.PerReqCompute = 30 * time.Microsecond
+	}
+	return c
+}
+
+// RunWeb executes the web workload: every request serves one document
+// from the container filesystem.
+func RunWeb(ct Container, cfg WebConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Requests <= 0 {
+		return Result{}, fmt.Errorf("apps: web: %w", ErrBadRequest)
+	}
+	if len(cfg.ContentPaths) == 0 {
+		return Result{}, fmt.Errorf("apps: web: %w", ErrNoPaths)
+	}
+	var res Result
+	for i := 0; i < cfg.Requests; i++ {
+		p := cfg.ContentPaths[i%len(cfg.ContentPaths)]
+		data, cost, err := ct.Read(p)
+		if err != nil {
+			return res, fmt.Errorf("apps: web request %d: %w", i, err)
+		}
+		res.Elapsed += cfg.PerReqCompute + cost
+		res.ReadBytes += int64(len(data))
+		res.Ops++
+	}
+	return res, nil
+}

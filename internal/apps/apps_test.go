@@ -1,0 +1,140 @@
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeContainer serves fixed content with a fixed read cost.
+type fakeContainer struct {
+	files     map[string][]byte
+	readCost  time.Duration
+	reads     int
+	writes    int
+	failWrite bool
+}
+
+func (f *fakeContainer) Read(p string) ([]byte, time.Duration, error) {
+	f.reads++
+	data, ok := f.files[p]
+	if !ok {
+		return nil, 0, fmt.Errorf("no such file %s", p)
+	}
+	return data, f.readCost, nil
+}
+
+func (f *fakeContainer) Write(string, []byte) error {
+	f.writes++
+	if f.failWrite {
+		return errors.New("read-only")
+	}
+	return nil
+}
+
+func newFake() *fakeContainer {
+	return &fakeContainer{
+		files: map[string][]byte{
+			"/data/a": make([]byte, 100),
+			"/data/b": make([]byte, 200),
+		},
+		readCost: 50 * time.Microsecond,
+	}
+}
+
+func TestRunKV(t *testing.T) {
+	f := newFake()
+	res, err := RunKV(f, KVConfig{Requests: 1100, DataPaths: []string{"/data/a", "/data/b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 1100 {
+		t.Errorf("ops = %d", res.Ops)
+	}
+	if res.Throughput() <= 0 {
+		t.Error("zero throughput")
+	}
+	// 1:10 SET:GET -> 100 SETs for 1100 ops.
+	if f.writes != 100 {
+		t.Errorf("writes = %d, want 100", f.writes)
+	}
+	if f.reads == 0 || res.ReadBytes == 0 {
+		t.Error("no cold reads happened")
+	}
+}
+
+func TestRunKVErrors(t *testing.T) {
+	f := newFake()
+	if _, err := RunKV(f, KVConfig{Requests: 0, DataPaths: []string{"/data/a"}}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := RunKV(f, KVConfig{Requests: 10}); !errors.Is(err, ErrNoPaths) {
+		t.Errorf("err = %v", err)
+	}
+	f.failWrite = true
+	if _, err := RunKV(f, KVConfig{Requests: 10, DataPaths: []string{"/data/a"}}); err == nil {
+		t.Error("write failure swallowed")
+	}
+	f2 := newFake()
+	if _, err := RunKV(f2, KVConfig{Requests: 200, DataPaths: []string{"/missing"}}); err == nil {
+		t.Error("read failure swallowed")
+	}
+}
+
+func TestRunWeb(t *testing.T) {
+	f := newFake()
+	res, err := RunWeb(f, WebConfig{Requests: 100, ContentPaths: []string{"/data/a", "/data/b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 100 || f.reads != 100 {
+		t.Errorf("ops = %d, reads = %d", res.Ops, f.reads)
+	}
+	// 50 x 100B + 50 x 200B.
+	if res.ReadBytes != 50*100+50*200 {
+		t.Errorf("read bytes = %d", res.ReadBytes)
+	}
+	want := time.Duration(100) * (30 + 50) * time.Microsecond
+	if res.Elapsed != want {
+		t.Errorf("elapsed = %v, want %v", res.Elapsed, want)
+	}
+}
+
+func TestRunWebErrors(t *testing.T) {
+	f := newFake()
+	if _, err := RunWeb(f, WebConfig{Requests: -1, ContentPaths: []string{"/data/a"}}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := RunWeb(f, WebConfig{Requests: 5}); !errors.Is(err, ErrNoPaths) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := RunWeb(f, WebConfig{Requests: 5, ContentPaths: []string{"/missing"}}); err == nil {
+		t.Error("read failure swallowed")
+	}
+}
+
+func TestThroughputReflectsReadCost(t *testing.T) {
+	fast := newFake()
+	slow := newFake()
+	slow.readCost = 500 * time.Microsecond
+	cfg := WebConfig{Requests: 100, ContentPaths: []string{"/data/a"}}
+	rf, err := RunWeb(fast, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := RunWeb(slow, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Throughput() <= rs.Throughput() {
+		t.Errorf("fast %f <= slow %f", rf.Throughput(), rs.Throughput())
+	}
+}
+
+func TestZeroElapsedThroughput(t *testing.T) {
+	var r Result
+	if r.Throughput() != 0 {
+		t.Error("zero-time throughput should be 0")
+	}
+}

@@ -1,0 +1,226 @@
+// Package cache implements the first level of Gear's three-level storage
+// structure (§III-D1 of the paper): a local, content-addressed pool of
+// Gear files shared by every Gear image and container on a client.
+//
+// Files enter the cache when they are downloaded from the Gear Registry
+// (or extracted by a commit) and are hard-linked into container indexes.
+// Per the paper, "users can decide how much storage it can occupy and can
+// apply replacement algorithms on it, such as FIFO or LRU. Files that are
+// not linked to Gear indexes are candidates for replacement" — the link
+// count on the shared content is the pin.
+package cache
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// Policy selects the replacement algorithm.
+type Policy int
+
+// Replacement policies from §III-D1.
+const (
+	FIFO Policy = iota + 1
+	LRU
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case LRU:
+		return "lru"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Errors returned by cache operations.
+var (
+	ErrBadPolicy = errors.New("unknown replacement policy")
+	ErrTooLarge  = errors.New("object larger than cache capacity")
+)
+
+type entry struct {
+	fp      hashing.Fingerprint
+	content *vfs.Content
+	elem    *list.Element
+}
+
+// Cache is the shared Gear file cache. It is safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64 // bytes; 0 means unlimited
+	policy   Policy
+	entries  map[hashing.Fingerprint]*entry
+	order    *list.List // front = next eviction candidate
+	used     int64
+
+	hits, misses, evictions int64
+}
+
+// New returns a cache with the given byte capacity (0 = unlimited) and
+// replacement policy.
+func New(capacity int64, policy Policy) (*Cache, error) {
+	if policy != FIFO && policy != LRU {
+		return nil, fmt.Errorf("cache: policy %d: %w", policy, ErrBadPolicy)
+	}
+	if capacity < 0 {
+		return nil, fmt.Errorf("cache: negative capacity: %w", ErrTooLarge)
+	}
+	return &Cache{
+		capacity: capacity,
+		policy:   policy,
+		entries:  make(map[hashing.Fingerprint]*entry),
+		order:    list.New(),
+	}, nil
+}
+
+// Get returns the shared content for fp if cached. Under LRU a hit
+// refreshes the entry's position.
+func (c *Cache) Get(fp hashing.Fingerprint) (*vfs.Content, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[fp]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	if c.policy == LRU {
+		c.order.MoveToBack(e.elem)
+	}
+	return e.content, true
+}
+
+// Contains reports whether fp is cached without affecting recency.
+func (c *Cache) Contains(fp hashing.Fingerprint) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[fp]
+	return ok
+}
+
+// Put inserts data under fp and returns the shared content (existing
+// content if fp was already cached). Inserting may evict unpinned
+// entries; if the cache cannot make room because every entry is pinned
+// by a live hard link, the insert still succeeds and the cache runs
+// over capacity — correctness over strictness, matching how a filesystem
+// cannot reclaim a file that is still linked.
+func (c *Cache) Put(fp hashing.Fingerprint, data []byte) (*vfs.Content, error) {
+	if err := fp.Validate(); err != nil {
+		return nil, fmt.Errorf("cache: put: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[fp]; ok {
+		if c.policy == LRU {
+			c.order.MoveToBack(e.elem)
+		}
+		return e.content, nil
+	}
+	size := int64(len(data))
+	if c.capacity > 0 && size > c.capacity {
+		return nil, fmt.Errorf("cache: put %s (%d bytes): %w", fp, size, ErrTooLarge)
+	}
+	c.makeRoom(size)
+	content := vfs.NewContent(data)
+	e := &entry{fp: fp, content: content}
+	e.elem = c.order.PushBack(e)
+	c.entries[fp] = e
+	c.used += size
+	return content, nil
+}
+
+// makeRoom evicts unpinned entries (front first) until size fits.
+// Pinned entries (link count > 0) are skipped.
+func (c *Cache) makeRoom(size int64) {
+	if c.capacity == 0 {
+		return
+	}
+	elem := c.order.Front()
+	for c.used+size > c.capacity && elem != nil {
+		next := elem.Next()
+		e, ok := elem.Value.(*entry)
+		if !ok {
+			// The order list only ever holds *entry values.
+			elem = next
+			continue
+		}
+		if e.content.Nlink() == 0 {
+			c.removeLocked(e)
+		}
+		elem = next
+	}
+}
+
+func (c *Cache) removeLocked(e *entry) {
+	c.order.Remove(e.elem)
+	delete(c.entries, e.fp)
+	c.used -= e.content.Size()
+	c.evictions++
+}
+
+// Drop removes fp from the cache regardless of policy (used when a file
+// is superseded). Pinned contents stay alive through their links; the
+// cache simply forgets them. Returns whether fp was present.
+func (c *Cache) Drop(fp hashing.Fingerprint) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[fp]
+	if !ok {
+		return false
+	}
+	c.removeLocked(e)
+	c.evictions-- // explicit drops are not policy evictions
+	return true
+}
+
+// Clear empties the cache (the paper's cold-cache experiment resets the
+// client between deployments this way).
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[hashing.Fingerprint]*entry)
+	c.order.Init()
+	c.used = 0
+}
+
+// Stats is a snapshot of cache effectiveness.
+type Stats struct {
+	Objects   int   `json:"objects"`
+	UsedBytes int64 `json:"usedBytes"`
+	Capacity  int64 `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// HitRatio returns hits/(hits+misses), or 0 with no traffic.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a snapshot.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Objects:   len(c.entries),
+		UsedBytes: c.used,
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,605 @@
+// Package dockersim simulates the deployment host of the paper's
+// evaluation: a daemon that deploys containers from a Docker registry
+// (eager pull of every layer), from a Gear registry (index pull + lazy
+// file faults, §III-D), or from a Slacker block server (lazy 4 KB block
+// paging), measuring the pull and run phases the way Fig 9 and Fig 10
+// break them down.
+//
+// All time is virtual: network cost comes from a shared netsim.Link,
+// local I/O and unpacking from simple throughput/latency models, and the
+// container's own work from a caller-provided compute duration. Byte and
+// request counts are exact; durations are deterministic functions of
+// them.
+package dockersim
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/gear-image/gear/internal/cache"
+	"github.com/gear-image/gear/internal/gear/index"
+	"github.com/gear-image/gear/internal/gear/store"
+	"github.com/gear-image/gear/internal/gear/viewer"
+	"github.com/gear-image/gear/internal/gearregistry"
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/imagefmt"
+	"github.com/gear-image/gear/internal/netsim"
+	"github.com/gear-image/gear/internal/registry"
+	"github.com/gear-image/gear/internal/slacker"
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// Mode selects a deployment system.
+type Mode int
+
+// Deployment systems compared in the paper.
+const (
+	ModeDocker Mode = iota + 1
+	ModeGear
+	ModeSlacker
+)
+
+// String returns the mode's display name.
+func (m Mode) String() string {
+	switch m {
+	case ModeDocker:
+		return "docker"
+	case ModeGear:
+		return "gear"
+	case ModeSlacker:
+		return "slacker"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Errors returned by the daemon.
+var (
+	ErrNoSlacker   = errors.New("no slacker server configured")
+	ErrNotDeployed = errors.New("container not deployed")
+)
+
+// Options configures a Daemon's cost model.
+type Options struct {
+	// Link models the client<->registry network. Required.
+	Link netsim.LinkConfig
+	// LocalReadLatency and LocalReadBPS model serving a file that is
+	// already local (page-cache-ish).
+	LocalReadLatency time.Duration
+	LocalReadBPS     float64
+	// OverlayLatency is the extra union-filesystem lookup cost per file
+	// access; Docker and Gear pay it (both run on Overlay2), Slacker does
+	// not (its ext4 sits directly on the block device) — the reason the
+	// paper's first Tomcat container is 15.3% slower under Gear than
+	// Slacker (§V-E2).
+	OverlayLatency time.Duration
+	// UnpackBPS models layer decompression+extraction during Docker's
+	// pull phase. Gear skips it for all but the tiny index layer.
+	UnpackBPS float64
+	// InodeDestroyCost is the per-cached-inode teardown cost at container
+	// destruction (Fig 11b: Gear destroys faster because only required
+	// files have cached inodes).
+	InodeDestroyCost time.Duration
+	// GearRequestBytes is the wire overhead charged per Gear file fetch
+	// (HTTP request/response headers, framing). Unlike payload bytes it
+	// does not scale with the corpus, which is what bends Gear's
+	// low-bandwidth speedup toward the paper's curve (Fig 9).
+	GearRequestBytes int64
+	// SlackerRequestBytes is the wire overhead per block fetch (NFS RPC
+	// framing — leaner than HTTP).
+	SlackerRequestBytes int64
+	// CacheCapacity/CachePolicy configure the Gear level-1 cache.
+	CacheCapacity int64
+	CachePolicy   cache.Policy
+	// Trace records a per-access event timeline on every deployment
+	// (path, bytes moved, cost), at some memory cost per deploy.
+	Trace bool
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.LocalReadLatency == 0 {
+		o.LocalReadLatency = 10 * time.Microsecond
+	}
+	if o.LocalReadBPS == 0 {
+		o.LocalReadBPS = 2e9
+	}
+	if o.OverlayLatency == 0 {
+		o.OverlayLatency = 8 * time.Microsecond
+	}
+	if o.UnpackBPS == 0 {
+		o.UnpackBPS = 300e6
+	}
+	if o.InodeDestroyCost == 0 {
+		o.InodeDestroyCost = 2 * time.Microsecond
+	}
+	if o.GearRequestBytes == 0 {
+		o.GearRequestBytes = 900
+	}
+	if o.SlackerRequestBytes == 0 {
+		o.SlackerRequestBytes = 120
+	}
+	return o
+}
+
+// PhaseStats measures one deployment phase.
+type PhaseStats struct {
+	Time     time.Duration `json:"time"`
+	Bytes    int64         `json:"bytes"`
+	Requests int64         `json:"requests"`
+}
+
+// AccessEvent is one traced file access during the run phase.
+type AccessEvent struct {
+	Path string `json:"path"`
+	// RemoteBytes is the wire volume this access caused (0 = served
+	// locally).
+	RemoteBytes int64 `json:"remoteBytes"`
+	// Requests is the number of remote objects fetched.
+	Requests int64 `json:"requests"`
+	// Cost is the access's modeled latency (local service + network).
+	Cost time.Duration `json:"cost"`
+}
+
+// Deployment is one deployed container.
+type Deployment struct {
+	Mode        Mode
+	Ref         string
+	ContainerID string
+	Pull        PhaseStats
+	Run         PhaseStats
+	// Events is the run-phase access timeline (only with Options.Trace).
+	Events []AccessEvent
+
+	daemon *Daemon
+	// docker-mode state
+	root *vfs.FS
+	// gear-mode state
+	view *viewer.Viewer
+	// slacker-mode state: container id doubles as the mount handle.
+
+	// inodes is the count of locally cached inodes at destroy time.
+	inodes int
+	closed bool
+}
+
+// Total returns pull+run time.
+func (d *Deployment) Total() time.Duration { return d.Pull.Time + d.Run.Time }
+
+// Daemon deploys containers. It is not safe for concurrent use: the
+// paper's experiments deploy sequentially and measure each in isolation.
+type Daemon struct {
+	opts   Options
+	docker registry.Store
+	gear   gearregistry.Store
+	link   *netsim.Link
+
+	// Local layer store: Docker's client-side layer sharing (§II-C).
+	layers map[hashing.Digest]*imagefmt.Layer
+	// gearStore is the three-level Gear storage.
+	gearStore *store.Store
+	// slackerSrv/slackerClient are set by ConfigureSlacker.
+	slackerSrv    *slacker.Server
+	slackerClient *slacker.Client
+
+	nextID int
+}
+
+// NewDaemon returns a Daemon speaking to the given registries.
+func NewDaemon(docker registry.Store, gear gearregistry.Store, opts Options) (*Daemon, error) {
+	opts = opts.withDefaults()
+	link, err := netsim.NewLink(opts.Link)
+	if err != nil {
+		return nil, fmt.Errorf("dockersim: %w", err)
+	}
+	d := &Daemon{
+		opts:   opts,
+		docker: docker,
+		gear:   gear,
+		link:   link,
+		layers: make(map[hashing.Digest]*imagefmt.Layer),
+	}
+	d.gearStore, err = store.New(store.Options{
+		CacheCapacity: opts.CacheCapacity,
+		CachePolicy:   opts.CachePolicy,
+		Remote:        gear,
+		OnRemoteFetch: func(objects int, bytes int64) {
+			d.link.TransferBatch(objects, bytes+int64(objects)*d.opts.GearRequestBytes)
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dockersim: %w", err)
+	}
+	return d, nil
+}
+
+// ConfigureSlacker attaches a Slacker block server for ModeSlacker
+// deployments.
+func (d *Daemon) ConfigureSlacker(srv *slacker.Server) {
+	d.slackerSrv = srv
+	d.slackerClient = slacker.NewClient(srv, func(blocks int, bytes int64) {
+		d.link.TransferBatch(blocks, bytes+int64(blocks)*d.opts.SlackerRequestBytes)
+	})
+}
+
+// GearStore exposes the daemon's three-level Gear storage (cache stats,
+// commits).
+func (d *Daemon) GearStore() *store.Store { return d.gearStore }
+
+// Link exposes the daemon's network link counters.
+func (d *Daemon) Link() *netsim.Link { return d.link }
+
+// ClearGearCache empties the Gear level-1 cache (cold-cache runs).
+func (d *Daemon) ClearGearCache() { d.gearStore.ClearCache() }
+
+// ClearLayerCache empties Docker's local layer store.
+func (d *Daemon) ClearLayerCache() { d.layers = make(map[hashing.Digest]*imagefmt.Layer) }
+
+func (d *Daemon) newContainerID(mode Mode) string {
+	d.nextID++
+	return mode.String() + "-" + strconv.Itoa(d.nextID)
+}
+
+// localRead models serving size bytes from local storage.
+func (d *Daemon) localRead(size int64) time.Duration {
+	return d.opts.LocalReadLatency +
+		time.Duration(float64(size)/d.opts.LocalReadBPS*float64(time.Second))
+}
+
+// netDelta runs fn and returns the link stats it accrued.
+func (d *Daemon) netDelta(fn func() error) (PhaseStats, error) {
+	before := d.link.Stats()
+	err := fn()
+	after := d.link.Stats()
+	return PhaseStats{
+		Time:     after.Elapsed - before.Elapsed,
+		Bytes:    after.Bytes - before.Bytes,
+		Requests: after.Requests - before.Requests,
+	}, err
+}
+
+// DeployDocker deploys ref the stock Docker way: download every layer
+// not already local, unpack, mount, then run the task (access + compute).
+func (d *Daemon) DeployDocker(name, tag string, access []string, compute time.Duration) (*Deployment, error) {
+	dep := &Deployment{Mode: ModeDocker, Ref: name + ":" + tag, daemon: d,
+		ContainerID: d.newContainerID(ModeDocker)}
+
+	var unpacked int64
+	pull, err := d.netDelta(func() error {
+		m, err := d.docker.GetManifest(name, tag)
+		if err != nil {
+			return err
+		}
+		d.link.Transfer(manifestSize(m))
+		img := &imagefmt.Image{Manifest: m}
+		for _, digest := range m.Layers {
+			layer, ok := d.layers[digest]
+			if !ok {
+				blob, err := d.docker.GetBlob(digest)
+				if err != nil {
+					return err
+				}
+				d.link.Transfer(int64(len(blob)))
+				layer, err = imagefmt.NewLayerFromTarball(blob, digest)
+				if err != nil {
+					return err
+				}
+				d.layers[digest] = layer
+				unpacked += layer.UncompressedSize
+			}
+			img.Layers = append(img.Layers, layer)
+		}
+		root, err := img.Flatten()
+		if err != nil {
+			return err
+		}
+		dep.root = root
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dockersim: deploy docker %s:%s: %w", name, tag, err)
+	}
+	// Unpacking newly downloaded layers is part of Docker's pull phase.
+	pull.Time += time.Duration(float64(unpacked) / d.opts.UnpackBPS * float64(time.Second))
+	dep.Pull = pull
+
+	// Run phase: every access is local (the whole image is here).
+	var runTime time.Duration
+	for _, p := range access {
+		n, err := dep.root.Stat(p)
+		if err != nil {
+			return nil, fmt.Errorf("dockersim: docker run %s: %w", dep.Ref, err)
+		}
+		cost := d.opts.OverlayLatency + d.localRead(n.Size())
+		runTime += cost
+		if d.opts.Trace {
+			dep.Events = append(dep.Events, AccessEvent{Path: p, Cost: cost})
+		}
+	}
+	runTime += compute
+	dep.Run = PhaseStats{Time: runTime}
+	dep.inodes = dep.root.Stats().Files // everything was unpacked
+	return dep, nil
+}
+
+func manifestSize(m *imagefmt.Manifest) int64 {
+	data, err := imagefmt.EncodeManifest(m)
+	if err != nil {
+		return 1024
+	}
+	return int64(len(data))
+}
+
+// DeployGear deploys ref the Gear way: pull only the index image (if not
+// local), install it at level 2, then run the task with lazy file
+// faults (§III-D2).
+func (d *Daemon) DeployGear(name, tag string, access []string, compute time.Duration) (*Deployment, error) {
+	ref := name + ":" + tag
+	dep := &Deployment{Mode: ModeGear, Ref: ref, daemon: d,
+		ContainerID: d.newContainerID(ModeGear)}
+
+	var unpacked int64
+	pull, err := d.netDelta(func() error {
+		if d.gearStore.HasIndex(ref) {
+			return nil
+		}
+		m, err := d.docker.GetManifest(name, tag)
+		if err != nil {
+			return err
+		}
+		d.link.Transfer(manifestSize(m))
+		img := &imagefmt.Image{Manifest: m}
+		for _, digest := range m.Layers {
+			layer, ok := d.layers[digest]
+			if !ok {
+				blob, err := d.docker.GetBlob(digest)
+				if err != nil {
+					return err
+				}
+				d.link.Transfer(int64(len(blob)))
+				layer, err = imagefmt.NewLayerFromTarball(blob, digest)
+				if err != nil {
+					return err
+				}
+				d.layers[digest] = layer
+				unpacked += layer.UncompressedSize
+			}
+			img.Layers = append(img.Layers, layer)
+		}
+		ix, err := index.FromImage(img)
+		if err != nil {
+			return err
+		}
+		return d.gearStore.AddIndex(ix)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dockersim: deploy gear %s: %w", ref, err)
+	}
+	pull.Time += time.Duration(float64(unpacked) / d.opts.UnpackBPS * float64(time.Second))
+	dep.Pull = pull
+
+	view, err := d.gearStore.CreateContainer(dep.ContainerID, ref)
+	if err != nil {
+		return nil, fmt.Errorf("dockersim: deploy gear %s: %w", ref, err)
+	}
+	dep.view = view
+
+	run, err := d.netDelta(func() error {
+		var localTime time.Duration
+		for _, p := range access {
+			before := d.link.Stats()
+			data, err := view.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			local := d.opts.OverlayLatency + d.localRead(int64(len(data)))
+			localTime += local
+			if d.opts.Trace {
+				after := d.link.Stats()
+				dep.Events = append(dep.Events, AccessEvent{
+					Path:        p,
+					RemoteBytes: after.Bytes - before.Bytes,
+					Requests:    after.Requests - before.Requests,
+					Cost:        local + (after.Elapsed - before.Elapsed),
+				})
+			}
+		}
+		dep.Run.Time += localTime
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dockersim: gear run %s: %w", ref, err)
+	}
+	dep.Run.Time += run.Time + compute
+	dep.Run.Bytes = run.Bytes
+	dep.Run.Requests = run.Requests
+	// Teardown releases the inode cache of the files this container
+	// touched — required files only, never the whole image (§V-F).
+	dep.inodes = uniqueCount(access)
+	return dep, nil
+}
+
+// uniqueCount returns the number of distinct strings in list.
+func uniqueCount(list []string) int {
+	seen := make(map[string]bool, len(list))
+	for _, s := range list {
+		seen[s] = true
+	}
+	return len(seen)
+}
+
+// DeploySlacker deploys ref from the Slacker block server: mount, then
+// page blocks in as the task reads.
+func (d *Daemon) DeploySlacker(name, tag string, access []string, compute time.Duration) (*Deployment, error) {
+	if d.slackerClient == nil {
+		return nil, fmt.Errorf("dockersim: %w", ErrNoSlacker)
+	}
+	ref := name + ":" + tag
+	dep := &Deployment{Mode: ModeSlacker, Ref: ref, daemon: d,
+		ContainerID: d.newContainerID(ModeSlacker)}
+
+	pull, err := d.netDelta(func() error {
+		return d.slackerClient.Mount(dep.ContainerID, ref)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dockersim: deploy slacker %s: %w", ref, err)
+	}
+	dep.Pull = pull
+
+	run, err := d.netDelta(func() error {
+		var localTime time.Duration
+		for _, p := range access {
+			before := d.link.Stats()
+			data, err := d.slackerClient.ReadFile(dep.ContainerID, p)
+			if err != nil {
+				return err
+			}
+			// No overlay layer on Slacker's ext4-on-device path.
+			local := d.localRead(int64(len(data)))
+			localTime += local
+			if d.opts.Trace {
+				after := d.link.Stats()
+				dep.Events = append(dep.Events, AccessEvent{
+					Path:        p,
+					RemoteBytes: after.Bytes - before.Bytes,
+					Requests:    after.Requests - before.Requests,
+					Cost:        local + (after.Elapsed - before.Elapsed),
+				})
+			}
+		}
+		dep.Run.Time += localTime
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dockersim: slacker run %s: %w", ref, err)
+	}
+	dep.Run.Time += run.Time + compute
+	dep.Run.Bytes = run.Bytes
+	dep.Run.Requests = run.Requests
+	dep.inodes = len(access)
+	return dep, nil
+}
+
+// Read serves one file from the deployed container, returning the data
+// and its modeled service latency. Long-running services (Fig 11a) call
+// this in their request loops.
+func (dep *Deployment) Read(p string) ([]byte, time.Duration, error) {
+	if dep.closed {
+		return nil, 0, fmt.Errorf("dockersim: %s: %w", dep.ContainerID, ErrNotDeployed)
+	}
+	d := dep.daemon
+	switch dep.Mode {
+	case ModeDocker:
+		data, err := dep.root.ReadFile(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		return data, d.opts.OverlayLatency + d.localRead(int64(len(data))), nil
+	case ModeGear:
+		before := d.link.Stats()
+		data, err := dep.view.ReadFile(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		after := d.link.Stats()
+		cost := d.opts.OverlayLatency + d.localRead(int64(len(data))) +
+			(after.Elapsed - before.Elapsed)
+		return data, cost, nil
+	case ModeSlacker:
+		before := d.link.Stats()
+		data, err := d.slackerClient.ReadFile(dep.ContainerID, p)
+		if err != nil {
+			return nil, 0, err
+		}
+		after := d.link.Stats()
+		return data, d.localRead(int64(len(data))) + (after.Elapsed - before.Elapsed), nil
+	default:
+		return nil, 0, fmt.Errorf("dockersim: bad mode %v", dep.Mode)
+	}
+}
+
+// Write stores a file in the container's writable layer (Gear/Docker
+// containers only; the Docker simulation writes to the materialized
+// root, standing in for its writable layer).
+func (dep *Deployment) Write(p string, data []byte) error {
+	if dep.closed {
+		return fmt.Errorf("dockersim: %s: %w", dep.ContainerID, ErrNotDeployed)
+	}
+	switch dep.Mode {
+	case ModeDocker:
+		return dep.root.WriteFile(p, data, 0o644)
+	case ModeGear:
+		return dep.view.WriteFile(p, data, 0o644)
+	default:
+		return fmt.Errorf("dockersim: %s containers are read-only in this model", dep.Mode)
+	}
+}
+
+// Commit turns a running Gear container into a new Gear image and
+// pushes both halves: new Gear files to the Gear registry (absent ones
+// only) and the new index image to the Docker registry (Â§III-D2's full
+// commit path). It returns the new reference and the bytes uploaded.
+func (dep *Deployment) Commit(newName, newTag string) (ref string, uploaded int64, err error) {
+	if dep.closed {
+		return "", 0, fmt.Errorf("dockersim: %s: %w", dep.ContainerID, ErrNotDeployed)
+	}
+	if dep.Mode != ModeGear {
+		return "", 0, fmt.Errorf("dockersim: commit: %s containers cannot commit in this model", dep.Mode)
+	}
+	d := dep.daemon
+	newIx, newFiles, err := d.gearStore.Commit(dep.ContainerID, newName, newTag)
+	if err != nil {
+		return "", 0, fmt.Errorf("dockersim: commit %s: %w", dep.ContainerID, err)
+	}
+	for fp, data := range newFiles {
+		present, err := d.gear.Query(fp)
+		if err != nil {
+			return "", 0, fmt.Errorf("dockersim: commit push %s: %w", fp, err)
+		}
+		if present {
+			continue
+		}
+		if err := d.gear.Upload(fp, data); err != nil {
+			return "", 0, fmt.Errorf("dockersim: commit push %s: %w", fp, err)
+		}
+		n := int64(len(data))
+		uploaded += n
+		d.link.Transfer(n)
+	}
+	ixImg, err := newIx.ToImage()
+	if err != nil {
+		return "", 0, fmt.Errorf("dockersim: commit %s: %w", dep.ContainerID, err)
+	}
+	pushed, err := registry.Push(d.docker, ixImg)
+	if err != nil {
+		return "", 0, fmt.Errorf("dockersim: commit push index: %w", err)
+	}
+	uploaded += pushed
+	d.link.Transfer(pushed)
+	return newIx.Reference(), uploaded, nil
+}
+
+// Destroy tears the container down and returns the modeled teardown
+// time: per-inode cache destruction (Fig 11b's destroy bar).
+func (dep *Deployment) Destroy() (time.Duration, error) {
+	if dep.closed {
+		return 0, fmt.Errorf("dockersim: %s: %w", dep.ContainerID, ErrNotDeployed)
+	}
+	dep.closed = true
+	d := dep.daemon
+	switch dep.Mode {
+	case ModeGear:
+		if err := d.gearStore.RemoveContainer(dep.ContainerID); err != nil {
+			return 0, err
+		}
+	case ModeSlacker:
+		if err := d.slackerClient.Unmount(dep.ContainerID); err != nil {
+			return 0, err
+		}
+	case ModeDocker:
+		dep.root = nil
+	}
+	return time.Duration(dep.inodes) * d.opts.InodeDestroyCost, nil
+}

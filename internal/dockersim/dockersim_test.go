@@ -1,0 +1,474 @@
+package dockersim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/gear-image/gear/internal/corpus"
+	"github.com/gear-image/gear/internal/gear/convert"
+	"github.com/gear-image/gear/internal/gearregistry"
+	"github.com/gear-image/gear/internal/netsim"
+	"github.com/gear-image/gear/internal/registry"
+	"github.com/gear-image/gear/internal/slacker"
+)
+
+// rig is a full test deployment rig: a corpus series published to a
+// Docker registry (originals + Gear index images), a Gear registry, and
+// a Slacker block server.
+type rig struct {
+	corpus    *corpus.Corpus
+	docker    *registry.Registry
+	gear      *gearregistry.Registry
+	slackSrv  *slacker.Server
+	series    string
+	numImages int
+}
+
+func buildRig(t *testing.T, series string, versions int) *rig {
+	t.Helper()
+	c, err := corpus.New(corpus.Options{
+		Seed: 7, Scale: 0.4, SeriesFilter: []string{series}, MaxVersions: versions,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{
+		corpus:   c,
+		docker:   registry.New(),
+		gear:     gearregistry.New(gearregistry.Options{Compress: true}),
+		slackSrv: slacker.NewServer(),
+		series:   series,
+	}
+	conv, err := convert.New(convert.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < versions; v++ {
+		img, err := c.Image(series, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Docker baseline needs the original image under its own ref;
+		// the Gear index image is stored under "gear/<series>".
+		if _, err := registry.Push(r.docker, img); err != nil {
+			t.Fatal(err)
+		}
+		res, err := conv.Convert(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Index.Name = "gear/" + series
+		ixImg, err := res.Index.ToImage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.IndexImage = ixImg
+		if _, _, err := convert.Publish(res, r.docker, r.gear); err != nil {
+			t.Fatal(err)
+		}
+		bi, err := slacker.FromImage(img, slacker.DefaultBlockSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.slackSrv.Put(bi)
+		r.numImages++
+	}
+	return r
+}
+
+func (r *rig) newDaemon(t *testing.T, mbps float64) *Daemon {
+	t.Helper()
+	// The corpus is ~1/1000 of the paper's byte scale; scale the link
+	// down by the same factor so deployment times keep the paper's shape.
+	d, err := NewDaemon(r.docker, r.gear, Options{Link: netsim.DefaultLAN().WithBandwidth(mbps / 1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ConfigureSlacker(r.slackSrv)
+	return d
+}
+
+func (r *rig) access(t *testing.T, version int) []string {
+	t.Helper()
+	items, err := r.corpus.NecessarySet(r.series, version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := make([]string, len(items))
+	for i, it := range items {
+		paths[i] = it.Path
+	}
+	return paths
+}
+
+func TestDockerDeploy(t *testing.T) {
+	r := buildRig(t, "nginx", 2)
+	d := r.newDaemon(t, 904)
+	dep, err := d.DeployDocker("nginx", "v01", r.access(t, 0), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Pull.Bytes <= 0 || dep.Pull.Time <= 0 {
+		t.Errorf("pull = %+v", dep.Pull)
+	}
+	if dep.Run.Bytes != 0 {
+		t.Errorf("docker run fetched %d bytes; everything should be local", dep.Run.Bytes)
+	}
+	if dep.Run.Time < 100*time.Millisecond {
+		t.Errorf("run time %v < compute", dep.Run.Time)
+	}
+	data, cost, err := dep.Read(r.access(t, 0)[0])
+	if err != nil || len(data) == 0 || cost <= 0 {
+		t.Errorf("Read = %d bytes, %v, %v", len(data), cost, err)
+	}
+}
+
+func TestGearDeployPullsOnlyIndex(t *testing.T) {
+	r := buildRig(t, "nginx", 2)
+	d := r.newDaemon(t, 904)
+	gearDep, err := d.DeployGear("gear/nginx", "v01", r.access(t, 0), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := r.newDaemon(t, 904)
+	dockerDep, err := d2.DeployDocker("nginx", "v01", r.access(t, 0), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gearDep.Pull.Bytes >= dockerDep.Pull.Bytes/3 {
+		t.Errorf("gear pull %d bytes not much smaller than docker pull %d",
+			gearDep.Pull.Bytes, dockerDep.Pull.Bytes)
+	}
+	if gearDep.Run.Bytes == 0 {
+		t.Error("gear run fetched nothing; lazy faults expected")
+	}
+	total := gearDep.Pull.Bytes + gearDep.Run.Bytes
+	if total >= dockerDep.Pull.Bytes {
+		t.Errorf("gear total transfer %d not below docker %d", total, dockerDep.Pull.Bytes)
+	}
+	// Pull phase shorter, run phase longer — the Fig 9 shape.
+	if gearDep.Pull.Time >= dockerDep.Pull.Time {
+		t.Errorf("gear pull %v not shorter than docker %v", gearDep.Pull.Time, dockerDep.Pull.Time)
+	}
+	if gearDep.Run.Time <= dockerDep.Run.Time {
+		t.Errorf("gear run %v not longer than docker %v", gearDep.Run.Time, dockerDep.Run.Time)
+	}
+}
+
+func TestGearWarmCacheFasterThanCold(t *testing.T) {
+	r := buildRig(t, "redis", 3)
+	d := r.newDaemon(t, 100)
+	cold, err := d.DeployGear("gear/redis", "v01", r.access(t, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-series next version with warm cache.
+	warm, err := d.DeployGear("gear/redis", "v02", r.access(t, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Run.Bytes >= cold.Run.Bytes {
+		t.Errorf("warm deploy fetched %d bytes, cold fetched %d; cache ineffective",
+			warm.Run.Bytes, cold.Run.Bytes)
+	}
+
+	// Cold-cache control: clear between deploys.
+	d2 := r.newDaemon(t, 100)
+	if _, err := d2.DeployGear("gear/redis", "v01", r.access(t, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	d2.ClearGearCache()
+	cold2, err := d2.DeployGear("gear/redis", "v02", r.access(t, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Run.Bytes >= cold2.Run.Bytes {
+		t.Errorf("warm %d bytes vs cleared-cache %d bytes", warm.Run.Bytes, cold2.Run.Bytes)
+	}
+}
+
+func TestRedeploySameImageIsLocal(t *testing.T) {
+	r := buildRig(t, "nginx", 1)
+	d := r.newDaemon(t, 904)
+	if _, err := d.DeployGear("gear/nginx", "v01", r.access(t, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	second, err := d.DeployGear("gear/nginx", "v01", r.access(t, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Pull.Bytes != 0 || second.Run.Bytes != 0 {
+		t.Errorf("second deploy transferred pull=%d run=%d bytes", second.Pull.Bytes, second.Run.Bytes)
+	}
+}
+
+func TestSlackerDeploy(t *testing.T) {
+	r := buildRig(t, "tomcat", 2)
+	d := r.newDaemon(t, 904)
+	dep, err := d.DeploySlacker("tomcat", "v01", r.access(t, 0), 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Pull.Bytes <= 0 {
+		t.Error("slacker mount transferred nothing (metadata blocks expected)")
+	}
+	if dep.Run.Bytes == 0 {
+		t.Error("slacker run paged nothing in")
+	}
+	// Block granularity: more run requests than Gear needs files.
+	gearDep, err := d.DeployGear("gear/tomcat", "v01", r.access(t, 0), 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Run.Requests <= gearDep.Run.Requests {
+		t.Errorf("slacker requests %d not more than gear %d", dep.Run.Requests, gearDep.Run.Requests)
+	}
+}
+
+func TestSlackerUnconfigured(t *testing.T) {
+	r := buildRig(t, "nginx", 1)
+	d, err := NewDaemon(r.docker, r.gear, Options{Link: netsim.DefaultLAN()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DeploySlacker("nginx", "v01", nil, 0); !errors.Is(err, ErrNoSlacker) {
+		t.Errorf("err = %v, want ErrNoSlacker", err)
+	}
+}
+
+func TestBandwidthSensitivity(t *testing.T) {
+	// Fig 9: Docker degrades with bandwidth much faster than Gear.
+	r := buildRig(t, "mysql", 1)
+	ratioAt := func(mbps float64) float64 {
+		d := r.newDaemon(t, mbps)
+		docker, err := d.DeployDocker("mysql", "v01", r.access(t, 0), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2 := r.newDaemon(t, mbps)
+		gear, err := d2.DeployGear("gear/mysql", "v01", r.access(t, 0), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(docker.Total()) / float64(gear.Total())
+	}
+	fast := ratioAt(904)
+	slow := ratioAt(5)
+	if fast < 1.0 {
+		t.Errorf("gear slower than docker even at 904 Mbps: ratio %.2f", fast)
+	}
+	if slow <= fast {
+		t.Errorf("gear advantage at 5 Mbps (%.2f) not larger than at 904 Mbps (%.2f)", slow, fast)
+	}
+}
+
+func TestDockerLayerSharingAcrossVersions(t *testing.T) {
+	// Fig 10: later Docker deploys of a series reuse shared layers.
+	r := buildRig(t, "postgres", 6)
+	d := r.newDaemon(t, 904)
+	v1, err := d.DeployDocker("postgres", "v01", r.access(t, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := d.DeployDocker("postgres", "v02", r.access(t, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Pull.Bytes >= v1.Pull.Bytes {
+		t.Errorf("v2 pull %d >= v1 pull %d; layer sharing broken", v2.Pull.Bytes, v1.Pull.Bytes)
+	}
+}
+
+func TestDestroy(t *testing.T) {
+	r := buildRig(t, "httpd", 1)
+	d := r.newDaemon(t, 904)
+	docker, err := d.DeployDocker("httpd", "v01", r.access(t, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gear, err := d.DeployGear("gear/httpd", "v01", r.access(t, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dockerDestroy, err := docker.Destroy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gearDestroy, err := gear.Destroy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 11b: Gear destroys faster (fewer cached inodes).
+	if gearDestroy >= dockerDestroy {
+		t.Errorf("gear destroy %v not faster than docker %v", gearDestroy, dockerDestroy)
+	}
+	if _, err := gear.Destroy(); !errors.Is(err, ErrNotDeployed) {
+		t.Errorf("double destroy err = %v", err)
+	}
+	if _, _, err := gear.Read("/any"); !errors.Is(err, ErrNotDeployed) {
+		t.Errorf("read after destroy err = %v", err)
+	}
+}
+
+func TestWriteGoesToWritableLayer(t *testing.T) {
+	r := buildRig(t, "nginx", 1)
+	d := r.newDaemon(t, 904)
+	dep, err := d.DeployGear("gear/nginx", "v01", r.access(t, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Write("/no/dir/out", []byte("result")); err == nil {
+		t.Error("write without parent dir should fail")
+	}
+	if err := dep.Write("/opt/nginx/out", []byte("result")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := dep.Read("/opt/nginx/out")
+	if err != nil || string(data) != "result" {
+		t.Errorf("read back = %q, %v", data, err)
+	}
+	slackerDep, err := d.DeploySlacker("nginx", "v01", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := slackerDep.Write("/x", nil); err == nil {
+		t.Error("slacker write should be rejected by this model")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeDocker.String() != "docker" || ModeGear.String() != "gear" ||
+		ModeSlacker.String() != "slacker" || Mode(9).String() != "Mode(9)" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestDeployMissingImage(t *testing.T) {
+	r := buildRig(t, "nginx", 1)
+	d := r.newDaemon(t, 904)
+	if _, err := d.DeployDocker("ghost-img", "v01", nil, 0); err == nil {
+		t.Error("missing image deployed")
+	}
+	if _, err := d.DeployGear("ghost-img", "v01", nil, 0); err == nil {
+		t.Error("missing gear image deployed")
+	}
+}
+
+func TestCommitAndRedeploy(t *testing.T) {
+	r := buildRig(t, "nginx", 1)
+	d := r.newDaemon(t, 904)
+	dep, err := d.DeployGear("gear/nginx", "v01", r.access(t, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Write("/opt/nginx/custom.conf", []byte("worker_processes 4;")); err != nil {
+		t.Fatal(err)
+	}
+	ref, uploaded, err := dep.Commit("gear/nginx-custom", "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref != "gear/nginx-custom:v1" || uploaded <= 0 {
+		t.Errorf("commit = %q, %d bytes", ref, uploaded)
+	}
+	// A second daemon (another host) deploys the committed image.
+	d2 := r.newDaemon(t, 904)
+	dep2, err := d2.DeployGear("gear/nginx-custom", "v1", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := dep2.Read("/opt/nginx/custom.conf")
+	if err != nil || string(data) != "worker_processes 4;" {
+		t.Errorf("committed file = %q, %v", data, err)
+	}
+	// Docker-mode containers cannot commit in this model.
+	dockerDep, err := d.DeployDocker("nginx", "v01", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dockerDep.Commit("x", "y"); err == nil {
+		t.Error("docker commit accepted")
+	}
+	// Closed containers cannot commit.
+	if _, err := dep.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dep.Commit("a", "b"); !errors.Is(err, ErrNotDeployed) {
+		t.Errorf("err = %v, want ErrNotDeployed", err)
+	}
+}
+
+func TestRequestOverheadChargedPerObject(t *testing.T) {
+	// Two daemons, one with huge per-request overhead: same payload, more
+	// wire bytes and time for the many-object Gear fetch path.
+	r := buildRig(t, "redis", 1)
+	cheap, err := NewDaemon(r.docker, r.gear, Options{
+		Link: netsim.DefaultLAN().WithBandwidth(0.1), GearRequestBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := NewDaemon(r.docker, r.gear, Options{
+		Link: netsim.DefaultLAN().WithBandwidth(0.1), GearRequestBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cheap.DeployGear("gear/redis", "v01", r.access(t, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := costly.DeployGear("gear/redis", "v01", r.access(t, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Run.Time <= a.Run.Time {
+		t.Errorf("overhead bytes did not slow the run phase: %v vs %v", b.Run.Time, a.Run.Time)
+	}
+}
+
+func TestTraceRecordsAccessTimeline(t *testing.T) {
+	r := buildRig(t, "nginx", 1)
+	d, err := NewDaemon(r.docker, r.gear, Options{
+		Link: netsim.DefaultLAN().WithBandwidth(0.9), Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	access := r.access(t, 0)
+	dep, err := d.DeployGear("gear/nginx", "v01", access, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dep.Events) != len(access) {
+		t.Fatalf("events = %d, want %d", len(dep.Events), len(access))
+	}
+	var remoteEvents int
+	var remoteBytes int64
+	for _, e := range dep.Events {
+		if e.Cost <= 0 {
+			t.Errorf("%s: non-positive cost", e.Path)
+		}
+		if e.RemoteBytes > 0 {
+			remoteEvents++
+			remoteBytes += e.RemoteBytes
+		}
+	}
+	if remoteEvents == 0 {
+		t.Error("no remote events traced on a cold deploy")
+	}
+	if remoteBytes != dep.Run.Bytes {
+		t.Errorf("traced bytes %d != run phase bytes %d", remoteBytes, dep.Run.Bytes)
+	}
+	// Untraced deploys carry no events.
+	d2, err := NewDaemon(r.docker, r.gear, Options{Link: netsim.DefaultLAN()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep2, err := d2.DeployGear("gear/nginx", "v01", access, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep2.Events != nil {
+		t.Error("events recorded without Trace")
+	}
+}

@@ -1,0 +1,320 @@
+// Package experiments regenerates every table and figure of the Gear
+// paper's evaluation (§II-D and §V) on the synthetic corpus. Each
+// experiment has a typed result and a printer that emits the same rows
+// or series the paper reports; EXPERIMENTS.md records measured-vs-paper
+// for each.
+//
+// Experiment index (see DESIGN.md §4 for the full mapping):
+//
+//	inventory — corpus composition (the §V-A workload table)
+//	table2 — storage and object count per dedup granularity
+//	fig2   — necessary-data redundancy within image series
+//	fig6   — image conversion time vs size (HDD/SSD)
+//	fig7   — registry storage saving, per category and overall
+//	fig8   — bytes transferred per deployment
+//	fig9   — deployment time under 904/100/20/5 Mbps
+//	fig10  — sequential version rollout: Docker vs Slacker vs Gear
+//	fig11  — long-running throughput and short-running lifecycle
+//	extload — extension: registry egress under a client fleet
+//	extcache — extension: level-1 cache capacity/policy ablation
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/gear-image/gear/internal/corpus"
+	"github.com/gear-image/gear/internal/dockersim"
+	"github.com/gear-image/gear/internal/gear/convert"
+	"github.com/gear-image/gear/internal/gearregistry"
+	"github.com/gear-image/gear/internal/netsim"
+	"github.com/gear-image/gear/internal/registry"
+	"github.com/gear-image/gear/internal/slacker"
+)
+
+// ErrUnknownExperiment reports an unrecognized experiment id.
+var ErrUnknownExperiment = errors.New("unknown experiment")
+
+// Config scales and seeds a run. The zero value is NOT valid; use
+// Default() or Quick().
+type Config struct {
+	// Seed drives the deterministic corpus.
+	Seed int64
+	// Scale is the corpus byte scale (1.0 = calibrated, ~1/1000 of the
+	// paper's volume).
+	Scale float64
+	// VersionsPerSeries caps versions per series for deployment-heavy
+	// experiments (0 = the series' full version list).
+	VersionsPerSeries int
+	// SeriesPerCategory caps how many series per category deployment
+	// experiments touch (0 = all).
+	SeriesPerCategory int
+	// ChunkSize is Table II's chunk granularity, scaled with the corpus
+	// (the paper's 128 KB against ~380 MB images ≈ 512 B against our
+	// ~400 KB images).
+	ChunkSize int64
+	// SlackerBlockSize is the Fig 10 baseline's paging granularity,
+	// scaled like ChunkSize (the paper's 4 KB against ~73 KB average
+	// files ≈ 512 B against our ~7 KB files).
+	SlackerBlockSize int64
+}
+
+// Default is the full calibrated configuration used by cmd/benchreport.
+func Default() Config {
+	return Config{Seed: 20211107, Scale: 1.0, ChunkSize: 512, SlackerBlockSize: 512}
+}
+
+// Quick is a reduced configuration for tests and -short benches.
+func Quick() Config {
+	return Config{
+		Seed:              20211107,
+		Scale:             0.25,
+		VersionsPerSeries: 4,
+		SeriesPerCategory: 2,
+		ChunkSize:         512,
+		SlackerBlockSize:  512,
+	}
+}
+
+// BandwidthScale converts a paper-quoted link speed (Mbps) into the
+// corpus-scaled effective speed so deployment times keep the paper's
+// magnitude: the corpus is ~1/1000 of the paper's image bytes, so the
+// link slows by the same factor.
+func (c Config) BandwidthScale(mbps float64) float64 {
+	return mbps / 1000 * c.Scale
+}
+
+// link returns the simulated link at a paper-quoted bandwidth.
+func (c Config) link(mbps float64) netsim.LinkConfig {
+	return netsim.DefaultLAN().WithBandwidth(c.BandwidthScale(mbps))
+}
+
+// newCorpus builds the corpus for this configuration.
+func (c Config) newCorpus(filter []string) (*corpus.Corpus, error) {
+	return corpus.New(corpus.Options{
+		Seed:         c.Seed,
+		Scale:        c.Scale,
+		SeriesFilter: filter,
+		MaxVersions:  c.VersionsPerSeries,
+	})
+}
+
+// pickSeries applies the SeriesPerCategory cap, preserving Table I order.
+func (c Config) pickSeries(co *corpus.Corpus) []corpus.Series {
+	if c.SeriesPerCategory <= 0 {
+		return co.Series()
+	}
+	counts := make(map[corpus.Category]int)
+	var out []corpus.Series
+	for _, s := range co.Series() {
+		if counts[s.Category] >= c.SeriesPerCategory {
+			continue
+		}
+		counts[s.Category]++
+		out = append(out, s)
+	}
+	return out
+}
+
+// rig is a populated deployment environment: the original images and
+// Gear index images in a Docker registry, Gear files in a Gear registry,
+// and (optionally) Slacker block devices.
+type rig struct {
+	corpus *corpus.Corpus
+	docker *registry.Registry
+	gear   *gearregistry.Registry
+	slack  *slacker.Server
+	// converted tracks per-image conversion results for experiments that
+	// need timings or index stats.
+	converted map[string]*convert.Result
+}
+
+// gearRef returns the registry reference of a series' Gear index image.
+func gearRef(series string) string { return "gear/" + series }
+
+// buildRig publishes the given series (all their versions) into fresh
+// registries. withSlacker additionally lays out block devices.
+func (c Config) buildRig(co *corpus.Corpus, series []corpus.Series, withSlacker bool) (*rig, error) {
+	r := &rig{
+		corpus:    co,
+		docker:    registry.New(),
+		gear:      gearregistry.New(gearregistry.Options{Compress: true}),
+		converted: make(map[string]*convert.Result),
+	}
+	if withSlacker {
+		r.slack = slacker.NewServer()
+	}
+	conv, err := convert.New(convert.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range series {
+		for v := 0; v < s.NumVersions; v++ {
+			img, err := co.Image(s.Name, v)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := registry.Push(r.docker, img); err != nil {
+				return nil, err
+			}
+			res, err := conv.Convert(img)
+			if err != nil {
+				return nil, err
+			}
+			// Republish the index under the gear/ namespace so both the
+			// original and its Gear form live in one registry.
+			res.Index.Name = gearRef(s.Name)
+			ixImg, err := res.Index.ToImage()
+			if err != nil {
+				return nil, err
+			}
+			res.IndexImage = ixImg
+			if _, _, err := convert.Publish(res, r.docker, r.gear); err != nil {
+				return nil, err
+			}
+			r.converted[img.Manifest.Reference()] = res
+			if withSlacker {
+				bi, err := slacker.FromImage(img, c.SlackerBlockSize)
+				if err != nil {
+					return nil, err
+				}
+				r.slack.Put(bi)
+			}
+		}
+	}
+	return r, nil
+}
+
+// newDaemon builds a deployment daemon against the rig at a paper-quoted
+// bandwidth. Per-request wire overheads shrink with the corpus scale so
+// the overhead-to-payload ratio stays calibrated at any test scale.
+func (c Config) newDaemon(r *rig, mbps float64) (*dockersim.Daemon, error) {
+	d, err := dockersim.NewDaemon(r.docker, r.gear, dockersim.Options{
+		Link:                c.link(mbps),
+		GearRequestBytes:    int64(900 * c.Scale),
+		SlackerRequestBytes: int64(120 * c.Scale),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if r.slack != nil {
+		d.ConfigureSlacker(r.slack)
+	}
+	return d, nil
+}
+
+// accessPaths returns the launch-time access list of (series, version).
+func accessPaths(co *corpus.Corpus, series string, version int) ([]string, error) {
+	items, err := co.NecessarySet(series, version)
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, len(items))
+	for i, it := range items {
+		paths[i] = it.Path
+	}
+	return paths, nil
+}
+
+// Runner executes one experiment and prints its result.
+type Runner struct {
+	// ID is the experiment identifier ("table2", "fig9", ...).
+	ID string
+	// Title matches the paper's table/figure caption.
+	Title string
+	// Run executes the experiment and writes the report to w.
+	Run func(cfg Config, w io.Writer) error
+}
+
+// All returns every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{"inventory", "Workload: corpus composition (the paper's §V-A table)", runInventory},
+		{"table2", "Table II: storage usage and object count per dedup granularity", runTable2},
+		{"fig2", "Fig 2: redundancy of necessary data within image series", runFig2},
+		{"fig6", "Fig 6: image conversion time per series", runFig6},
+		{"fig7", "Fig 7: registry storage saving", runFig7},
+		{"fig8", "Fig 8: bandwidth usage during deployments", runFig8},
+		{"fig9", "Fig 9: deployment time under different bandwidths", runFig9},
+		{"fig10", "Fig 10: sequential Tomcat version rollout", runFig10},
+		{"fig11", "Fig 11: long-running and short-running workloads", runFig11},
+		{"extload", "Extension: registry egress under a client fleet", runExtLoad},
+		{"extcache", "Extension: level-1 cache capacity/policy ablation", runExtCache},
+	}
+}
+
+// Run executes the experiment with the given id ("all" runs everything).
+func Run(id string, cfg Config, w io.Writer) error {
+	if id == "all" {
+		for _, r := range All() {
+			fmt.Fprintf(w, "\n=== %s — %s ===\n", r.ID, r.Title)
+			if err := r.Run(cfg, w); err != nil {
+				return fmt.Errorf("experiments: %s: %w", r.ID, err)
+			}
+		}
+		return nil
+	}
+	for _, r := range All() {
+		if r.ID == id {
+			return r.Run(cfg, w)
+		}
+	}
+	return fmt.Errorf("experiments: %q: %w", id, ErrUnknownExperiment)
+}
+
+// IDs lists experiment ids in paper order.
+func IDs() []string {
+	all := All()
+	ids := make([]string, len(all))
+	for i, r := range all {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// Result runs one experiment and returns its typed result for
+// programmatic use (every result type carries JSON field tags). "all" is
+// not supported here; run ids individually.
+func Result(id string, cfg Config) (any, error) {
+	switch id {
+	case "inventory":
+		return RunInventory(cfg)
+	case "table2":
+		return RunTable2(cfg)
+	case "fig2":
+		return RunFig2(cfg)
+	case "fig6":
+		return RunFig6(cfg)
+	case "fig7":
+		return RunFig7(cfg)
+	case "fig8":
+		return RunFig8(cfg)
+	case "fig9":
+		return RunFig9(cfg)
+	case "fig10":
+		return RunFig10(cfg)
+	case "fig11":
+		return RunFig11(cfg)
+	case "extload":
+		return RunExtLoad(cfg)
+	case "extcache":
+		return RunExtCache(cfg)
+	default:
+		return nil, fmt.Errorf("experiments: %q: %w", id, ErrUnknownExperiment)
+	}
+}
+
+// categoryOrder sorts categories in Table I order for stable output.
+func categoryOrder(m map[corpus.Category]float64) []corpus.Category {
+	out := make([]corpus.Category, 0, len(m))
+	for cat := range m {
+		out = append(out, cat)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// mb renders bytes as MB with two decimals.
+func mb(n int64) string { return fmt.Sprintf("%.2f MB", float64(n)/1e6) }

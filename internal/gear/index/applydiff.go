@@ -1,0 +1,187 @@
+package index
+
+import (
+	"fmt"
+	"io/fs"
+	"path"
+	"sort"
+
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/tarstream"
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// ApplyDiff implements the metadata half of the Gear commit path
+// (§III-D2): it merges a container's writable-layer diff tree (with
+// literal whiteout entries) into ix, producing the new image's index
+// under newName:newTag. Regular files appearing in the diff become new
+// Gear files: they are fingerprinted through reg and returned in
+// newFiles for upload to the Gear Registry.
+func ApplyDiff(ix *Index, newName, newTag string, diff *vfs.FS, reg *hashing.Registry) (*Index, map[hashing.Fingerprint][]byte, error) {
+	if reg == nil {
+		reg = hashing.NewRegistry(nil)
+	}
+	root := toMutable(ix.Root)
+	newFiles := make(map[hashing.Fingerprint][]byte)
+
+	// Pass 1: opaque clears (must precede sibling application; see
+	// tarstream.ApplyLayer for the ordering rationale).
+	err := diff.Walk(func(p string, n *vfs.Node) error {
+		switch {
+		case path.Base(p) == tarstream.OpaqueMarker:
+			if dir := lookupMutable(root, path.Dir(p)); dir != nil {
+				dir.children = make(map[string]*mutableEntry)
+			}
+		case n.IsDir() && n.Opaque:
+			if dir := lookupMutable(root, p); dir != nil {
+				dir.children = make(map[string]*mutableEntry)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("index: apply diff: %w", err)
+	}
+
+	// Pass 2: whiteouts, additions, replacements.
+	err = diff.Walk(func(p string, n *vfs.Node) error {
+		name := path.Base(p)
+		if name == tarstream.OpaqueMarker {
+			return nil
+		}
+		if hidden, ok := tarstream.IsWhiteout(name); ok {
+			if dir := lookupMutable(root, path.Dir(p)); dir != nil {
+				delete(dir.children, hidden)
+			}
+			return nil
+		}
+		parent := mkdirMutable(root, path.Dir(p))
+		switch n.Type() {
+		case vfs.TypeDir:
+			existing := parent.children[name]
+			if existing == nil || existing.typ != vfs.TypeDir {
+				parent.children[name] = &mutableEntry{
+					typ:      vfs.TypeDir,
+					mode:     n.Mode(),
+					children: make(map[string]*mutableEntry),
+				}
+			} else {
+				existing.mode = n.Mode()
+			}
+		case vfs.TypeRegular:
+			data := n.Content().Data()
+			fp := reg.Assign(data)
+			newFiles[fp] = data
+			parent.children[name] = &mutableEntry{
+				typ:  vfs.TypeRegular,
+				mode: n.Mode(),
+				fp:   fp,
+				size: int64(len(data)),
+			}
+		case vfs.TypeSymlink:
+			parent.children[name] = &mutableEntry{
+				typ:    vfs.TypeSymlink,
+				mode:   n.Mode(),
+				target: n.Target(),
+			}
+		default:
+			return fmt.Errorf("%w: diff node type %v at %s", ErrCorrupt, n.Type(), p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("index: apply diff: %w", err)
+	}
+
+	out := &Index{Name: newName, Tag: newTag, Config: ix.Config, Root: fromMutable("", root)}
+	if err := out.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return out, newFiles, nil
+}
+
+// mutableEntry mirrors Entry with map-based children for editing.
+type mutableEntry struct {
+	typ      vfs.FileType
+	mode     fs.FileMode
+	target   string
+	fp       hashing.Fingerprint
+	size     int64
+	chunks   []Chunk
+	children map[string]*mutableEntry
+}
+
+func toMutable(e *Entry) *mutableEntry {
+	m := &mutableEntry{
+		typ:    e.Type,
+		mode:   e.Mode,
+		target: e.Target,
+		fp:     e.Fingerprint,
+		size:   e.Size,
+		chunks: e.Chunks,
+	}
+	if e.Type == vfs.TypeDir {
+		m.children = make(map[string]*mutableEntry, len(e.Children))
+		for _, c := range e.Children {
+			m.children[c.Name] = toMutable(c)
+		}
+	}
+	return m
+}
+
+func fromMutable(name string, m *mutableEntry) *Entry {
+	e := &Entry{
+		Name:        name,
+		Type:        m.typ,
+		Mode:        m.mode,
+		Target:      m.target,
+		Fingerprint: m.fp,
+		Size:        m.size,
+		Chunks:      m.chunks,
+	}
+	if m.typ == vfs.TypeDir {
+		names := make([]string, 0, len(m.children))
+		for n := range m.children {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			e.Children = append(e.Children, fromMutable(n, m.children[n]))
+		}
+	}
+	return e
+}
+
+func lookupMutable(root *mutableEntry, p string) *mutableEntry {
+	cur := root
+	for _, part := range vfs.Split(p) {
+		if cur.typ != vfs.TypeDir {
+			return nil
+		}
+		next := cur.children[part]
+		if next == nil {
+			return nil
+		}
+		cur = next
+	}
+	return cur
+}
+
+// mkdirMutable walks to p creating directories as needed (overwriting
+// non-directories, as tar extraction does).
+func mkdirMutable(root *mutableEntry, p string) *mutableEntry {
+	cur := root
+	for _, part := range vfs.Split(p) {
+		next := cur.children[part]
+		if next == nil || next.typ != vfs.TypeDir {
+			next = &mutableEntry{
+				typ:      vfs.TypeDir,
+				mode:     0o755,
+				children: make(map[string]*mutableEntry),
+			}
+			cur.children[part] = next
+		}
+		cur = next
+	}
+	return cur
+}

@@ -1,0 +1,235 @@
+package index
+
+import (
+	"testing"
+
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/imagefmt"
+	"github.com/gear-image/gear/internal/tarstream"
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// baseIndex builds a small index to commit against.
+func baseIndex(t *testing.T) *Index {
+	t.Helper()
+	root := vfs.New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(root.MkdirAll("/etc/app", 0o755))
+	must(root.MkdirAll("/data", 0o755))
+	must(root.WriteFile("/etc/app/conf", []byte("v1 conf"), 0o644))
+	must(root.WriteFile("/data/seed", []byte("seed"), 0o644))
+	must(root.Symlink("conf", "/etc/app/conf-link"))
+	ix, _, err := Build("app", "v1", imagefmt.Config{Env: []string{"E=1"}}, root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestApplyDiffAddsModifiesDeletes(t *testing.T) {
+	ix := baseIndex(t)
+	diff := vfs.New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Modify an existing file, add a new nested file, delete another,
+	// add a symlink.
+	must(diff.MkdirAll("/etc/app", 0o755))
+	must(diff.WriteFile("/etc/app/conf", []byte("v2 conf"), 0o600))
+	must(diff.MkdirAll("/var/log/app", 0o755))
+	must(diff.WriteFile("/var/log/app/out", []byte("log line"), 0o644))
+	must(diff.MkdirAll("/data", 0o755))
+	must(diff.WriteFile("/data/.wh.seed", nil, 0))
+	must(diff.Symlink("/var/log/app/out", "/latest-log"))
+
+	newIx, newFiles, err := ApplyDiff(ix, "app", "v2", diff, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := newIx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if newIx.Reference() != "app:v2" {
+		t.Errorf("ref = %s", newIx.Reference())
+	}
+	// Config carried over.
+	if len(newIx.Config.Env) != 1 || newIx.Config.Env[0] != "E=1" {
+		t.Error("config lost")
+	}
+	// Modified file: new fingerprint, new mode.
+	conf := newIx.Lookup("/etc/app/conf")
+	if conf == nil || string(newFiles[conf.Fingerprint]) != "v2 conf" || conf.Mode != 0o600 {
+		t.Errorf("modified conf entry = %+v", conf)
+	}
+	if conf.Fingerprint == ix.Lookup("/etc/app/conf").Fingerprint {
+		t.Error("modified file kept its old fingerprint")
+	}
+	// Added file under new directories.
+	if newIx.Lookup("/var/log/app/out") == nil {
+		t.Error("added file missing")
+	}
+	// Deleted file.
+	if newIx.Lookup("/data/seed") != nil {
+		t.Error("whiteouted file survived")
+	}
+	if newIx.Lookup("/data") == nil {
+		t.Error("parent of whiteouted file vanished")
+	}
+	// Symlink added.
+	if e := newIx.Lookup("/latest-log"); e == nil || e.Target != "/var/log/app/out" {
+		t.Errorf("symlink = %+v", e)
+	}
+	// Untouched entries keep their fingerprints.
+	if newIx.Lookup("/etc/app/conf-link") == nil {
+		t.Error("untouched symlink lost")
+	}
+	// newFiles contains exactly the two new contents.
+	if len(newFiles) != 2 {
+		t.Errorf("new files = %d, want 2", len(newFiles))
+	}
+	// The old index is unchanged.
+	if ix.Lookup("/var/log") != nil || ix.Lookup("/data/seed") == nil {
+		t.Error("ApplyDiff mutated the source index")
+	}
+}
+
+func TestApplyDiffOpaqueDirectory(t *testing.T) {
+	ix := baseIndex(t)
+	diff := vfs.New()
+	if err := diff.MkdirAll("/etc/app", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := diff.WriteFile("/etc/app/"+tarstream.OpaqueMarker, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := diff.WriteFile("/etc/app/fresh", []byte("only me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	newIx, _, err := ApplyDiff(ix, "app", "v2", diff, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newIx.Lookup("/etc/app/conf") != nil || newIx.Lookup("/etc/app/conf-link") != nil {
+		t.Error("opaque directory kept old entries")
+	}
+	if newIx.Lookup("/etc/app/fresh") == nil {
+		t.Error("opaque directory lost this layer's entry")
+	}
+}
+
+func TestApplyDiffReplaceDirWithFile(t *testing.T) {
+	ix := baseIndex(t)
+	diff := vfs.New()
+	if err := diff.WriteFile("/.wh.data", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := diff.WriteFile("/data", []byte("now a file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	newIx, files, err := ApplyDiff(ix, "app", "v2", diff, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newIx.Lookup("/data")
+	if e == nil || e.Type != vfs.TypeRegular {
+		t.Fatalf("entry = %+v, want regular file", e)
+	}
+	if string(files[e.Fingerprint]) != "now a file" {
+		t.Error("replacement content wrong")
+	}
+	if newIx.Lookup("/data/seed") != nil {
+		t.Error("child of replaced directory survived")
+	}
+}
+
+func TestApplyDiffDeduplicatesNewFiles(t *testing.T) {
+	ix := baseIndex(t)
+	diff := vfs.New()
+	if err := diff.WriteFile("/a", []byte("same bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := diff.WriteFile("/b", []byte("same bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	newIx, files, err := ApplyDiff(ix, "app", "v2", diff, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Errorf("new files = %d, want 1 (deduped)", len(files))
+	}
+	if newIx.Lookup("/a").Fingerprint != newIx.Lookup("/b").Fingerprint {
+		t.Error("identical new files got different fingerprints")
+	}
+}
+
+func TestApplyDiffMatchesOverlaySemantics(t *testing.T) {
+	// Index-level diff application must agree with filesystem-level
+	// ApplyLayer on the materialized trees.
+	ix := baseIndex(t)
+	diff := vfs.New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(diff.MkdirAll("/etc/app", 0o755))
+	must(diff.WriteFile("/etc/app/.wh.conf-link", nil, 0))
+	must(diff.WriteFile("/etc/app/new", []byte("n"), 0o644))
+	must(diff.WriteFile("/.wh.data", nil, 0))
+
+	newIx, _, err := ApplyDiff(ix, "app", "v2", diff, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTree, err := newIx.ToTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle: placeholder tree + raw overlay application, re-parsed.
+	oracleTree, err := ix.ToTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fingerprint the diff's regular files the same way ApplyDiff does so
+	// both sides carry placeholders.
+	reg := hashing.NewRegistry(nil)
+	phDiff := vfs.New()
+	must(phDiff.MkdirAll("/etc/app", 0o755))
+	must(phDiff.WriteFile("/etc/app/.wh.conf-link", nil, 0))
+	newData := []byte("n")
+	must(phDiff.WriteFile("/etc/app/new", Placeholder(reg.Assign(newData), int64(len(newData))), 0o644))
+	must(phDiff.WriteFile("/.wh.data", nil, 0))
+	if err := tarstream.ApplyLayer(oracleTree, phDiff); err != nil {
+		t.Fatal(err)
+	}
+	oracleIx, err := FromTree("app", "v2", ix.Config, oracleTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Encode(oracleIx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIx, err := FromTree("app", "v2", ix.Config, gotTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(gotIx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("ApplyDiff disagrees with overlay semantics:\n%s\nvs\n%s", b, a)
+	}
+}

@@ -1,0 +1,513 @@
+// Package index implements the Gear index — the metadata half of a Gear
+// image (§III-B of the paper). The index retains the directory structure
+// of the original Docker image; every regular file is replaced by the MD5
+// fingerprint of its content, so the index is tiny (the paper measures
+// ~0.53 MB on average, ~1.1% of total image bytes) and a container can be
+// launched as soon as it is downloaded.
+//
+// The index has three interchangeable representations:
+//
+//   - a typed tree (Index/Entry) used by the converter and driver;
+//   - a placeholder filesystem (ToTree/FromTree) where each regular file
+//     holds a one-line "gearfp:" record — this is the "index" directory
+//     the Gear File Viewer mounts, and the fingerprint file the paper's
+//     modified ovl_lookup_single() pauses on;
+//   - a single-layer Docker image (ToImage/FromImage) so the unmodified
+//     Docker distribution path can store and pull it (§III-C).
+package index
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/imagefmt"
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// Errors returned by index operations.
+var (
+	ErrCorrupt     = errors.New("corrupt gear index")
+	ErrNotGearFile = errors.New("not a gear fingerprint placeholder")
+)
+
+// PlaceholderPrefix starts every fingerprint placeholder file's content.
+const PlaceholderPrefix = "gearfp:"
+
+// IndexLabel marks a single-layer Docker image as carrying a Gear index.
+const IndexLabel = "io.gear.index"
+
+// IndexFileName is where the serialized index lives inside its
+// single-layer image (the compact binary form; see binary.go).
+const IndexFileName = "/.gear/index.bin"
+
+// Entry is one node of the Gear index tree.
+type Entry struct {
+	Name string       `json:"name"`
+	Type vfs.FileType `json:"type"`
+	Mode fs.FileMode  `json:"mode"`
+	// Target is the symlink target (symlinks only).
+	Target string `json:"target,omitempty"`
+	// Fingerprint addresses the Gear file holding this regular file's
+	// content (regular files only).
+	Fingerprint hashing.Fingerprint `json:"fingerprint,omitempty"`
+	// Size is the regular file's uncompressed size, kept in the index so
+	// deploy planners can budget downloads without fetching anything.
+	Size int64 `json:"size,omitempty"`
+	// Chunks, when non-empty, split a big regular file into separately
+	// addressed Gear files that concatenate to the full content. This is
+	// the paper's future-work extension ("enable Gear to read big files
+	// on demand in chunks", §VII); Fingerprint still identifies the whole
+	// file. Chunked entries dedup and download at chunk granularity.
+	Chunks []Chunk `json:"chunks,omitempty"`
+	// Children are a directory's entries, sorted by name.
+	Children []*Entry `json:"children,omitempty"`
+}
+
+// Chunk is one piece of a chunked regular file.
+type Chunk struct {
+	Fingerprint hashing.Fingerprint `json:"fingerprint"`
+	Size        int64               `json:"size"`
+}
+
+// Index is a complete Gear index: the tree plus the image configuration
+// the converter copies from the original Docker image (§III-C).
+type Index struct {
+	// Name and Tag identify the image the index was converted from.
+	Name string `json:"name"`
+	Tag  string `json:"tag"`
+	// Config carries environment/entrypoint/etc. from the Docker image.
+	Config imagefmt.Config `json:"config"`
+	// Root is the directory tree ("" name, TypeDir).
+	Root *Entry `json:"root"`
+}
+
+// Reference returns the canonical "name:tag" reference.
+func (ix *Index) Reference() string { return ix.Name + ":" + ix.Tag }
+
+// Build constructs an Index from a flattened image root filesystem,
+// assigning fingerprints through reg (collision-safe content addressing)
+// and collecting the Gear files into pool (fingerprint -> content).
+func Build(name, tag string, cfg imagefmt.Config, root *vfs.FS, reg *hashing.Registry) (*Index, map[hashing.Fingerprint][]byte, error) {
+	return BuildChunked(name, tag, cfg, root, reg, 0)
+}
+
+// BuildChunked is Build with the big-file extension enabled: regular
+// files larger than chunkSize bytes are split into chunkSize pieces that
+// are stored and fetched independently. chunkSize <= 0 disables chunking.
+func BuildChunked(name, tag string, cfg imagefmt.Config, root *vfs.FS, reg *hashing.Registry, chunkSize int64) (*Index, map[hashing.Fingerprint][]byte, error) {
+	if reg == nil {
+		reg = hashing.NewRegistry(nil)
+	}
+	b := &builder{reg: reg, pool: make(map[hashing.Fingerprint][]byte), chunkSize: chunkSize}
+	rootEntry, err := b.buildEntry("", root.Root())
+	if err != nil {
+		return nil, nil, fmt.Errorf("index: build %s:%s: %w", name, tag, err)
+	}
+	return &Index{Name: name, Tag: tag, Config: cfg, Root: rootEntry}, b.pool, nil
+}
+
+type builder struct {
+	reg       *hashing.Registry
+	pool      map[hashing.Fingerprint][]byte
+	chunkSize int64
+}
+
+func (b *builder) buildEntry(name string, n *vfs.Node) (*Entry, error) {
+	e := &Entry{Name: name, Type: n.Type(), Mode: n.Mode()}
+	switch n.Type() {
+	case vfs.TypeDir:
+		for _, childName := range n.ChildNames() {
+			child, err := b.buildEntry(childName, n.Child(childName))
+			if err != nil {
+				return nil, err
+			}
+			e.Children = append(e.Children, child)
+		}
+	case vfs.TypeRegular:
+		data := n.Content().Data()
+		e.Fingerprint = b.reg.Assign(data)
+		e.Size = int64(len(data))
+		if b.chunkSize > 0 && e.Size > b.chunkSize {
+			for off := int64(0); off < e.Size; off += b.chunkSize {
+				end := off + b.chunkSize
+				if end > e.Size {
+					end = e.Size
+				}
+				piece := data[off:end]
+				cfp := b.reg.Assign(piece)
+				e.Chunks = append(e.Chunks, Chunk{Fingerprint: cfp, Size: int64(len(piece))})
+				b.pool[cfp] = piece
+			}
+		} else {
+			b.pool[e.Fingerprint] = data
+		}
+	case vfs.TypeSymlink:
+		e.Target = n.Target()
+	default:
+		return nil, fmt.Errorf("%w: node type %v at %q", ErrCorrupt, n.Type(), name)
+	}
+	return e, nil
+}
+
+// Validate checks structural invariants: types, sorted unique children,
+// well-formed fingerprints.
+func (ix *Index) Validate() error {
+	if ix.Root == nil || ix.Root.Type != vfs.TypeDir {
+		return fmt.Errorf("index %s: root: %w", ix.Reference(), ErrCorrupt)
+	}
+	return validateEntry(ix.Root, "/")
+}
+
+func validateEntry(e *Entry, at string) error {
+	switch e.Type {
+	case vfs.TypeDir:
+		prev := ""
+		for i, c := range e.Children {
+			if c.Name == "" || strings.ContainsAny(c.Name, "/\x00") {
+				return fmt.Errorf("index: bad name %q in %s: %w", c.Name, at, ErrCorrupt)
+			}
+			if i > 0 && c.Name <= prev {
+				return fmt.Errorf("index: unsorted children in %s: %w", at, ErrCorrupt)
+			}
+			prev = c.Name
+			if err := validateEntry(c, at+c.Name+"/"); err != nil {
+				return err
+			}
+		}
+	case vfs.TypeRegular:
+		if err := e.Fingerprint.Validate(); err != nil {
+			return fmt.Errorf("index: %s%s: %w", at, e.Name, err)
+		}
+		if e.Size < 0 {
+			return fmt.Errorf("index: %s%s: negative size: %w", at, e.Name, ErrCorrupt)
+		}
+		if len(e.Children) > 0 {
+			return fmt.Errorf("index: file %s%s has children: %w", at, e.Name, ErrCorrupt)
+		}
+		if len(e.Chunks) > 0 {
+			var sum int64
+			for _, c := range e.Chunks {
+				if err := c.Fingerprint.Validate(); err != nil {
+					return fmt.Errorf("index: %s%s chunk: %w", at, e.Name, err)
+				}
+				if c.Size <= 0 {
+					return fmt.Errorf("index: %s%s: bad chunk size %d: %w", at, e.Name, c.Size, ErrCorrupt)
+				}
+				sum += c.Size
+			}
+			if sum != e.Size {
+				return fmt.Errorf("index: %s%s: chunk sizes sum %d != size %d: %w",
+					at, e.Name, sum, e.Size, ErrCorrupt)
+			}
+		}
+	case vfs.TypeSymlink:
+		if len(e.Children) > 0 {
+			return fmt.Errorf("index: symlink %s%s has children: %w", at, e.Name, ErrCorrupt)
+		}
+	default:
+		return fmt.Errorf("index: %s%s: bad type %v: %w", at, e.Name, e.Type, ErrCorrupt)
+	}
+	return nil
+}
+
+// Encode renders the index as JSON.
+func Encode(ix *Index) ([]byte, error) {
+	data, err := json.Marshal(ix)
+	if err != nil {
+		return nil, fmt.Errorf("index: encode %s: %w", ix.Reference(), err)
+	}
+	return data, nil
+}
+
+// Decode parses and validates index JSON.
+func Decode(data []byte) (*Index, error) {
+	var ix Index
+	if err := json.Unmarshal(data, &ix); err != nil {
+		return nil, fmt.Errorf("index: decode: %w: %w", ErrCorrupt, err)
+	}
+	if err := ix.Validate(); err != nil {
+		return nil, err
+	}
+	return &ix, nil
+}
+
+// Placeholder renders the one-line fingerprint record stored in place of
+// a regular file: "gearfp:<fingerprint>:<size>\n".
+func Placeholder(fp hashing.Fingerprint, size int64) []byte {
+	return []byte(PlaceholderPrefix + string(fp) + ":" + strconv.FormatInt(size, 10) + "\n")
+}
+
+// ParsePlaceholder inverts Placeholder. It returns ErrNotGearFile for
+// content that is not a placeholder record.
+func ParsePlaceholder(data []byte) (hashing.Fingerprint, int64, error) {
+	s := string(data)
+	rest, found := strings.CutPrefix(s, PlaceholderPrefix)
+	if !found {
+		return "", 0, ErrNotGearFile
+	}
+	rest = strings.TrimSuffix(rest, "\n")
+	rawFP, rawSize, found := strings.Cut(rest, ":")
+	if !found {
+		return "", 0, fmt.Errorf("placeholder %q: %w", s, ErrCorrupt)
+	}
+	fp := hashing.Fingerprint(rawFP)
+	if err := fp.Validate(); err != nil {
+		return "", 0, fmt.Errorf("placeholder: %w", err)
+	}
+	size, err := strconv.ParseInt(rawSize, 10, 64)
+	if err != nil || size < 0 {
+		return "", 0, fmt.Errorf("placeholder size %q: %w", rawSize, ErrCorrupt)
+	}
+	return fp, size, nil
+}
+
+// IsPlaceholder reports whether data is a fingerprint placeholder record.
+func IsPlaceholder(data []byte) bool {
+	_, _, err := ParsePlaceholder(data)
+	return err == nil
+}
+
+// ToTree materializes the index as a placeholder filesystem: directories
+// and symlinks verbatim, regular files replaced by placeholder records.
+// This is the read-only "index" directory of the three-level storage
+// structure (§III-D1).
+func (ix *Index) ToTree() (*vfs.FS, error) {
+	f := vfs.New()
+	if err := entryToTree(ix.Root, "", f); err != nil {
+		return nil, fmt.Errorf("index: to tree %s: %w", ix.Reference(), err)
+	}
+	return f, nil
+}
+
+func entryToTree(e *Entry, at string, f *vfs.FS) error {
+	switch e.Type {
+	case vfs.TypeDir:
+		p := at + "/" + e.Name
+		if e.Name == "" {
+			p = "/"
+		} else if err := f.Mkdir(p, e.Mode); err != nil {
+			return err
+		}
+		for _, c := range e.Children {
+			if err := entryToTree(c, strings.TrimSuffix(p, "/"), f); err != nil {
+				return err
+			}
+		}
+		return nil
+	case vfs.TypeRegular:
+		return f.WriteFile(at+"/"+e.Name, Placeholder(e.Fingerprint, e.Size), e.Mode)
+	case vfs.TypeSymlink:
+		return f.Symlink(e.Target, at+"/"+e.Name)
+	default:
+		return fmt.Errorf("%w: type %v at %s/%s", ErrCorrupt, e.Type, at, e.Name)
+	}
+}
+
+// FromTree parses a placeholder filesystem back into an Index tree.
+func FromTree(name, tag string, cfg imagefmt.Config, f *vfs.FS) (*Index, error) {
+	root, err := treeToEntry("", f.Root())
+	if err != nil {
+		return nil, fmt.Errorf("index: from tree %s:%s: %w", name, tag, err)
+	}
+	ix := &Index{Name: name, Tag: tag, Config: cfg, Root: root}
+	if err := ix.Validate(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+func treeToEntry(name string, n *vfs.Node) (*Entry, error) {
+	e := &Entry{Name: name, Type: n.Type(), Mode: n.Mode()}
+	switch n.Type() {
+	case vfs.TypeDir:
+		for _, childName := range n.ChildNames() {
+			c, err := treeToEntry(childName, n.Child(childName))
+			if err != nil {
+				return nil, err
+			}
+			e.Children = append(e.Children, c)
+		}
+	case vfs.TypeRegular:
+		fp, size, err := ParsePlaceholder(n.Content().Data())
+		if err != nil {
+			return nil, fmt.Errorf("at %q: %w", name, err)
+		}
+		e.Fingerprint = fp
+		e.Size = size
+	case vfs.TypeSymlink:
+		e.Target = n.Target()
+	default:
+		return nil, fmt.Errorf("%w: type %v at %q", ErrCorrupt, n.Type(), name)
+	}
+	return e, nil
+}
+
+// FileRef is one unique Gear file referenced by an index.
+type FileRef struct {
+	Fingerprint hashing.Fingerprint
+	Size        int64
+}
+
+// Files returns the unique Gear files the index references, sorted by
+// fingerprint — the download set for a full materialization.
+func (ix *Index) Files() []FileRef {
+	seen := make(map[hashing.Fingerprint]int64)
+	collectFiles(ix.Root, seen)
+	out := make([]FileRef, 0, len(seen))
+	for fp, size := range seen {
+		out = append(out, FileRef{Fingerprint: fp, Size: size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
+}
+
+func collectFiles(e *Entry, seen map[hashing.Fingerprint]int64) {
+	if e.Type == vfs.TypeRegular {
+		if len(e.Chunks) > 0 {
+			for _, c := range e.Chunks {
+				seen[c.Fingerprint] = c.Size
+			}
+		} else {
+			seen[e.Fingerprint] = e.Size
+		}
+		return
+	}
+	for _, c := range e.Children {
+		collectFiles(c, seen)
+	}
+}
+
+// ChunkMap returns, for every chunked file, its whole-file fingerprint
+// mapped to the chunk list. Drivers use it to resolve a placeholder that
+// names a chunked file into its fetchable pieces.
+func (ix *Index) ChunkMap() map[hashing.Fingerprint][]Chunk {
+	out := make(map[hashing.Fingerprint][]Chunk)
+	var walk func(e *Entry)
+	walk = func(e *Entry) {
+		if e.Type == vfs.TypeRegular && len(e.Chunks) > 0 {
+			out[e.Fingerprint] = e.Chunks
+		}
+		for _, c := range e.Children {
+			walk(c)
+		}
+	}
+	walk(ix.Root)
+	return out
+}
+
+// Lookup resolves a cleaned path to its entry, or nil.
+func (ix *Index) Lookup(p string) *Entry {
+	parts := vfs.Split(p)
+	cur := ix.Root
+	for _, part := range parts {
+		if cur.Type != vfs.TypeDir {
+			return nil
+		}
+		var next *Entry
+		for _, c := range cur.Children {
+			if c.Name == part {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Stats summarizes an index.
+type Stats struct {
+	Dirs        int   `json:"dirs"`
+	Files       int   `json:"files"` // regular-file entries (not unique)
+	UniqueFiles int   `json:"uniqueFiles"`
+	Symlinks    int   `json:"symlinks"`
+	DataBytes   int64 `json:"dataBytes"` // unique Gear file bytes
+	IndexBytes  int64 `json:"indexBytes"`
+}
+
+// Stats computes index statistics, including its own encoded size.
+func (ix *Index) Stats() (Stats, error) {
+	var s Stats
+	seen := make(map[hashing.Fingerprint]int64)
+	var walk func(e *Entry)
+	walk = func(e *Entry) {
+		switch e.Type {
+		case vfs.TypeDir:
+			s.Dirs++
+			for _, c := range e.Children {
+				walk(c)
+			}
+		case vfs.TypeRegular:
+			s.Files++
+			seen[e.Fingerprint] = e.Size
+		case vfs.TypeSymlink:
+			s.Symlinks++
+		}
+	}
+	walk(ix.Root)
+	s.Dirs-- // exclude root
+	s.UniqueFiles = len(seen)
+	for _, size := range seen {
+		s.DataBytes += size
+	}
+	enc, err := EncodeBinary(ix)
+	if err != nil {
+		return Stats{}, err
+	}
+	s.IndexBytes = int64(len(enc))
+	return s, nil
+}
+
+// ToImage packages the index as a single-layer Docker image so regular
+// Docker push/pull moves it (§III-C). The layer carries one file — the
+// serialized index at IndexFileName — from which the driver rebuilds the
+// placeholder tree on arrival (storing the tree itself in the layer
+// would duplicate every path and fingerprint on the wire). The image
+// keeps the original configuration and an IndexLabel marker.
+func (ix *Index) ToImage() (*imagefmt.Image, error) {
+	enc, err := EncodeBinary(ix)
+	if err != nil {
+		return nil, err
+	}
+	tree := vfs.New()
+	if err := tree.MkdirAll("/.gear", 0o755); err != nil {
+		return nil, fmt.Errorf("index: to image: %w", err)
+	}
+	if err := tree.WriteFile(IndexFileName, enc, 0o444); err != nil {
+		return nil, fmt.Errorf("index: to image: %w", err)
+	}
+	cfg := ix.Config
+	labels := make(map[string]string, len(cfg.Labels)+1)
+	for k, v := range cfg.Labels {
+		labels[k] = v
+	}
+	labels[IndexLabel] = "v1"
+	cfg.Labels = labels
+	return imagefmt.SingleLayerImage(ix.Name, ix.Tag, tree, cfg)
+}
+
+// FromImage extracts the Index from a single-layer Gear index image.
+func FromImage(img *imagefmt.Image) (*Index, error) {
+	if img.Manifest.Config.Labels[IndexLabel] == "" {
+		return nil, fmt.Errorf("index: image %s is not a gear index: %w",
+			img.Manifest.Reference(), ErrNotGearFile)
+	}
+	root, err := img.Flatten()
+	if err != nil {
+		return nil, fmt.Errorf("index: from image: %w", err)
+	}
+	enc, err := root.ReadFile(IndexFileName)
+	if err != nil {
+		return nil, fmt.Errorf("index: from image: %w: %w", ErrCorrupt, err)
+	}
+	return DecodeBinary(enc)
+}

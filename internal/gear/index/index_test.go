@@ -1,0 +1,557 @@
+package index
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/imagefmt"
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+func fixtureRoot(t *testing.T) *vfs.FS {
+	t.Helper()
+	f := vfs.New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(f.MkdirAll("/etc/nginx", 0o755))
+	must(f.MkdirAll("/usr/bin", 0o755))
+	must(f.WriteFile("/etc/nginx/nginx.conf", []byte("conf-data"), 0o644))
+	must(f.WriteFile("/usr/bin/nginx", bytes.Repeat([]byte{0xab}, 4096), 0o755))
+	// Duplicate content under a different path — must share a fingerprint.
+	must(f.WriteFile("/etc/nginx/nginx.conf.bak", []byte("conf-data"), 0o644))
+	must(f.Symlink("nginx", "/usr/bin/nginx-latest"))
+	return f
+}
+
+func buildFixture(t *testing.T) (*Index, map[hashing.Fingerprint][]byte) {
+	t.Helper()
+	cfg := imagefmt.Config{Env: []string{"PATH=/usr/bin"}, Entrypoint: []string{"/usr/bin/nginx"}}
+	ix, pool, err := Build("nginx", "1.17", cfg, fixtureRoot(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, pool
+}
+
+func TestBuildDeduplicatesPool(t *testing.T) {
+	ix, pool := buildFixture(t)
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 3 regular files but only 2 unique contents.
+	if len(pool) != 2 {
+		t.Errorf("pool size = %d, want 2", len(pool))
+	}
+	s, err := ix.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Files != 3 || s.UniqueFiles != 2 || s.Symlinks != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.DataBytes != int64(len("conf-data"))+4096 {
+		t.Errorf("data bytes = %d", s.DataBytes)
+	}
+	if s.IndexBytes <= 0 || s.IndexBytes > 4096 {
+		t.Errorf("index bytes = %d; the index must be tiny", s.IndexBytes)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ix, _ := buildFixture(t)
+	data, err := Encode(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reference() != "nginx:1.17" {
+		t.Errorf("reference = %q", got.Reference())
+	}
+	a, err := Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, data) {
+		t.Error("encode(decode(x)) != x")
+	}
+	if _, err := Decode([]byte("{broken")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("decode garbage err = %v", err)
+	}
+}
+
+func TestDecodeRejectsInvalidStructures(t *testing.T) {
+	tests := []struct {
+		name string
+		json string
+	}{
+		{"nil root", `{"name":"a","tag":"b"}`},
+		{"root not dir", `{"name":"a","tag":"b","root":{"name":"","type":1}}`},
+		{"bad fingerprint", `{"name":"a","tag":"b","root":{"name":"","type":2,"children":[
+			{"name":"f","type":1,"fingerprint":"xyz"}]}}`},
+		{"unsorted children", `{"name":"a","tag":"b","root":{"name":"","type":2,"children":[
+			{"name":"b","type":2},{"name":"a","type":2}]}}`},
+		{"dup children", `{"name":"a","tag":"b","root":{"name":"","type":2,"children":[
+			{"name":"a","type":2},{"name":"a","type":2}]}}`},
+		{"slash in name", `{"name":"a","tag":"b","root":{"name":"","type":2,"children":[
+			{"name":"a/b","type":2}]}}`},
+		{"file with children", `{"name":"a","tag":"b","root":{"name":"","type":2,"children":[
+			{"name":"f","type":1,"fingerprint":"d41d8cd98f00b204e9800998ecf8427e","children":[{"name":"x","type":2}]}]}}`},
+		{"negative size", `{"name":"a","tag":"b","root":{"name":"","type":2,"children":[
+			{"name":"f","type":1,"fingerprint":"d41d8cd98f00b204e9800998ecf8427e","size":-1}]}}`},
+		{"bad type", `{"name":"a","tag":"b","root":{"name":"","type":2,"children":[
+			{"name":"f","type":9}]}}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode([]byte(tt.json)); err == nil {
+				t.Error("invalid index accepted")
+			}
+		})
+	}
+}
+
+func TestPlaceholderRoundTrip(t *testing.T) {
+	fp := hashing.FingerprintBytes([]byte("data"))
+	rec := Placeholder(fp, 12345)
+	gotFP, gotSize, err := ParsePlaceholder(rec)
+	if err != nil || gotFP != fp || gotSize != 12345 {
+		t.Errorf("ParsePlaceholder = %s, %d, %v", gotFP, gotSize, err)
+	}
+	if !IsPlaceholder(rec) {
+		t.Error("IsPlaceholder(valid) = false")
+	}
+	bad := [][]byte{
+		[]byte("regular file content"),
+		[]byte("gearfp:short:1\n"),
+		[]byte("gearfp:" + string(fp) + "\n"),     // missing size
+		[]byte("gearfp:" + string(fp) + ":-5\n"),  // negative size
+		[]byte("gearfp:" + string(fp) + ":abc\n"), // junk size
+		{},
+	}
+	for _, b := range bad {
+		if IsPlaceholder(b) {
+			t.Errorf("IsPlaceholder(%q) = true", b)
+		}
+	}
+	if _, _, err := ParsePlaceholder([]byte("not a placeholder")); !errors.Is(err, ErrNotGearFile) {
+		t.Errorf("err = %v, want ErrNotGearFile", err)
+	}
+}
+
+func TestToTreeAndFromTree(t *testing.T) {
+	ix, _ := buildFixture(t)
+	tree, err := ix.ToTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Placeholders stand in for regular files.
+	data, err := tree.ReadFile("/etc/nginx/nginx.conf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, size, err := ParsePlaceholder(data)
+	if err != nil || size != int64(len("conf-data")) {
+		t.Errorf("placeholder = %s, %d, %v", fp, size, err)
+	}
+	if fp != hashing.FingerprintBytes([]byte("conf-data")) {
+		t.Error("placeholder fingerprint mismatch")
+	}
+	// Symlinks and dirs carry over.
+	n, err := tree.Stat("/usr/bin/nginx-latest")
+	if err != nil || n.Type() != vfs.TypeSymlink || n.Target() != "nginx" {
+		t.Errorf("symlink = %v, %v", n, err)
+	}
+	// Round trip back to an index.
+	got, err := FromTree("nginx", "1.17", ix.Config, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Encode(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("FromTree(ToTree(ix)) != ix")
+	}
+}
+
+func TestFromTreeRejectsNonPlaceholder(t *testing.T) {
+	f := vfs.New()
+	if err := f.WriteFile("/real-file", []byte("actual content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromTree("a", "b", imagefmt.Config{}, f); !errors.Is(err, ErrNotGearFile) {
+		t.Errorf("err = %v, want ErrNotGearFile", err)
+	}
+}
+
+func TestFiles(t *testing.T) {
+	ix, pool := buildFixture(t)
+	refs := ix.Files()
+	if len(refs) != 2 {
+		t.Fatalf("files = %d, want 2 unique", len(refs))
+	}
+	for i := 1; i < len(refs); i++ {
+		if refs[i-1].Fingerprint >= refs[i].Fingerprint {
+			t.Error("files not sorted")
+		}
+	}
+	for _, ref := range refs {
+		data, ok := pool[ref.Fingerprint]
+		if !ok {
+			t.Errorf("pool missing %s", ref.Fingerprint)
+			continue
+		}
+		if int64(len(data)) != ref.Size {
+			t.Errorf("size mismatch for %s: %d vs %d", ref.Fingerprint, len(data), ref.Size)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	ix, _ := buildFixture(t)
+	tests := []struct {
+		p    string
+		want vfs.FileType
+	}{
+		{"/", vfs.TypeDir},
+		{"/etc", vfs.TypeDir},
+		{"/etc/nginx/nginx.conf", vfs.TypeRegular},
+		{"/usr/bin/nginx-latest", vfs.TypeSymlink},
+	}
+	for _, tt := range tests {
+		e := ix.Lookup(tt.p)
+		if e == nil || e.Type != tt.want {
+			t.Errorf("Lookup(%s) = %+v, want type %v", tt.p, e, tt.want)
+		}
+	}
+	for _, p := range []string{"/missing", "/etc/nginx/nginx.conf/below", "/etc/ghost/x"} {
+		if e := ix.Lookup(p); e != nil {
+			t.Errorf("Lookup(%s) = %+v, want nil", p, e)
+		}
+	}
+}
+
+func TestToImageFromImage(t *testing.T) {
+	ix, _ := buildFixture(t)
+	img, err := ix.ToImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Layers) != 1 {
+		t.Fatalf("gear index image has %d layers, want 1", len(img.Layers))
+	}
+	if img.Manifest.Config.Labels[IndexLabel] == "" {
+		t.Error("index label missing")
+	}
+	// The config must carry over so applications execute properly (§III-C).
+	if len(img.Manifest.Config.Env) != 1 || img.Manifest.Config.Env[0] != "PATH=/usr/bin" {
+		t.Error("environment not copied into index image")
+	}
+	got, err := FromImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Encode(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("FromImage(ToImage(ix)) != ix")
+	}
+}
+
+func TestFromImageRejectsRegularImage(t *testing.T) {
+	f := vfs.New()
+	if err := f.WriteFile("/app", []byte("x"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	img, err := imagefmt.SingleLayerImage("plain", "v1", f, imagefmt.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromImage(img); !errors.Is(err, ErrNotGearFile) {
+		t.Errorf("err = %v, want ErrNotGearFile", err)
+	}
+}
+
+func TestIndexIsTinyRelativeToImage(t *testing.T) {
+	// The paper: indexes average ~0.53 MB, ~1.1% of image bytes. Build a
+	// tree with many moderately sized files and check the ratio is small.
+	f := vfs.New()
+	rng := rand.New(rand.NewSource(42))
+	if err := f.MkdirAll("/data", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := 0; i < 200; i++ {
+		data := make([]byte, 8192+rng.Intn(8192))
+		rng.Read(data)
+		total += int64(len(data))
+		if err := f.WriteFile(fmt.Sprintf("/data/f%03d", i), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, _, err := Build("big", "v1", imagefmt.Config{}, f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ix.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(s.IndexBytes) / float64(total)
+	if ratio > 0.05 {
+		t.Errorf("index is %.1f%% of data bytes; want < 5%%", ratio*100)
+	}
+}
+
+func TestCollisionSafety(t *testing.T) {
+	// Under a colliding hasher, two different contents must still resolve
+	// to different Gear files through the index (§III-B fallback).
+	reg := hashing.NewRegistry(collidingHasher{})
+	f := vfs.New()
+	if err := f.WriteFile("/a", []byte("content-A"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteFile("/b", []byte("content-B"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix, pool, err := Build("col", "v1", imagefmt.Config{}, f, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := ix.Lookup("/a"), ix.Lookup("/b")
+	if ea.Fingerprint == eb.Fingerprint {
+		t.Fatal("colliding contents share a fingerprint")
+	}
+	if string(pool[ea.Fingerprint]) != "content-A" || string(pool[eb.Fingerprint]) != "content-B" {
+		t.Error("pool contents scrambled by collision")
+	}
+	if reg.Collisions() != 1 {
+		t.Errorf("collisions = %d, want 1", reg.Collisions())
+	}
+}
+
+type collidingHasher struct{}
+
+func (collidingHasher) Fingerprint([]byte) hashing.Fingerprint {
+	return hashing.Fingerprint(strings.Repeat("f", 32))
+}
+
+// randomRoot builds a random image-like tree.
+func randomRoot(rng *rand.Rand, n int) *vfs.FS {
+	f := vfs.New()
+	dirs := []string{"/"}
+	for i := 0; i < n; i++ {
+		d := dirs[rng.Intn(len(dirs))]
+		name := fmt.Sprintf("n%02d", i)
+		p := path.Join(d, name)
+		switch rng.Intn(4) {
+		case 0:
+			if f.Mkdir(p, 0o755) == nil {
+				dirs = append(dirs, p)
+			}
+		case 1:
+			_ = f.Symlink("/bin/sh", p)
+		default:
+			data := make([]byte, rng.Intn(256))
+			rng.Read(data)
+			_ = f.WriteFile(p, data, 0o644)
+		}
+	}
+	return f
+}
+
+// Property: Build -> ToTree -> FromTree -> Encode is a fixed point, and
+// materializing every placeholder from the pool reconstructs the original
+// tree byte-for-byte.
+func TestBuildMaterializeProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root := randomRoot(rng, 50)
+		ix, pool, err := Build("p", "v", imagefmt.Config{}, root, nil)
+		if err != nil {
+			return false
+		}
+		if ix.Validate() != nil {
+			return false
+		}
+		tree, err := ix.ToTree()
+		if err != nil {
+			return false
+		}
+		// Materialize: replace placeholders with pool contents.
+		reconstructed := vfs.New()
+		err = tree.Walk(func(p string, n *vfs.Node) error {
+			switch n.Type() {
+			case vfs.TypeDir:
+				return reconstructed.MkdirAll(p, n.Mode())
+			case vfs.TypeSymlink:
+				return reconstructed.Symlink(n.Target(), p)
+			case vfs.TypeRegular:
+				fp, _, err := ParsePlaceholder(n.Content().Data())
+				if err != nil {
+					return err
+				}
+				data, ok := pool[fp]
+				if !ok {
+					return errors.New("pool miss")
+				}
+				return reconstructed.WriteFile(p, data, n.Mode())
+			}
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		return treeSnapshot(root) == treeSnapshot(reconstructed)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func treeSnapshot(f *vfs.FS) string {
+	var sb strings.Builder
+	_ = f.Walk(func(p string, n *vfs.Node) error {
+		var body string
+		if n.Type() == vfs.TypeRegular {
+			body = string(n.Content().Data())
+		}
+		fmt.Fprintf(&sb, "%s|%v|%o|%s|%q\n", p, n.Type(), n.Mode(), n.Target(), body)
+		return nil
+	})
+	return sb.String()
+}
+
+// Property: the set of fingerprints in Files() equals the pool keys.
+func TestFilesMatchesPoolProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root := randomRoot(rng, 40)
+		ix, pool, err := Build("p", "v", imagefmt.Config{}, root, nil)
+		if err != nil {
+			return false
+		}
+		refs := ix.Files()
+		if len(refs) != len(pool) {
+			return false
+		}
+		for _, ref := range refs {
+			data, ok := pool[ref.Fingerprint]
+			if !ok || int64(len(data)) != ref.Size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	ix, _ := buildFixture(t)
+	bin, err := EncodeBinary(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBinary(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Encode(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("binary round trip lost information")
+	}
+	// The binary form is substantially smaller than JSON.
+	if len(bin) >= len(a) {
+		t.Errorf("binary %d B not smaller than JSON %d B", len(bin), len(a))
+	}
+}
+
+func TestBinaryCodecChunksAndCollisionIDs(t *testing.T) {
+	big := make([]byte, 10000)
+	rand.New(rand.NewSource(4)).Read(big)
+	root := vfs.New()
+	if err := root.WriteFile("/model", big, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix, _, err := BuildChunked("ai", "v1", imagefmt.Config{Env: []string{"A=1"}}, root, nil, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a collision-fallback fingerprint into the tree.
+	ix.Root.Children[0].Fingerprint += "-c1"
+	bin, err := EncodeBinary(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBinary(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := got.Lookup("/model")
+	if e == nil || len(e.Chunks) != 3 || !strings.HasSuffix(string(e.Fingerprint), "-c1") {
+		t.Errorf("entry = %+v", e)
+	}
+	if len(got.Config.Env) != 1 {
+		t.Error("config lost")
+	}
+}
+
+func TestBinaryCodecRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("GIX"),
+		[]byte("JUNKJUNKJUNK"),
+		append([]byte("GIX1"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01),
+	}
+	for _, c := range cases {
+		if _, err := DecodeBinary(c); err == nil {
+			t.Errorf("garbage %q accepted", c)
+		}
+	}
+	// Trailing bytes rejected.
+	ix, _ := buildFixture(t)
+	bin, err := EncodeBinary(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBinary(append(bin, 0x00)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}

@@ -1,0 +1,494 @@
+// Package store implements Gear's client-side three-level storage
+// structure (§III-D1 of the paper) and the driver logic that deploys
+// Gear containers over it:
+//
+//	level 1 — a shared, content-addressed cache of Gear files,
+//	          deduplicated by fingerprint and shared by all images;
+//	level 2 — per-image "index" directories (placeholder trees) that
+//	          containers mount read-only;
+//	level 3 — per-container "diff" directories holding modifications.
+//
+// The three levels decouple lifecycles: removing a container deletes
+// only its diff; removing an image deletes only its index, leaving its
+// Gear files shared in the cache.
+//
+// The store is also the viewer's Resolver (the paper's user-mode
+// helper): a placeholder fault looks in the cache first, downloads from
+// the Gear Registry on a miss, stores the file at level 1, and hard
+// links it over the placeholder at level 2 so every later access — from
+// any container of that image — is local.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/gear-image/gear/internal/cache"
+	"github.com/gear-image/gear/internal/gear/index"
+	"github.com/gear-image/gear/internal/gear/viewer"
+	"github.com/gear-image/gear/internal/gearregistry"
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// Errors returned by store operations.
+var (
+	ErrNoIndex       = errors.New("image index not present")
+	ErrIndexExists   = errors.New("image index already present")
+	ErrNoContainer   = errors.New("container not found")
+	ErrContainerBusy = errors.New("container id already in use")
+)
+
+// Options configures a Store.
+type Options struct {
+	// CacheCapacity bounds the level-1 cache in bytes (0 = unlimited).
+	CacheCapacity int64
+	// CachePolicy selects the replacement algorithm (default LRU).
+	CachePolicy cache.Policy
+	// Remote is the Gear Registry files are fetched from on cache misses.
+	// A nil Remote makes misses fail, which models a disconnected client.
+	Remote gearregistry.Store
+	// OnRemoteFetch, if set, observes every remote fetch (object count
+	// and byte volume). The deployment simulator hooks netsim here.
+	OnRemoteFetch func(objects int, bytes int64)
+}
+
+// Store is a client's Gear storage. It is safe for concurrent use.
+type Store struct {
+	opts  Options
+	cache *cache.Cache
+
+	mu         sync.Mutex
+	indexes    map[string]*imageState
+	containers map[string]*containerState
+
+	remoteObjects int64
+	remoteBytes   int64
+}
+
+type imageState struct {
+	ix     *index.Index
+	tree   *vfs.FS // shared placeholder tree (level 2)
+	chunks map[hashing.Fingerprint][]index.Chunk
+}
+
+type containerState struct {
+	imageRef string
+	view     *viewer.Viewer
+}
+
+var _ viewer.Resolver = (*Store)(nil)
+
+// New returns an empty Store.
+func New(opts Options) (*Store, error) {
+	if opts.CachePolicy == 0 {
+		opts.CachePolicy = cache.LRU
+	}
+	c, err := cache.New(opts.CacheCapacity, opts.CachePolicy)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{
+		opts:       opts,
+		cache:      c,
+		indexes:    make(map[string]*imageState),
+		containers: make(map[string]*containerState),
+	}, nil
+}
+
+// AddIndex installs an image's Gear index at level 2. This is the only
+// prerequisite for launching containers of that image.
+func (s *Store) AddIndex(ix *index.Index) error {
+	if err := ix.Validate(); err != nil {
+		return fmt.Errorf("store: add index: %w", err)
+	}
+	tree, err := ix.ToTree()
+	if err != nil {
+		return fmt.Errorf("store: add index: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ref := ix.Reference()
+	if _, ok := s.indexes[ref]; ok {
+		return fmt.Errorf("store: %s: %w", ref, ErrIndexExists)
+	}
+	s.indexes[ref] = &imageState{ix: ix, tree: tree, chunks: ix.ChunkMap()}
+	return nil
+}
+
+// HasIndex reports whether the image's index is installed.
+func (s *Store) HasIndex(ref string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.indexes[ref]
+	return ok
+}
+
+// Index returns the installed index for ref.
+func (s *Store) Index(ref string) (*index.Index, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.indexes[ref]
+	if !ok {
+		return nil, fmt.Errorf("store: %s: %w", ref, ErrNoIndex)
+	}
+	return st.ix, nil
+}
+
+// RemoveIndex deletes an image's level-2 state. Its Gear files remain in
+// the level-1 cache and stay shareable by other images, but — per
+// §III-D1, "files that are not linked to Gear indexes are candidates for
+// replacement" — their hard links from this index are released, so the
+// cache may now evict them under pressure. If containers of the image
+// are still running, the release is deferred: the shared index tree is
+// their root filesystem, exactly as an unlinked-but-open file keeps
+// working.
+func (s *Store) RemoveIndex(ref string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.indexes[ref]
+	if !ok {
+		return fmt.Errorf("store: %s: %w", ref, ErrNoIndex)
+	}
+	delete(s.indexes, ref)
+	for _, c := range s.containers {
+		if c.imageRef == ref {
+			return nil // live containers keep the tree (and its pins)
+		}
+	}
+	return st.tree.RemoveAll("/")
+}
+
+// CreateContainer launches a container from an installed index and
+// returns its viewer. Only the tiny index must be local; file content
+// arrives on demand.
+func (s *Store) CreateContainer(id, imageRef string) (*viewer.Viewer, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.containers[id]; ok {
+		return nil, fmt.Errorf("store: %s: %w", id, ErrContainerBusy)
+	}
+	st, ok := s.indexes[imageRef]
+	if !ok {
+		return nil, fmt.Errorf("store: %s: %w", imageRef, ErrNoIndex)
+	}
+	v := viewer.New(imageRef, st.tree, s)
+	s.containers[id] = &containerState{imageRef: imageRef, view: v}
+	return v, nil
+}
+
+// Container returns a running container's viewer.
+func (s *Store) Container(id string) (*viewer.Viewer, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[id]
+	if !ok {
+		return nil, fmt.Errorf("store: %s: %w", id, ErrNoContainer)
+	}
+	return c.view, nil
+}
+
+// RemoveContainer destroys a container: only its level-3 diff goes away;
+// the image index and cached files survive.
+func (s *Store) RemoveContainer(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[id]
+	if !ok {
+		return fmt.Errorf("store: %s: %w", id, ErrNoContainer)
+	}
+	c.view.Close()
+	delete(s.containers, id)
+	return nil
+}
+
+// Resolve implements viewer.Resolver: cache lookup, then remote
+// download, then hard link over the placeholder in the image's shared
+// index tree.
+func (s *Store) Resolve(imageRef, path string, fp hashing.Fingerprint, size int64) (*vfs.Content, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	st := s.indexes[imageRef]
+	// The index may have been removed while containers still run; the
+	// fetch continues against the cache/registry without level-2 updates.
+
+	// A concurrent fault may have materialized the node already.
+	if st != nil {
+		if n, err := st.tree.Stat(path); err == nil && n.Type() == vfs.TypeRegular {
+			if !index.IsPlaceholder(n.Content().Data()) {
+				return n.Content(), nil
+			}
+		}
+	}
+
+	var chunks []index.Chunk
+	if st != nil {
+		chunks = st.chunks[fp]
+	}
+	content, err := s.fetchLocked(fp, size, chunks)
+	if err != nil {
+		return nil, err
+	}
+	if st != nil {
+		if n, statErr := st.tree.Stat(path); statErr == nil && n.Type() == vfs.TypeRegular {
+			if err := st.tree.PutContent(path, content, n.Mode()); err != nil {
+				return nil, fmt.Errorf("store: link %s into index: %w", path, err)
+			}
+		}
+	}
+	return content, nil
+}
+
+// fetchLocked obtains the Gear file for fp: level-1 cache first, then
+// the remote registry. Chunked files fetch missing chunks individually
+// and assemble. Caller holds s.mu.
+func (s *Store) fetchLocked(fp hashing.Fingerprint, size int64, chunks []index.Chunk) (*vfs.Content, error) {
+	if c, ok := s.cache.Get(fp); ok {
+		return c, nil
+	}
+	if len(chunks) > 0 {
+		assembled := make([]byte, 0, size)
+		var fetched int
+		var fetchedBytes int64
+		for _, ch := range chunks {
+			if c, ok := s.cache.Get(ch.Fingerprint); ok {
+				assembled = append(assembled, c.Data()...)
+				continue
+			}
+			data, wire, err := s.download(ch.Fingerprint)
+			if err != nil {
+				return nil, err
+			}
+			fetched++
+			fetchedBytes += wire
+			if _, err := s.cache.Put(ch.Fingerprint, data); err != nil {
+				return nil, fmt.Errorf("store: cache chunk %s: %w", ch.Fingerprint, err)
+			}
+			assembled = append(assembled, data...)
+		}
+		s.recordRemote(fetched, fetchedBytes)
+		content, err := s.cache.Put(fp, assembled)
+		if err != nil {
+			return nil, fmt.Errorf("store: cache %s: %w", fp, err)
+		}
+		return content, nil
+	}
+	data, wire, err := s.download(fp)
+	if err != nil {
+		return nil, err
+	}
+	s.recordRemote(1, wire)
+	content, err := s.cache.Put(fp, data)
+	if err != nil {
+		return nil, fmt.Errorf("store: cache %s: %w", fp, err)
+	}
+	return content, nil
+}
+
+// ErrCorruptDownload reports a fetched Gear file whose content does not
+// hash to its fingerprint — a corrupt or malicious registry response.
+var ErrCorruptDownload = errors.New("downloaded gear file fails fingerprint verification")
+
+func (s *Store) download(fp hashing.Fingerprint) ([]byte, int64, error) {
+	if s.opts.Remote == nil {
+		return nil, 0, fmt.Errorf("store: %s: no remote registry: %w", fp, gearregistry.ErrNotFound)
+	}
+	data, wire, err := s.opts.Remote.Download(fp)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: download: %w", err)
+	}
+	// Content addressing makes end-to-end integrity free: verify before
+	// anything enters the cache or an index tree. Collision-fallback IDs
+	// ("<fp>-cN") cannot be verified by hashing and are accepted as-is.
+	if len(fp) == 32 && hashing.FingerprintBytes(data) != fp {
+		return nil, 0, fmt.Errorf("store: download %s: %w", fp, ErrCorruptDownload)
+	}
+	return data, wire, nil
+}
+
+func (s *Store) recordRemote(objects int, bytes int64) {
+	if objects == 0 {
+		return
+	}
+	s.remoteObjects += int64(objects)
+	s.remoteBytes += bytes
+	if s.opts.OnRemoteFetch != nil {
+		s.opts.OnRemoteFetch(objects, bytes)
+	}
+}
+
+// ResolveRange implements viewer.RangeResolver: it serves [off, off+n)
+// of the file behind fp, fetching only the chunks that overlap the range
+// — the paper's future-work "read big files on demand in chunks" (§VII).
+// Non-chunked files fall back to full materialization. Partial reads do
+// not link anything into the index tree (the file is not complete), but
+// every fetched chunk lands in the level-1 cache for reuse.
+func (s *Store) ResolveRange(imageRef string, fp hashing.Fingerprint, off, n int64) ([]byte, error) {
+	if n <= 0 || off < 0 {
+		return nil, fmt.Errorf("store: range [%d,+%d): %w", off, n, ErrBadRange)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var chunks []index.Chunk
+	if st := s.indexes[imageRef]; st != nil {
+		chunks = st.chunks[fp]
+	}
+	if len(chunks) == 0 {
+		return nil, ErrNotChunked
+	}
+	// Whole file already assembled? Serve from cache.
+	if c, ok := s.cache.Get(fp); ok {
+		return sliceRange(c.Data(), off, n), nil
+	}
+	out := make([]byte, 0, n)
+	var pos int64
+	var fetched int
+	var fetchedBytes int64
+	for _, ch := range chunks {
+		chunkEnd := pos + ch.Size
+		if chunkEnd <= off {
+			pos = chunkEnd
+			continue
+		}
+		if pos >= off+n {
+			break
+		}
+		var data []byte
+		if c, ok := s.cache.Get(ch.Fingerprint); ok {
+			data = c.Data()
+		} else {
+			d, wire, err := s.download(ch.Fingerprint)
+			if err != nil {
+				return nil, err
+			}
+			fetched++
+			fetchedBytes += wire
+			if _, err := s.cache.Put(ch.Fingerprint, d); err != nil {
+				return nil, fmt.Errorf("store: cache chunk %s: %w", ch.Fingerprint, err)
+			}
+			data = d
+		}
+		lo := int64(0)
+		if off > pos {
+			lo = off - pos
+		}
+		hi := int64(len(data))
+		if off+n < chunkEnd {
+			hi = off + n - pos
+		}
+		out = append(out, data[lo:hi]...)
+		pos = chunkEnd
+	}
+	s.recordRemote(fetched, fetchedBytes)
+	return out, nil
+}
+
+// Errors for ranged reads.
+var (
+	ErrBadRange   = errors.New("invalid byte range")
+	ErrNotChunked = errors.New("file is not chunked; use a full read")
+)
+
+func sliceRange(data []byte, off, n int64) []byte {
+	if off >= int64(len(data)) {
+		return nil
+	}
+	end := off + n
+	if end > int64(len(data)) {
+		end = int64(len(data))
+	}
+	return data[off:end]
+}
+
+// Prefetch materializes every file of an installed image (a full
+// download, used to pre-warm caches or to compare against Docker's
+// eager pull).
+func (s *Store) Prefetch(ref string) error {
+	s.mu.Lock()
+	st, ok := s.indexes[ref]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("store: %s: %w", ref, ErrNoIndex)
+	}
+	var err error
+	walkEntries(st.ix.Root, "", func(p string, e *index.Entry) {
+		if err != nil || e.Type != vfs.TypeRegular {
+			return
+		}
+		if _, rerr := s.Resolve(ref, p, e.Fingerprint, e.Size); rerr != nil {
+			err = rerr
+		}
+	})
+	return err
+}
+
+func walkEntries(e *index.Entry, at string, fn func(p string, e *index.Entry)) {
+	p := at + "/" + e.Name
+	if e.Name == "" {
+		p = "/"
+	}
+	fn(p, e)
+	for _, c := range e.Children {
+		walkEntries(c, vfs.Clean(p), fn)
+	}
+}
+
+// Commit turns a container into a new Gear image (§III-D2): the diff's
+// regular files become new Gear files (added to the level-1 cache and
+// returned for upload), and the diff's metadata merges with the current
+// index into a new index under newName:newTag.
+func (s *Store) Commit(containerID, newName, newTag string) (*index.Index, map[hashing.Fingerprint][]byte, error) {
+	s.mu.Lock()
+	c, ok := s.containers[containerID]
+	if !ok {
+		s.mu.Unlock()
+		return nil, nil, fmt.Errorf("store: %s: %w", containerID, ErrNoContainer)
+	}
+	st, ok := s.indexes[c.imageRef]
+	if !ok {
+		s.mu.Unlock()
+		return nil, nil, fmt.Errorf("store: %s: %w", c.imageRef, ErrNoIndex)
+	}
+	s.mu.Unlock()
+
+	diff := c.view.DiffTree()
+	newIx, newFiles, err := index.ApplyDiff(st.ix, newName, newTag, diff, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: commit %s: %w", containerID, err)
+	}
+	for fp, data := range newFiles {
+		if _, err := s.cache.Put(fp, data); err != nil {
+			return nil, nil, fmt.Errorf("store: commit cache %s: %w", fp, err)
+		}
+	}
+	return newIx, newFiles, nil
+}
+
+// CacheStats exposes level-1 cache effectiveness.
+func (s *Store) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// ClearCache empties level 1 (the paper's cold-cache runs).
+func (s *Store) ClearCache() { s.cache.Clear() }
+
+// Stats summarizes remote traffic attributable to this store.
+type Stats struct {
+	RemoteObjects int64 `json:"remoteObjects"`
+	RemoteBytes   int64 `json:"remoteBytes"`
+	Indexes       int   `json:"indexes"`
+	Containers    int   `json:"containers"`
+}
+
+// Stats returns a snapshot.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		RemoteObjects: s.remoteObjects,
+		RemoteBytes:   s.remoteBytes,
+		Indexes:       len(s.indexes),
+		Containers:    len(s.containers),
+	}
+}

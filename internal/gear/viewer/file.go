@@ -1,0 +1,97 @@
+package viewer
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// File is a read-only handle on one container file, implementing
+// io.Reader, io.ReaderAt, and io.Seeker over the viewer's lazy fetch
+// path. Sequential consumers of chunked files pull chunks as the read
+// offset crosses them, never the whole file at once.
+type File struct {
+	v    *Viewer
+	path string
+	size int64
+	off  int64
+}
+
+var (
+	_ io.Reader   = (*File)(nil)
+	_ io.ReaderAt = (*File)(nil)
+	_ io.Seeker   = (*File)(nil)
+)
+
+// Open returns a handle on the regular file at p. The file's size comes
+// from the index, so opening triggers no fetch.
+func (v *Viewer) Open(p string) (*File, error) {
+	info, err := v.Stat(p)
+	if err != nil {
+		return nil, err
+	}
+	if info.Type != vfs.TypeRegular {
+		return nil, fmt.Errorf("viewer: open %s: %w", vfs.Clean(p), vfs.ErrInvalid)
+	}
+	return &File{v: v, path: vfs.Clean(p), size: info.Size}, nil
+}
+
+// Size returns the file's length in bytes.
+func (f *File) Size() int64 { return f.size }
+
+// Name returns the file's path.
+func (f *File) Name() string { return f.path }
+
+// Read implements io.Reader.
+func (f *File) Read(p []byte) (int, error) {
+	if f.off >= f.size {
+		return 0, io.EOF
+	}
+	n, err := f.ReadAt(p, f.off)
+	f.off += int64(n)
+	return n, err
+}
+
+// ReadAt implements io.ReaderAt.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("viewer: %s: negative offset: %w", f.path, vfs.ErrInvalid)
+	}
+	if off >= f.size {
+		return 0, io.EOF
+	}
+	want := int64(len(p))
+	if want == 0 {
+		return 0, nil
+	}
+	data, err := f.v.ReadAt(f.path, off, want)
+	if err != nil {
+		return 0, err
+	}
+	n := copy(p, data)
+	if int64(n) < want && off+int64(n) >= f.size {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Seek implements io.Seeker.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	var next int64
+	switch whence {
+	case io.SeekStart:
+		next = offset
+	case io.SeekCurrent:
+		next = f.off + offset
+	case io.SeekEnd:
+		next = f.size + offset
+	default:
+		return 0, fmt.Errorf("viewer: %s: bad whence %d: %w", f.path, whence, vfs.ErrInvalid)
+	}
+	if next < 0 {
+		return 0, fmt.Errorf("viewer: %s: seek before start: %w", f.path, vfs.ErrInvalid)
+	}
+	f.off = next
+	return next, nil
+}

@@ -1,0 +1,372 @@
+// Package viewer implements the Gear File Viewer (§III-D2, §IV of the
+// paper): the component that gives a Gear container its root filesystem
+// view. It union-mounts the image's read-only "index" directory (level 2
+// of the three-level storage structure) under a writable "diff"
+// directory (level 3), and redirects regular-file reads through
+// fingerprints.
+//
+// The paper implements the redirection by patching Overlay2's
+// ovl_lookup_single(): when the lookup hits a fingerprint file, the
+// kernel pauses and asks a user-mode helper to make the file readable
+// (hard-linking from the shared cache or downloading it), then resumes.
+// Here the same protocol appears as the Resolver interface: a read that
+// hits a placeholder pauses, calls Resolve, and continues against the
+// materialized content.
+package viewer
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+
+	"github.com/gear-image/gear/internal/gear/index"
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/overlay"
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// ErrStopped reports use of a viewer after Close.
+var ErrStopped = errors.New("viewer is closed")
+
+// Resolver is the user-mode helper of §IV: it makes the Gear file for a
+// fingerprint readable — from the shared local cache if present, else by
+// downloading it — and installs it over the placeholder at path in the
+// shared index tree. It returns the materialized content.
+type Resolver interface {
+	Resolve(imageRef, path string, fp hashing.Fingerprint, size int64) (*vfs.Content, error)
+}
+
+// Viewer is one container's filesystem view. Reads resolve lazily;
+// writes land in the diff layer. Viewer is safe for concurrent use.
+type Viewer struct {
+	imageRef string
+	resolver Resolver
+
+	mu     sync.Mutex
+	mount  *overlay.Mount
+	closed bool
+
+	// reads counts total regular-file reads; faults counts reads that
+	// had to pause on a placeholder (the lazy-fetch events of Fig 8/9).
+	reads  int64
+	faults int64
+}
+
+// New mounts a viewer over the shared index tree (level 2) with a fresh
+// diff layer. The index tree is attached without copying so placeholder
+// materializations are shared across viewers of the same image.
+func New(imageRef string, indexTree *vfs.FS, resolver Resolver) *Viewer {
+	return &Viewer{
+		imageRef: imageRef,
+		resolver: resolver,
+		mount:    overlay.AttachShared(indexTree),
+	}
+}
+
+// NewWithDiff remounts a stopped container: same index tree, existing
+// diff layer.
+func NewWithDiff(imageRef string, indexTree, diff *vfs.FS, resolver Resolver) *Viewer {
+	return &Viewer{
+		imageRef: imageRef,
+		resolver: resolver,
+		mount:    overlay.AttachSharedWithUpper(indexTree, diff),
+	}
+}
+
+// ImageRef returns the image reference this viewer serves.
+func (v *Viewer) ImageRef() string { return v.imageRef }
+
+func (v *Viewer) checkOpen() error {
+	if v.closed {
+		return fmt.Errorf("viewer %s: %w", v.imageRef, ErrStopped)
+	}
+	return nil
+}
+
+// ReadFile returns the content of the regular file at p, materializing a
+// fingerprint placeholder on first access ("downloaded on demand, stored
+// at the first level, and hard linked to the index", §III-D2).
+func (v *Viewer) ReadFile(p string) ([]byte, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.checkOpen(); err != nil {
+		return nil, err
+	}
+	v.reads++
+	data, err := v.mount.ReadFile(p)
+	if err != nil {
+		return nil, err
+	}
+	// Data written by the container itself is returned verbatim even if
+	// it happens to look like a placeholder: only lower-layer (index)
+	// entries are fingerprint files.
+	if v.mount.Upper().Exists(vfs.Clean(p)) {
+		return data, nil
+	}
+	fp, size, perr := index.ParsePlaceholder(data)
+	if perr != nil {
+		return data, nil // already materialized
+	}
+	// Pause: ask the helper to make the file readable, then resume.
+	v.faults++
+	content, err := v.resolver.Resolve(v.imageRef, vfs.Clean(p), fp, size)
+	if err != nil {
+		return nil, fmt.Errorf("viewer %s: fault %s: %w", v.imageRef, vfs.Clean(p), err)
+	}
+	return content.Data(), nil
+}
+
+// RangeResolver is the optional chunk-granular fetch interface (§VII's
+// future-work extension): serve [off, off+n) of the file behind fp
+// without materializing the whole file.
+type RangeResolver interface {
+	ResolveRange(imageRef string, fp hashing.Fingerprint, off, n int64) ([]byte, error)
+}
+
+// ReadAt returns up to n bytes of the regular file at p starting at off.
+// For a chunked, unmaterialized file served by a RangeResolver, only the
+// chunks overlapping the range are fetched — the mechanism the paper
+// proposes for AI containers with big models. Other files materialize
+// fully (like ReadFile) and slice.
+func (v *Viewer) ReadAt(p string, off, n int64) ([]byte, error) {
+	v.mu.Lock()
+	if err := v.checkOpen(); err != nil {
+		v.mu.Unlock()
+		return nil, err
+	}
+	v.reads++
+	data, err := v.mount.ReadFile(p)
+	if err != nil {
+		v.mu.Unlock()
+		return nil, err
+	}
+	if v.mount.Upper().Exists(vfs.Clean(p)) {
+		v.mu.Unlock()
+		return sliceRange(data, off, n), nil
+	}
+	fp, _, perr := index.ParsePlaceholder(data)
+	if perr != nil {
+		v.mu.Unlock()
+		return sliceRange(data, off, n), nil // already materialized
+	}
+	rr, ok := v.resolver.(RangeResolver)
+	if ok {
+		v.faults++
+		v.mu.Unlock()
+		out, err := rr.ResolveRange(v.imageRef, fp, off, n)
+		if err == nil {
+			return out, nil
+		}
+		// Not chunked (or range unsupported): fall through to a full
+		// read, whose own fault accounting takes over.
+		v.mu.Lock()
+		v.faults--
+	}
+	v.mu.Unlock()
+	full, err := v.ReadFile(p)
+	if err != nil {
+		return nil, err
+	}
+	return sliceRange(full, off, n), nil
+}
+
+func sliceRange(data []byte, off, n int64) []byte {
+	if off < 0 || off >= int64(len(data)) || n <= 0 {
+		return nil
+	}
+	end := off + n
+	if end > int64(len(data)) {
+		end = int64(len(data))
+	}
+	return data[off:end]
+}
+
+// Stat resolves p. For an unmaterialized placeholder it reports the real
+// file's size (recorded in the placeholder), not the placeholder's own
+// length, so stat-only workloads never trigger downloads.
+func (v *Viewer) Stat(p string) (Info, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.checkOpen(); err != nil {
+		return Info{}, err
+	}
+	n, err := v.mount.Stat(p)
+	if err != nil {
+		return Info{}, err
+	}
+	info := Info{Type: n.Type(), Mode: n.Mode(), Size: n.Size(), Target: n.Target()}
+	if n.Type() == vfs.TypeRegular && !v.mount.Upper().Exists(vfs.Clean(p)) {
+		if _, size, err := index.ParsePlaceholder(n.Content().Data()); err == nil {
+			info.Size = size
+			info.Lazy = true
+		}
+	}
+	return info, nil
+}
+
+// Info describes a file in the container's view.
+type Info struct {
+	Type   vfs.FileType
+	Mode   fs.FileMode
+	Size   int64
+	Target string
+	// Lazy reports that the file has not been materialized yet.
+	Lazy bool
+}
+
+// Exists reports whether p resolves in the view.
+func (v *Viewer) Exists(p string) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return false
+	}
+	return v.mount.Exists(p)
+}
+
+// Readlink returns the symlink target at p. Irregular files are answered
+// directly from the index without touching Gear files (§III-D2).
+func (v *Viewer) Readlink(p string) (string, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.checkOpen(); err != nil {
+		return "", err
+	}
+	return v.mount.Readlink(p)
+}
+
+// ReadDir lists the directory at p from the union view.
+func (v *Viewer) ReadDir(p string) ([]string, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.checkOpen(); err != nil {
+		return nil, err
+	}
+	return v.mount.ReadDir(p)
+}
+
+// WriteFile writes a file into the diff layer.
+func (v *Viewer) WriteFile(p string, data []byte, mode fs.FileMode) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.checkOpen(); err != nil {
+		return err
+	}
+	return v.mount.WriteFile(p, data, mode)
+}
+
+// Mkdir creates a directory in the diff layer.
+func (v *Viewer) Mkdir(p string, mode fs.FileMode) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.checkOpen(); err != nil {
+		return err
+	}
+	return v.mount.Mkdir(p, mode)
+}
+
+// Symlink creates a symlink in the diff layer.
+func (v *Viewer) Symlink(target, p string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.checkOpen(); err != nil {
+		return err
+	}
+	return v.mount.Symlink(target, p)
+}
+
+// Rename moves a regular file or symlink from oldp to newp, the way
+// Overlay2 without redirect_dir does it: copy-up into the diff layer at
+// the new name, whiteout the old. Renaming a regular index file
+// materializes it first (the content must move into the writable layer).
+func (v *Viewer) Rename(oldp, newp string) error {
+	// Materializing may need the resolver, so take the lock per step.
+	info, err := v.Stat(oldp)
+	if err != nil {
+		return err
+	}
+	switch info.Type {
+	case vfs.TypeSymlink:
+		target, err := v.Readlink(oldp)
+		if err != nil {
+			return err
+		}
+		if err := v.Symlink(target, newp); err != nil {
+			return err
+		}
+	case vfs.TypeRegular:
+		data, err := v.ReadFile(oldp)
+		if err != nil {
+			return err
+		}
+		if err := v.WriteFile(newp, data, info.Mode); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("viewer %s: rename %s: directories cannot be renamed without redirect_dir: %w",
+			v.imageRef, vfs.Clean(oldp), vfs.ErrInvalid)
+	}
+	return v.Remove(oldp)
+}
+
+// Remove deletes p from the view (whiteout in the diff layer for index
+// entries).
+func (v *Viewer) Remove(p string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.checkOpen(); err != nil {
+		return err
+	}
+	return v.mount.Remove(p)
+}
+
+// RemoveAll deletes the subtree at p from the view.
+func (v *Viewer) RemoveAll(p string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.checkOpen(); err != nil {
+		return err
+	}
+	return v.mount.RemoveAll(p)
+}
+
+// Walk visits the union view; placeholders are NOT materialized (a walk
+// is metadata-only, like ls -R).
+func (v *Viewer) Walk(fn vfs.WalkFunc) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.checkOpen(); err != nil {
+		return err
+	}
+	return v.mount.Walk(fn)
+}
+
+// DiffTree returns a copy of the diff layer — the input to commit.
+func (v *Viewer) DiffTree() *vfs.FS {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.mount.DiffTree()
+}
+
+// Close stops the viewer. The paper notes Gear containers tear down
+// faster than Docker because only the required files' inode caches need
+// destroying; Stats().Faults is exactly that count.
+func (v *Viewer) Close() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.closed = true
+}
+
+// Stats reports read/fault counters.
+type Stats struct {
+	Reads  int64 `json:"reads"`
+	Faults int64 `json:"faults"`
+}
+
+// Stats returns a snapshot of the viewer's counters.
+func (v *Viewer) Stats() Stats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return Stats{Reads: v.reads, Faults: v.faults}
+}

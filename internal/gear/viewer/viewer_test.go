@@ -1,0 +1,375 @@
+package viewer
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/gear-image/gear/internal/gear/index"
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/imagefmt"
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// fakeResolver serves from an in-memory pool and mimics the store's
+// link-into-index behavior.
+type fakeResolver struct {
+	pool  map[hashing.Fingerprint][]byte
+	tree  *vfs.FS
+	calls int
+	fail  bool
+}
+
+func (r *fakeResolver) Resolve(_, p string, fp hashing.Fingerprint, _ int64) (*vfs.Content, error) {
+	r.calls++
+	if r.fail {
+		return nil, errors.New("registry unreachable")
+	}
+	data, ok := r.pool[fp]
+	if !ok {
+		return nil, errors.New("pool miss")
+	}
+	content := vfs.NewContent(data)
+	if n, err := r.tree.Stat(p); err == nil {
+		if err := r.tree.PutContent(p, content, n.Mode()); err != nil {
+			return nil, err
+		}
+	}
+	return content, nil
+}
+
+func setup(t *testing.T) (*Viewer, *fakeResolver) {
+	t.Helper()
+	root := vfs.New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(root.MkdirAll("/app", 0o755))
+	must(root.WriteFile("/app/bin", []byte("binary-bytes"), 0o755))
+	must(root.WriteFile("/app/conf", []byte("k=v"), 0o600))
+	must(root.Symlink("bin", "/app/bin-link"))
+
+	ix, pool, err := index.Build("img", "v1", imagefmt.Config{}, root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := ix.ToTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &fakeResolver{pool: pool, tree: tree}
+	return New("img:v1", tree, r), r
+}
+
+func TestLazyReadPausesOnce(t *testing.T) {
+	v, r := setup(t)
+	got, err := v.ReadFile("/app/bin")
+	if err != nil || string(got) != "binary-bytes" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if r.calls != 1 {
+		t.Errorf("resolver calls = %d, want 1", r.calls)
+	}
+	// Materialized: no second pause.
+	if _, err := v.ReadFile("/app/bin"); err != nil {
+		t.Fatal(err)
+	}
+	if r.calls != 1 {
+		t.Errorf("resolver calls after re-read = %d, want 1", r.calls)
+	}
+	if s := v.Stats(); s.Reads != 2 || s.Faults != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestResolverFailurePropagates(t *testing.T) {
+	v, r := setup(t)
+	r.fail = true
+	if _, err := v.ReadFile("/app/bin"); err == nil {
+		t.Error("resolver failure swallowed")
+	}
+}
+
+func TestModeAndModePreservedOnMaterialize(t *testing.T) {
+	v, _ := setup(t)
+	if _, err := v.ReadFile("/app/conf"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := v.Stat("/app/conf")
+	if err != nil || info.Mode != 0o600 {
+		t.Errorf("mode after materialize = %o, %v", info.Mode, err)
+	}
+}
+
+func TestReadDirAndWalkSkipNothing(t *testing.T) {
+	v, r := setup(t)
+	names, err := v.ReadDir("/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(names, ",") != "bin,bin-link,conf" {
+		t.Errorf("ReadDir = %v", names)
+	}
+	var visited []string
+	if err := v.Walk(func(p string, _ *vfs.Node) error {
+		visited = append(visited, p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) != 4 {
+		t.Errorf("walk visited %v", visited)
+	}
+	if r.calls != 0 {
+		t.Error("metadata operations triggered fetches")
+	}
+}
+
+func TestWriteAndCommitCycle(t *testing.T) {
+	v, _ := setup(t)
+	if err := v.Mkdir("/data", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WriteFile("/data/out", []byte("result"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Symlink("/data/out", "/data/latest"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Remove("/app/conf"); err != nil {
+		t.Fatal(err)
+	}
+	diff := v.DiffTree()
+	st := diff.Stats()
+	// out + whiteout = 2 files, /data dir, symlink.
+	if st.Files != 2 || st.Dirs != 2 || st.Symlinks != 1 {
+		t.Errorf("diff stats = %+v", st)
+	}
+}
+
+func TestRemoveAllSubtree(t *testing.T) {
+	v, _ := setup(t)
+	if err := v.RemoveAll("/app"); err != nil {
+		t.Fatal(err)
+	}
+	if v.Exists("/app/bin") || v.Exists("/app") {
+		t.Error("subtree visible after RemoveAll")
+	}
+}
+
+func TestNewWithDiffRestoresState(t *testing.T) {
+	v, r := setup(t)
+	if err := v.WriteFile("/app/conf", []byte("modified"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diff := v.DiffTree()
+	v.Close()
+
+	v2 := NewWithDiff("img:v1", r.tree, diff, r)
+	got, err := v2.ReadFile("/app/conf")
+	if err != nil || string(got) != "modified" {
+		t.Errorf("restored view = %q, %v", got, err)
+	}
+}
+
+func TestClosedViewerRejectsEverything(t *testing.T) {
+	v, _ := setup(t)
+	v.Close()
+	if _, err := v.ReadFile("/app/bin"); !errors.Is(err, ErrStopped) {
+		t.Errorf("read err = %v", err)
+	}
+	if err := v.WriteFile("/x", nil, 0o644); !errors.Is(err, ErrStopped) {
+		t.Errorf("write err = %v", err)
+	}
+	if err := v.Mkdir("/d", 0o755); !errors.Is(err, ErrStopped) {
+		t.Errorf("mkdir err = %v", err)
+	}
+	if err := v.Symlink("a", "/l"); !errors.Is(err, ErrStopped) {
+		t.Errorf("symlink err = %v", err)
+	}
+	if err := v.Remove("/app/bin"); !errors.Is(err, ErrStopped) {
+		t.Errorf("remove err = %v", err)
+	}
+	if err := v.RemoveAll("/app"); !errors.Is(err, ErrStopped) {
+		t.Errorf("removeall err = %v", err)
+	}
+	if _, err := v.Stat("/app/bin"); !errors.Is(err, ErrStopped) {
+		t.Errorf("stat err = %v", err)
+	}
+	if _, err := v.ReadDir("/app"); !errors.Is(err, ErrStopped) {
+		t.Errorf("readdir err = %v", err)
+	}
+	if _, err := v.Readlink("/app/bin-link"); !errors.Is(err, ErrStopped) {
+		t.Errorf("readlink err = %v", err)
+	}
+	if err := v.Walk(func(string, *vfs.Node) error { return nil }); !errors.Is(err, ErrStopped) {
+		t.Errorf("walk err = %v", err)
+	}
+	if v.Exists("/app/bin") {
+		t.Error("closed viewer reports existence")
+	}
+	if v.ImageRef() != "img:v1" {
+		t.Error("ImageRef lost")
+	}
+}
+
+func TestRename(t *testing.T) {
+	v, r := setup(t)
+	if err := v.Rename("/app/bin", "/app/bin-renamed"); err != nil {
+		t.Fatal(err)
+	}
+	if v.Exists("/app/bin") {
+		t.Error("old name still visible")
+	}
+	got, err := v.ReadFile("/app/bin-renamed")
+	if err != nil || string(got) != "binary-bytes" {
+		t.Errorf("renamed content = %q, %v", got, err)
+	}
+	// Renaming materialized the file once.
+	if r.calls != 1 {
+		t.Errorf("resolver calls = %d, want 1", r.calls)
+	}
+	// Renaming a symlink preserves its target.
+	if err := v.Rename("/app/bin-link", "/app/latest"); err != nil {
+		t.Fatal(err)
+	}
+	target, err := v.Readlink("/app/latest")
+	if err != nil || target != "bin" {
+		t.Errorf("renamed symlink = %q, %v", target, err)
+	}
+	// Directories cannot be renamed.
+	if err := v.Rename("/app", "/app2"); !errors.Is(err, vfs.ErrInvalid) {
+		t.Errorf("dir rename err = %v", err)
+	}
+	// Missing source.
+	if err := v.Rename("/ghost", "/x"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("missing source err = %v", err)
+	}
+}
+
+func TestReadAtWithoutRangeResolver(t *testing.T) {
+	// The fake resolver implements only Resolve, so ReadAt must fall back
+	// to full materialization and slice.
+	v, r := setup(t)
+	got, err := v.ReadAt("/app/bin", 7, 5)
+	if err != nil || string(got) != "bytes" {
+		t.Errorf("ReadAt = %q, %v", got, err)
+	}
+	if r.calls != 1 {
+		t.Errorf("resolver calls = %d, want 1", r.calls)
+	}
+	if s := v.Stats(); s.Faults != 1 {
+		t.Errorf("faults = %d, want 1 (no double count)", s.Faults)
+	}
+	// Materialized path: ReadAt slices locally.
+	got, err = v.ReadAt("/app/bin", 0, 6)
+	if err != nil || string(got) != "binary" {
+		t.Errorf("second ReadAt = %q, %v", got, err)
+	}
+	if r.calls != 1 {
+		t.Error("second ReadAt refetched")
+	}
+	// Out-of-range and upper-layer reads.
+	if got, err := v.ReadAt("/app/bin", 9999, 5); err != nil || len(got) != 0 {
+		t.Errorf("past-EOF = %q, %v", got, err)
+	}
+	if err := v.WriteFile("/own", []byte("container data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = v.ReadAt("/own", 10, 4)
+	if err != nil || string(got) != "data" {
+		t.Errorf("upper ReadAt = %q, %v", got, err)
+	}
+	// Closed viewer.
+	v.Close()
+	if _, err := v.ReadAt("/app/bin", 0, 1); !errors.Is(err, ErrStopped) {
+		t.Errorf("closed ReadAt err = %v", err)
+	}
+}
+
+func TestFileHandleWithPlainResolver(t *testing.T) {
+	v, _ := setup(t)
+	f, err := v.Open("/app/bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != int64(len("binary-bytes")) || f.Name() != "/app/bin" {
+		t.Errorf("handle = %s/%d", f.Name(), f.Size())
+	}
+	var out bytes.Buffer
+	if _, err := io.Copy(&out, f); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "binary-bytes" {
+		t.Errorf("copied %q", out.String())
+	}
+	// Seek current and end.
+	if pos, err := f.Seek(-5, io.SeekEnd); err != nil || pos != int64(len("binary-bytes")-5) {
+		t.Errorf("SeekEnd = %d, %v", pos, err)
+	}
+	if pos, err := f.Seek(1, io.SeekCurrent); err != nil || pos != int64(len("binary-bytes")-4) {
+		t.Errorf("SeekCurrent = %d, %v", pos, err)
+	}
+	buf := make([]byte, 10)
+	n, err := f.Read(buf)
+	if n != 4 || (err != nil && err != io.EOF) {
+		t.Errorf("tail read = %d, %v", n, err)
+	}
+	// ReadAt edge cases.
+	if _, err := f.ReadAt(buf, -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := f.ReadAt(buf, f.Size()); err != io.EOF {
+		t.Errorf("at-EOF err = %v", err)
+	}
+	if n, err := f.ReadAt(nil, 0); n != 0 || err != nil {
+		t.Errorf("empty read = %d, %v", n, err)
+	}
+	// Open errors.
+	if _, err := v.Open("/app"); err == nil {
+		t.Error("opened directory")
+	}
+	if _, err := v.Open("/app/bin-link"); err == nil {
+		t.Error("opened symlink")
+	}
+	if _, err := v.Open("/ghost"); err == nil {
+		t.Error("opened missing file")
+	}
+}
+
+func TestSliceRange(t *testing.T) {
+	data := []byte("0123456789")
+	tests := []struct {
+		off, n int64
+		want   string
+	}{
+		{0, 4, "0123"},
+		{5, 100, "56789"},
+		{9, 1, "9"},
+		{10, 1, ""},
+		{-1, 5, ""},
+		{0, 0, ""},
+		{0, -3, ""},
+	}
+	for _, tt := range tests {
+		if got := string(sliceRange(data, tt.off, tt.n)); got != tt.want {
+			t.Errorf("sliceRange(%d,%d) = %q, want %q", tt.off, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestRenameMissingDestParent(t *testing.T) {
+	v, _ := setup(t)
+	if err := v.Rename("/app/conf", "/no/such/dir/conf"); err == nil {
+		t.Error("rename into missing dir accepted")
+	}
+	// Source must still exist after the failed rename.
+	if !v.Exists("/app/conf") {
+		t.Error("failed rename destroyed the source")
+	}
+}

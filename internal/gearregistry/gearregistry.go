@@ -1,0 +1,209 @@
+// Package gearregistry implements the Gear Registry of the paper (§III-C,
+// §IV): a content-addressed file server holding Gear files — regular file
+// contents named by the MD5 fingerprint of their bytes. The paper backs
+// this with MinIO and exposes three HTTP interfaces (query, upload,
+// download); this package provides the same three verbs both in-process
+// and over HTTP.
+//
+// Because objects are keyed by fingerprint, identical files from any
+// image dedup to one stored copy, which is the mechanism behind the
+// paper's 54% registry storage saving (Fig 7).
+package gearregistry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/tarstream"
+)
+
+// Errors returned by Gear Registry operations.
+var (
+	ErrNotFound            = errors.New("gear file not found")
+	ErrFingerprintMismatch = errors.New("content does not match fingerprint")
+)
+
+// Store is the three-verb Gear file protocol from §IV of the paper.
+type Store interface {
+	// Query reports whether the Gear file is already stored; clients call
+	// it before uploading so only absent files cross the wire.
+	Query(fp hashing.Fingerprint) (bool, error)
+	// Upload stores a Gear file under its fingerprint.
+	Upload(fp hashing.Fingerprint, data []byte) error
+	// Download fetches a Gear file by fingerprint. It returns the
+	// uncompressed payload plus the number of bytes that crossed the
+	// wire (smaller than the payload when the registry compresses
+	// objects) — the quantity Fig 8's bandwidth study counts.
+	Download(fp hashing.Fingerprint) (payload []byte, wireBytes int64, err error)
+}
+
+// Options configures a Registry.
+type Options struct {
+	// Compress stores objects gzip-compressed ("Gear files can be further
+	// compressed for higher space efficiency", §III-C).
+	Compress bool
+	// SkipVerify disables fingerprint verification on upload. Collision
+	// fallback IDs ("<fp>-cN") are never verifiable by hashing and are
+	// always accepted.
+	SkipVerify bool
+}
+
+// Registry is the in-process Gear file store. It is safe for concurrent
+// use.
+type Registry struct {
+	opts Options
+
+	mu      sync.RWMutex
+	objects map[hashing.Fingerprint][]byte // stored (possibly compressed)
+	logical map[hashing.Fingerprint]int64  // uncompressed sizes
+	// dedupHits counts uploads that found the object already present.
+	dedupHits int64
+}
+
+var _ Store = (*Registry)(nil)
+
+// New returns an empty Gear Registry.
+func New(opts Options) *Registry {
+	return &Registry{
+		opts:    opts,
+		objects: make(map[hashing.Fingerprint][]byte),
+		logical: make(map[hashing.Fingerprint]int64),
+	}
+}
+
+// Query implements Store.
+func (r *Registry) Query(fp hashing.Fingerprint) (bool, error) {
+	if err := fp.Validate(); err != nil {
+		return false, fmt.Errorf("gearregistry: query: %w", err)
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.objects[fp]
+	return ok, nil
+}
+
+// Upload implements Store. Identical re-uploads are dropped and counted
+// as dedup hits.
+func (r *Registry) Upload(fp hashing.Fingerprint, data []byte) error {
+	if err := fp.Validate(); err != nil {
+		return fmt.Errorf("gearregistry: upload: %w", err)
+	}
+	if !r.opts.SkipVerify && len(fp) == 32 {
+		if got := hashing.FingerprintBytes(data); got != fp {
+			return fmt.Errorf("gearregistry: upload %s: %w", fp, ErrFingerprintMismatch)
+		}
+	}
+	stored := data
+	if r.opts.Compress {
+		z, err := tarstream.Gzip(data)
+		if err != nil {
+			return fmt.Errorf("gearregistry: upload %s: %w", fp, err)
+		}
+		stored = z
+	} else {
+		stored = make([]byte, len(data))
+		copy(stored, data)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.objects[fp]; ok {
+		r.dedupHits++
+		return nil
+	}
+	r.objects[fp] = stored
+	r.logical[fp] = int64(len(data))
+	return nil
+}
+
+// Download implements Store.
+func (r *Registry) Download(fp hashing.Fingerprint) ([]byte, int64, error) {
+	if err := fp.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("gearregistry: download: %w", err)
+	}
+	r.mu.RLock()
+	stored, ok := r.objects[fp]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("gearregistry: %s: %w", fp, ErrNotFound)
+	}
+	wire := int64(len(stored))
+	if r.opts.Compress {
+		data, err := tarstream.Gunzip(stored)
+		if err != nil {
+			return nil, 0, fmt.Errorf("gearregistry: download %s: %w", fp, err)
+		}
+		return data, wire, nil
+	}
+	return stored, wire, nil
+}
+
+// downloadWire returns the stored bytes exactly as they would cross the
+// wire, plus whether they are gzip-framed. The HTTP handler serves this
+// so compression survives transport.
+func (r *Registry) downloadWire(fp hashing.Fingerprint) ([]byte, bool, error) {
+	if err := fp.Validate(); err != nil {
+		return nil, false, fmt.Errorf("gearregistry: download: %w", err)
+	}
+	r.mu.RLock()
+	stored, ok := r.objects[fp]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, false, fmt.Errorf("gearregistry: %s: %w", fp, ErrNotFound)
+	}
+	return stored, r.opts.Compress, nil
+}
+
+// Size returns the uncompressed size of a stored Gear file without
+// fetching it — used by deploy-time planners.
+func (r *Registry) Size(fp hashing.Fingerprint) (int64, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n, ok := r.logical[fp]
+	if !ok {
+		return 0, fmt.Errorf("gearregistry: %s: %w", fp, ErrNotFound)
+	}
+	return n, nil
+}
+
+// Retain garbage-collects the pool: every object whose fingerprint is
+// not in keep is removed. Registry operators run this after deleting
+// index images (the paper's lifecycle decoupling means file deletion is
+// a separate, reference-driven step). It returns the number of objects
+// removed and the stored bytes freed.
+func (r *Registry) Retain(keep map[hashing.Fingerprint]bool) (removed int, freed int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for fp, stored := range r.objects {
+		if keep[fp] {
+			continue
+		}
+		removed++
+		freed += int64(len(stored))
+		delete(r.objects, fp)
+		delete(r.logical, fp)
+	}
+	return removed, freed
+}
+
+// Stats summarizes the Gear file pool.
+type Stats struct {
+	Objects      int   `json:"objects"`
+	StoredBytes  int64 `json:"storedBytes"`  // on-disk (compressed if enabled)
+	LogicalBytes int64 `json:"logicalBytes"` // sum of uncompressed sizes
+	DedupHits    int64 `json:"dedupHits"`
+}
+
+// Stats returns a snapshot of pool usage.
+func (r *Registry) Stats() Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Stats{Objects: len(r.objects), DedupHits: r.dedupHits}
+	for fp, b := range r.objects {
+		s.StoredBytes += int64(len(b))
+		s.LogicalBytes += r.logical[fp]
+	}
+	return s
+}

@@ -1,0 +1,258 @@
+package gearregistry
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/tarstream"
+)
+
+// HTTP wire protocol — the three interfaces named in §IV of the paper,
+// plus a garbage-collection verb for registry operators:
+//
+//	GET  /gear/query/{fingerprint}    -> 200 if present, 404 otherwise
+//	PUT  /gear/upload/{fingerprint}   <- file bytes
+//	GET  /gear/download/{fingerprint} -> file bytes
+//	POST /gear/gc                     <- newline-separated fingerprints to KEEP
+//	                                  -> "removed=N freed=M"
+
+// Handler adapts a Registry to HTTP.
+type Handler struct {
+	reg *Registry
+}
+
+var _ http.Handler = (*Handler)(nil)
+
+// NewHandler wraps reg.
+func NewHandler(reg *Registry) *Handler { return &Handler{reg: reg} }
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/gear/gc" {
+		h.serveGC(w, r)
+		return
+	}
+	verb, fp, ok := splitPath(r.URL.Path)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	switch verb {
+	case "query":
+		if r.Method != http.MethodGet {
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			return
+		}
+		present, err := h.reg.Query(fp)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if !present {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	case "upload":
+		if r.Method != http.MethodPut {
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := h.reg.Upload(fp, body); err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrFingerprintMismatch) || errors.Is(err, hashing.ErrMalformed) {
+				status = http.StatusBadRequest
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	case "download":
+		if r.Method != http.MethodGet {
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			return
+		}
+		data, compressed, err := h.reg.downloadWire(fp)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrNotFound) {
+				status = http.StatusNotFound
+			} else if errors.Is(err, hashing.ErrMalformed) {
+				status = http.StatusBadRequest
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if compressed {
+			w.Header().Set("X-Gear-Encoding", "gzip")
+		}
+		_, _ = w.Write(data)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// serveGC implements the keep-set garbage collection verb.
+func (h *Handler) serveGC(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	keep := make(map[hashing.Fingerprint]bool)
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fp := hashing.Fingerprint(line)
+		if err := fp.Validate(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		keep[fp] = true
+	}
+	removed, freed := h.reg.Retain(keep)
+	fmt.Fprintf(w, "removed=%d freed=%d\n", removed, freed)
+}
+
+func splitPath(p string) (verb string, fp hashing.Fingerprint, ok bool) {
+	rest, found := strings.CutPrefix(p, "/gear/")
+	if !found {
+		return "", "", false
+	}
+	verb, raw, found := strings.Cut(rest, "/")
+	if !found || raw == "" {
+		return "", "", false
+	}
+	return verb, hashing.Fingerprint(raw), true
+}
+
+// Client is an HTTP Store implementation used by Gear drivers fetching
+// files from a remote Gear Registry.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+var _ Store = (*Client)(nil)
+
+// NewClient returns a client for the Gear Registry at baseURL. If hc is
+// nil, http.DefaultClient is used.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimSuffix(baseURL, "/"), http: hc}
+}
+
+// Query implements Store.
+func (c *Client) Query(fp hashing.Fingerprint) (bool, error) {
+	resp, err := c.http.Get(fmt.Sprintf("%s/gear/query/%s", c.base, fp))
+	if err != nil {
+		return false, fmt.Errorf("gearregistry client: query %s: %w", fp, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("gearregistry client: query %s: %s", fp, resp.Status)
+	}
+}
+
+// Upload implements Store.
+func (c *Client) Upload(fp hashing.Fingerprint, data []byte) error {
+	url := fmt.Sprintf("%s/gear/upload/%s", c.base, fp)
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("gearregistry client: upload %s: %w", fp, err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("gearregistry client: upload %s: %w", fp, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("gearregistry client: upload %s: %s: %s",
+			fp, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// GC asks the remote registry to retain only the given fingerprints,
+// returning how many objects it removed and the stored bytes freed.
+func (c *Client) GC(keep []hashing.Fingerprint) (removed int, freed int64, err error) {
+	var body strings.Builder
+	for _, fp := range keep {
+		body.WriteString(string(fp))
+		body.WriteByte('\n')
+	}
+	resp, err := c.http.Post(c.base+"/gear/gc", "text/plain", strings.NewReader(body.String()))
+	if err != nil {
+		return 0, 0, fmt.Errorf("gearregistry client: gc: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, 0, fmt.Errorf("gearregistry client: gc: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("gearregistry client: gc: %s: %s",
+			resp.Status, strings.TrimSpace(string(out)))
+	}
+	if _, err := fmt.Sscanf(string(out), "removed=%d freed=%d", &removed, &freed); err != nil {
+		return 0, 0, fmt.Errorf("gearregistry client: gc: parse %q: %w", out, err)
+	}
+	return removed, freed, nil
+}
+
+// Download implements Store. Compressed payloads (marked with the
+// X-Gear-Encoding header) are inflated locally; the wire size is the
+// body length as transported.
+func (c *Client) Download(fp hashing.Fingerprint) ([]byte, int64, error) {
+	resp, err := c.http.Get(fmt.Sprintf("%s/gear/download/%s", c.base, fp))
+	if err != nil {
+		return nil, 0, fmt.Errorf("gearregistry client: download %s: %w", fp, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("gearregistry client: download %s: %w", fp, err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		wire := int64(len(body))
+		if resp.Header.Get("X-Gear-Encoding") == "gzip" {
+			data, err := tarstream.Gunzip(body)
+			if err != nil {
+				return nil, 0, fmt.Errorf("gearregistry client: download %s: %w", fp, err)
+			}
+			return data, wire, nil
+		}
+		return body, wire, nil
+	case http.StatusNotFound:
+		return nil, 0, fmt.Errorf("gearregistry client: %s: %w", fp, ErrNotFound)
+	default:
+		return nil, 0, fmt.Errorf("gearregistry client: download %s: %s", fp, resp.Status)
+	}
+}

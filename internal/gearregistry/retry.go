@@ -1,0 +1,85 @@
+package gearregistry
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/gear-image/gear/internal/hashing"
+)
+
+// RetryStore wraps a Store with bounded retries on transient failures,
+// the behavior a production Gear driver needs against a flaky network.
+// Definite failures — a missing object, a malformed fingerprint — are
+// returned immediately; everything else retries up to Attempts times.
+type RetryStore struct {
+	inner Store
+	// attempts is the total number of tries per operation (>= 1).
+	attempts int
+	// retries counts extra attempts actually spent, for observability.
+	retries atomic.Int64
+}
+
+var _ Store = (*RetryStore)(nil)
+
+// ErrBadAttempts reports a non-positive attempt bound.
+var ErrBadAttempts = errors.New("attempts must be >= 1")
+
+// NewRetryStore wraps inner with the given total attempt bound.
+func NewRetryStore(inner Store, attempts int) (*RetryStore, error) {
+	if attempts < 1 {
+		return nil, fmt.Errorf("gearregistry: retry: %d: %w", attempts, ErrBadAttempts)
+	}
+	return &RetryStore{inner: inner, attempts: attempts}, nil
+}
+
+// Retries returns how many extra attempts have been spent so far.
+func (r *RetryStore) Retries() int64 { return r.retries.Load() }
+
+// permanent reports errors that retrying cannot fix.
+func permanent(err error) bool {
+	return errors.Is(err, ErrNotFound) ||
+		errors.Is(err, ErrFingerprintMismatch) ||
+		errors.Is(err, hashing.ErrMalformed)
+}
+
+func (r *RetryStore) do(op func() error) error {
+	var err error
+	for i := 0; i < r.attempts; i++ {
+		if i > 0 {
+			r.retries.Add(1)
+		}
+		if err = op(); err == nil || permanent(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("gearregistry: after %d attempts: %w", r.attempts, err)
+}
+
+// Query implements Store with retries.
+func (r *RetryStore) Query(fp hashing.Fingerprint) (bool, error) {
+	var present bool
+	err := r.do(func() error {
+		var err error
+		present, err = r.inner.Query(fp)
+		return err
+	})
+	return present, err
+}
+
+// Upload implements Store with retries.
+func (r *RetryStore) Upload(fp hashing.Fingerprint, data []byte) error {
+	return r.do(func() error { return r.inner.Upload(fp, data) })
+}
+
+// Download implements Store with retries.
+func (r *RetryStore) Download(fp hashing.Fingerprint) ([]byte, int64, error) {
+	var payload []byte
+	var wire int64
+	err := r.do(func() error {
+		var err error
+		payload, wire, err = r.inner.Download(fp)
+		return err
+	})
+	return payload, wire, err
+}

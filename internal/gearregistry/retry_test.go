@@ -1,0 +1,132 @@
+package gearregistry
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/gear-image/gear/internal/hashing"
+)
+
+// flakyStore fails the first failures calls of each operation with a
+// transient error.
+type flakyStore struct {
+	inner    Store
+	failures int
+	calls    int
+}
+
+var errTransient = errors.New("connection reset")
+
+func (f *flakyStore) tick() error {
+	f.calls++
+	if f.calls <= f.failures {
+		return errTransient
+	}
+	return nil
+}
+
+func (f *flakyStore) Query(fp hashing.Fingerprint) (bool, error) {
+	if err := f.tick(); err != nil {
+		return false, err
+	}
+	return f.inner.Query(fp)
+}
+
+func (f *flakyStore) Upload(fp hashing.Fingerprint, data []byte) error {
+	if err := f.tick(); err != nil {
+		return err
+	}
+	return f.inner.Upload(fp, data)
+}
+
+func (f *flakyStore) Download(fp hashing.Fingerprint) ([]byte, int64, error) {
+	if err := f.tick(); err != nil {
+		return nil, 0, err
+	}
+	return f.inner.Download(fp)
+}
+
+func TestNewRetryStoreValidates(t *testing.T) {
+	if _, err := NewRetryStore(New(Options{}), 0); !errors.Is(err, ErrBadAttempts) {
+		t.Errorf("err = %v, want ErrBadAttempts", err)
+	}
+}
+
+func TestRetryRecoversFromTransientFailures(t *testing.T) {
+	inner := New(Options{})
+	flaky := &flakyStore{inner: inner, failures: 2}
+	r, err := NewRetryStore(flaky, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("eventually consistent")
+	fp := hashing.FingerprintBytes(data)
+	if err := r.Upload(fp, data); err != nil {
+		t.Fatalf("upload with retries failed: %v", err)
+	}
+	if r.Retries() != 2 {
+		t.Errorf("retries = %d, want 2", r.Retries())
+	}
+	got, _, err := r.Download(fp)
+	if err != nil || string(got) != string(data) {
+		t.Errorf("download = %q, %v", got, err)
+	}
+}
+
+func TestRetryGivesUpAfterBound(t *testing.T) {
+	flaky := &flakyStore{inner: New(Options{}), failures: 10}
+	r, err := NewRetryStore(flaky, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Upload(hashing.FingerprintBytes([]byte("x")), []byte("x")); !errors.Is(err, errTransient) {
+		t.Errorf("err = %v, want wrapped errTransient", err)
+	}
+	if flaky.calls != 3 {
+		t.Errorf("attempts = %d, want 3", flaky.calls)
+	}
+}
+
+func TestRetryDoesNotRetryPermanentErrors(t *testing.T) {
+	inner := New(Options{})
+	flaky := &flakyStore{inner: inner, failures: 0}
+	r, err := NewRetryStore(flaky, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing object: immediate failure, no retries.
+	if _, _, err := r.Download(hashing.FingerprintBytes([]byte("ghost"))); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+	if flaky.calls != 1 {
+		t.Errorf("calls = %d, want 1 (no retry on permanent error)", flaky.calls)
+	}
+	// Fingerprint mismatch: same.
+	flaky.calls = 0
+	if err := r.Upload(hashing.FingerprintBytes([]byte("a")), []byte("b")); !errors.Is(err, ErrFingerprintMismatch) {
+		t.Errorf("err = %v", err)
+	}
+	if flaky.calls != 1 {
+		t.Errorf("calls = %d, want 1", flaky.calls)
+	}
+	if r.Retries() != 0 {
+		t.Errorf("retries = %d, want 0", r.Retries())
+	}
+}
+
+func TestRetryQueryPassesThrough(t *testing.T) {
+	inner := New(Options{})
+	data := []byte("present")
+	fp := hashing.FingerprintBytes(data)
+	if err := inner.Upload(fp, data); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRetryStore(&flakyStore{inner: inner, failures: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := r.Query(fp)
+	if err != nil || !ok {
+		t.Errorf("Query = %v, %v", ok, err)
+	}
+}

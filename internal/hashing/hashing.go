@@ -1,0 +1,205 @@
+// Package hashing provides the content-addressing primitives of the Gear
+// reproduction: MD5 fingerprints for Gear files (§III-B of the paper),
+// SHA256 digests for Docker layers and manifests (§II-A), and the
+// collision-detection registry the paper describes for deployments where
+// MD5's collision resistance is not trusted.
+package hashing
+
+import (
+	"crypto/md5"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// Fingerprint identifies a Gear file by the MD5 hash of its content,
+// rendered as 32 lowercase hex digits. The paper names Gear files by
+// fingerprint in both the registry pool and the local shared cache.
+type Fingerprint string
+
+// Digest identifies a Docker layer or manifest by the SHA256 hash of its
+// (compressed) content, rendered as "sha256:<64 hex digits>".
+type Digest string
+
+// FingerprintBytes returns the MD5 fingerprint of data.
+func FingerprintBytes(data []byte) Fingerprint {
+	sum := md5.Sum(data)
+	return Fingerprint(hex.EncodeToString(sum[:]))
+}
+
+// DigestBytes returns the SHA256 digest of data in Docker's
+// "sha256:..." notation.
+func DigestBytes(data []byte) Digest {
+	sum := sha256.Sum256(data)
+	return Digest("sha256:" + hex.EncodeToString(sum[:]))
+}
+
+// ErrMalformed reports a fingerprint or digest that fails validation.
+var ErrMalformed = errors.New("malformed content address")
+
+// Valid reports whether f is a well-formed MD5 fingerprint or a unique ID
+// assigned by a Registry after a collision (see Registry.Assign).
+func (f Fingerprint) Valid() bool {
+	s := string(f)
+	if len(s) == 32 {
+		return isHex(s)
+	}
+	// Collision fallback IDs look like "<32 hex>-cN".
+	if len(s) > 34 && s[32] == '-' && s[33] == 'c' {
+		if !isHex(s[:32]) {
+			return false
+		}
+		_, err := strconv.Atoi(s[34:])
+		return err == nil
+	}
+	return false
+}
+
+// Validate returns ErrMalformed (wrapped with the value) if f is invalid.
+func (f Fingerprint) Validate() error {
+	if !f.Valid() {
+		return fmt.Errorf("fingerprint %q: %w", string(f), ErrMalformed)
+	}
+	return nil
+}
+
+// Valid reports whether d is a well-formed "sha256:..." digest.
+func (d Digest) Valid() bool {
+	s := string(d)
+	const prefix = "sha256:"
+	if len(s) != len(prefix)+64 || s[:len(prefix)] != prefix {
+		return false
+	}
+	return isHex(s[len(prefix):])
+}
+
+// Validate returns ErrMalformed (wrapped with the value) if d is invalid.
+func (d Digest) Validate() error {
+	if !d.Valid() {
+		return fmt.Errorf("digest %q: %w", string(d), ErrMalformed)
+	}
+	return nil
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Hasher computes fingerprints. The production hasher is MD5; tests inject
+// deliberately weak hashers to force collisions and prove the registry's
+// fallback preserves correctness, as §III-B argues it must.
+type Hasher interface {
+	// Fingerprint returns the content address of data.
+	Fingerprint(data []byte) Fingerprint
+}
+
+// MD5 is the production Hasher.
+type MD5 struct{}
+
+var _ Hasher = MD5{}
+
+// Fingerprint implements Hasher using crypto/md5.
+func (MD5) Fingerprint(data []byte) Fingerprint { return FingerprintBytes(data) }
+
+// Registry assigns stable content addresses with collision detection.
+// On a fingerprint match it compares contents byte-for-byte; a true
+// duplicate reuses the existing address, while a collision (same hash,
+// different bytes) is assigned a unique ID of the form "<fp>-cN". The
+// paper's design (§III-B) notes this disables dedup for the colliding
+// files without compromising correctness.
+//
+// A Registry is safe for concurrent use.
+type Registry struct {
+	hasher Hasher
+
+	mu sync.Mutex
+	// byFP maps each raw fingerprint to the contents seen under it, in
+	// assignment order. Index 0 keeps the bare fingerprint; later entries
+	// carry "-cN" suffixes.
+	byFP map[Fingerprint][][]byte
+	// collisions counts assignments that required a fallback ID.
+	collisions int
+}
+
+// NewRegistry returns a Registry using hasher (MD5{} if nil).
+func NewRegistry(hasher Hasher) *Registry {
+	if hasher == nil {
+		hasher = MD5{}
+	}
+	return &Registry{
+		hasher: hasher,
+		byFP:   make(map[Fingerprint][][]byte),
+	}
+}
+
+// Assign returns the content address for data, detecting collisions.
+// Identical contents always receive identical addresses; distinct contents
+// always receive distinct addresses, even under a colliding hasher.
+func (r *Registry) Assign(data []byte) Fingerprint {
+	fp := r.hasher.Fingerprint(data)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := r.byFP[fp]
+	for i, prev := range seen {
+		if bytesEqual(prev, data) {
+			return indexedID(fp, i)
+		}
+	}
+	r.byFP[fp] = append(seen, cloneBytes(data))
+	if len(seen) > 0 {
+		r.collisions++
+	}
+	return indexedID(fp, len(seen))
+}
+
+// Collisions returns how many fallback IDs have been assigned.
+func (r *Registry) Collisions() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.collisions
+}
+
+func indexedID(fp Fingerprint, i int) Fingerprint {
+	if i == 0 {
+		return fp
+	}
+	return Fingerprint(string(fp) + "-c" + strconv.Itoa(i))
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// CollisionProbability returns the birthday-paradox bound from the paper's
+// equation (1): p <= n(n-1)/2 * 2^-m for n files under an m-bit hash.
+func CollisionProbability(n float64, bits int) float64 {
+	p := n * (n - 1) / 2
+	for i := 0; i < bits; i++ {
+		p /= 2
+	}
+	return p
+}

@@ -1,0 +1,140 @@
+// Package netsim models network transfer cost with a deterministic
+// virtual clock. The Gear paper's deployment-time results (Fig 9, Fig 10)
+// are dominated by how many bytes and how many round trips each image
+// format needs at a given link bandwidth; this package computes those
+// costs analytically so experiments are exact and repeatable on any
+// machine, substituting for the paper's two-server Gigabit testbed.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrBadLink reports an invalid link configuration.
+var ErrBadLink = errors.New("invalid link configuration")
+
+// Mbps converts megabits-per-second into bytes-per-second.
+func Mbps(mbps float64) float64 { return mbps * 1e6 / 8 }
+
+// LinkConfig describes a point-to-point link between a client and a
+// registry.
+type LinkConfig struct {
+	// BytesPerSecond is the sustained throughput of the link.
+	BytesPerSecond float64
+	// RTT is the round-trip latency paid once per request.
+	RTT time.Duration
+	// RequestOverhead is the fixed server-side cost per request (HTTP
+	// handling, object lookup). It is what makes many small requests —
+	// Slacker's block fetches — slower than few large ones at the same
+	// byte volume.
+	RequestOverhead time.Duration
+}
+
+// Validate checks the configuration.
+func (c LinkConfig) Validate() error {
+	if c.BytesPerSecond <= 0 {
+		return fmt.Errorf("netsim: bytes per second %f: %w", c.BytesPerSecond, ErrBadLink)
+	}
+	if c.RTT < 0 || c.RequestOverhead < 0 {
+		return fmt.Errorf("netsim: negative latency: %w", ErrBadLink)
+	}
+	return nil
+}
+
+// DefaultLAN approximates the paper's measured 904 Mbps server pair.
+func DefaultLAN() LinkConfig {
+	return LinkConfig{
+		BytesPerSecond:  Mbps(904),
+		RTT:             200 * time.Microsecond,
+		RequestOverhead: 300 * time.Microsecond,
+	}
+}
+
+// WithBandwidth returns a copy of c limited to the given Mbps, as the
+// paper does with 1000/100/20/5 Mbps runs.
+func (c LinkConfig) WithBandwidth(mbps float64) LinkConfig {
+	c.BytesPerSecond = Mbps(mbps)
+	return c
+}
+
+// Link accumulates traffic over a configured link and converts it to
+// virtual time. Link is safe for concurrent use.
+type Link struct {
+	cfg LinkConfig
+
+	mu       sync.Mutex
+	bytes    int64
+	requests int64
+	elapsed  time.Duration
+}
+
+// NewLink returns a Link for cfg.
+func NewLink(cfg LinkConfig) (*Link, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Link{cfg: cfg}, nil
+}
+
+// Config returns the link configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// TransferCost returns the virtual time to move size bytes in a single
+// request, without recording it.
+func (l *Link) TransferCost(size int64) time.Duration {
+	wire := time.Duration(float64(size) / l.cfg.BytesPerSecond * float64(time.Second))
+	return l.cfg.RTT + l.cfg.RequestOverhead + wire
+}
+
+// Transfer records one request of size bytes and returns its cost.
+func (l *Link) Transfer(size int64) time.Duration {
+	cost := l.TransferCost(size)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bytes += size
+	l.requests++
+	l.elapsed += cost
+	return cost
+}
+
+// TransferBatch records n requests totalling size bytes, as when a client
+// pipelines many object fetches: the wire time is paid on the full volume
+// but the RTT is amortized over a pipeline window.
+func (l *Link) TransferBatch(n int, size int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	wire := time.Duration(float64(size) / l.cfg.BytesPerSecond * float64(time.Second))
+	perReq := l.cfg.RequestOverhead * time.Duration(n)
+	cost := l.cfg.RTT + perReq + wire
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bytes += size
+	l.requests += int64(n)
+	l.elapsed += cost
+	return cost
+}
+
+// Stats is a snapshot of traffic carried by a link.
+type Stats struct {
+	Bytes    int64         `json:"bytes"`
+	Requests int64         `json:"requests"`
+	Elapsed  time.Duration `json:"elapsed"`
+}
+
+// Stats returns the traffic carried so far.
+func (l *Link) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Bytes: l.bytes, Requests: l.requests, Elapsed: l.elapsed}
+}
+
+// Reset zeroes the accumulated traffic.
+func (l *Link) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bytes, l.requests, l.elapsed = 0, 0, 0
+}

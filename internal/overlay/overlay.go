@@ -1,0 +1,512 @@
+// Package overlay implements an Overlay2-style union mount over vfs trees:
+// a stack of read-only lower layers (bottom first, each a layer diff with
+// literal whiteout entries) merged with one writable upper directory.
+//
+// This is the graph-driver substrate of the reproduction (§II-C of the
+// Gear paper). The Docker baseline mounts all image layers plus a writable
+// layer; the Gear File Viewer mounts a read-only Gear index plus a
+// writable "diff" directory on top of it (§III-D2). Deletions are recorded
+// as whiteout files in the upper layer, so the upper tree is exactly the
+// "diff/" directory that a commit serializes back into a layer.
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+
+	"github.com/gear-image/gear/internal/tarstream"
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// ErrReadOnly reports a write to a read-only mount.
+var ErrReadOnly = errors.New("read-only mount")
+
+// Mount is a union view of lower layers and a writable upper tree.
+// It is not safe for concurrent mutation; the Gear driver serializes
+// writes per container exactly as the kernel serializes per-inode.
+type Mount struct {
+	// squash is the flattened lower stack (whiteouts resolved).
+	squash *vfs.FS
+	// upper holds this container's modifications, with literal whiteouts.
+	upper *vfs.FS
+	// readonly disables all mutation (used for index-only mounts).
+	readonly bool
+}
+
+// New mounts the given lower layer diffs (bottom first) under a fresh
+// writable upper. Lower layers may contain whiteout entries; they are
+// resolved while squashing, mirroring how Overlay2 presents a merged view.
+func New(lowers ...*vfs.FS) (*Mount, error) {
+	squash := vfs.New()
+	for i, l := range lowers {
+		if err := tarstream.ApplyLayer(squash, l); err != nil {
+			return nil, fmt.Errorf("overlay: squash lower %d: %w", i, err)
+		}
+	}
+	return &Mount{squash: squash, upper: vfs.New()}, nil
+}
+
+// AttachShared mounts an existing tree as the read-only lower WITHOUT
+// copying it. The mount never mutates the lower tree, but external
+// refinements of it (the Gear driver swapping a fingerprint placeholder
+// for a hard-linked Gear file, §III-D2) become visible to every mount
+// attached to the same tree — matching how all containers of one image
+// share the kernel's dentry tree for the index directory.
+func AttachShared(lower *vfs.FS) *Mount {
+	return &Mount{squash: lower, upper: vfs.New()}
+}
+
+// AttachSharedWithUpper is AttachShared with an existing upper tree (a
+// stopped container's diff directory being re-mounted).
+func AttachSharedWithUpper(lower, upper *vfs.FS) *Mount {
+	return &Mount{squash: lower, upper: upper}
+}
+
+// NewWithUpper mounts lowers under an existing upper tree (e.g. when
+// re-mounting a stopped container's diff directory).
+func NewWithUpper(upper *vfs.FS, lowers ...*vfs.FS) (*Mount, error) {
+	m, err := New(lowers...)
+	if err != nil {
+		return nil, err
+	}
+	m.upper = upper
+	return m, nil
+}
+
+// SetReadOnly marks the mount read-only.
+func (m *Mount) SetReadOnly() { m.readonly = true }
+
+// Upper returns the writable layer (the "diff/" directory). Mutating it
+// directly bypasses whiteout bookkeeping; callers should treat it as
+// read-only and use Commit-style flows instead.
+func (m *Mount) Upper() *vfs.FS { return m.upper }
+
+// Lower returns the squashed read-only view of all lower layers.
+func (m *Mount) Lower() *vfs.FS { return m.squash }
+
+// whiteoutPath returns the upper-layer whiteout marker path for p.
+func whiteoutPath(p string) string {
+	dir, name := path.Split(vfs.Clean(p))
+	return path.Join(vfs.Clean(dir), tarstream.WhiteoutPrefix+name)
+}
+
+// hiddenByWhiteout reports whether the lower entry at p is hidden by the
+// upper layer: a whiteout on p or an ancestor, an opaque ancestor
+// (including the root — "rm -rf /" marks the root opaque), or an
+// ancestor shadowed by an upper non-directory.
+func (m *Mount) hiddenByWhiteout(p string) bool {
+	parts := vfs.Split(p)
+	cur := "/"
+	for i := 0; i <= len(parts); i++ {
+		if i > 0 {
+			probe := path.Join(cur, parts[i-1])
+			if m.upper.Exists(whiteoutPath(probe)) {
+				return true
+			}
+			cur = probe
+		}
+		if i == len(parts) {
+			break
+		}
+		// cur is now an ancestor directory of p (the root when i == 0).
+		if i > 0 {
+			if n, err := m.upper.Stat(cur); err == nil && !n.IsDir() {
+				// An upper file/symlink shadows the whole lower subtree.
+				return true
+			}
+		}
+		if m.upper.Exists(path.Join(cur, tarstream.OpaqueMarker)) {
+			// The opaque marker hides lower content below cur unless the
+			// upper itself carries the deeper entries — in which case
+			// Stat finds them in upper first.
+			rest := path.Join(append([]string{cur}, parts[i:]...)...)
+			if !m.upper.Exists(rest) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Stat resolves p through the union: upper wins over lower; whiteouts and
+// opaque markers hide lower entries.
+func (m *Mount) Stat(p string) (*vfs.Node, error) {
+	p = vfs.Clean(p)
+	if n, err := m.upper.Stat(p); err == nil {
+		if _, isWh := tarstream.IsWhiteout(path.Base(p)); isWh || path.Base(p) == tarstream.OpaqueMarker {
+			return nil, fmt.Errorf("overlay: stat %s: %w", p, vfs.ErrNotExist)
+		}
+		// An upper directory merges with lower; any other upper node
+		// shadows the lower entirely.
+		return n, nil
+	}
+	if m.upper.Exists(whiteoutPath(p)) || m.hiddenByWhiteout(p) {
+		return nil, fmt.Errorf("overlay: stat %s: %w", p, vfs.ErrNotExist)
+	}
+	n, err := m.squash.Stat(p)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: stat %s: %w", p, vfs.ErrNotExist)
+	}
+	return n, nil
+}
+
+// Exists reports whether p resolves in the union view.
+func (m *Mount) Exists(p string) bool {
+	_, err := m.Stat(p)
+	return err == nil
+}
+
+// ReadFile returns the regular-file content at p from the union view.
+func (m *Mount) ReadFile(p string) ([]byte, error) {
+	n, err := m.Stat(p)
+	if err != nil {
+		return nil, err
+	}
+	if n.IsDir() {
+		return nil, fmt.Errorf("overlay: read %s: %w", vfs.Clean(p), vfs.ErrIsDir)
+	}
+	if n.Type() != vfs.TypeRegular {
+		return nil, fmt.Errorf("overlay: read %s: %w", vfs.Clean(p), vfs.ErrInvalid)
+	}
+	return n.Content().Data(), nil
+}
+
+// Readlink returns the symlink target at p.
+func (m *Mount) Readlink(p string) (string, error) {
+	n, err := m.Stat(p)
+	if err != nil {
+		return "", err
+	}
+	if n.Type() != vfs.TypeSymlink {
+		return "", fmt.Errorf("overlay: readlink %s: %w", vfs.Clean(p), vfs.ErrInvalid)
+	}
+	return n.Target(), nil
+}
+
+// ensureUpperDir materializes p's directory chain in the upper layer
+// (Overlay2's "copy-up" of parent directories before a write).
+func (m *Mount) ensureUpperDir(dir string) error {
+	return m.upper.MkdirAll(dir, 0o755)
+}
+
+// WriteFile writes a regular file at p. The write lands in the upper
+// layer; a same-named lower file is shadowed (whole-file copy-up
+// semantics). Parent directories must exist in the union view.
+func (m *Mount) WriteFile(p string, data []byte, mode fs.FileMode) error {
+	if m.readonly {
+		return fmt.Errorf("overlay: write %s: %w", vfs.Clean(p), ErrReadOnly)
+	}
+	p = vfs.Clean(p)
+	dir := path.Dir(p)
+	if dir != "/" {
+		n, err := m.Stat(dir)
+		if err != nil {
+			return fmt.Errorf("overlay: write %s: %w", p, vfs.ErrNotExist)
+		}
+		if !n.IsDir() {
+			return fmt.Errorf("overlay: write %s: %w", p, vfs.ErrNotDir)
+		}
+	}
+	if n, err := m.Stat(p); err == nil && n.IsDir() {
+		return fmt.Errorf("overlay: write %s: %w", p, vfs.ErrIsDir)
+	}
+	if err := m.ensureUpperDir(dir); err != nil {
+		return fmt.Errorf("overlay: write %s: %w", p, err)
+	}
+	// Writing over a previously deleted name revives it: drop the marker.
+	_ = m.upper.Remove(whiteoutPath(p))
+	if err := m.upper.WriteFile(p, data, mode); err != nil {
+		return fmt.Errorf("overlay: write %s: %w", p, err)
+	}
+	return nil
+}
+
+// Mkdir creates a directory at p in the upper layer.
+func (m *Mount) Mkdir(p string, mode fs.FileMode) error {
+	if m.readonly {
+		return fmt.Errorf("overlay: mkdir %s: %w", vfs.Clean(p), ErrReadOnly)
+	}
+	p = vfs.Clean(p)
+	if m.Exists(p) {
+		return fmt.Errorf("overlay: mkdir %s: %w", p, vfs.ErrExist)
+	}
+	dir := path.Dir(p)
+	if dir != "/" {
+		n, err := m.Stat(dir)
+		if err != nil {
+			return fmt.Errorf("overlay: mkdir %s: %w", p, vfs.ErrNotExist)
+		}
+		if !n.IsDir() {
+			return fmt.Errorf("overlay: mkdir %s: %w", p, vfs.ErrNotDir)
+		}
+	}
+	if err := m.ensureUpperDir(dir); err != nil {
+		return fmt.Errorf("overlay: mkdir %s: %w", p, err)
+	}
+	wasDeleted := m.upper.Exists(whiteoutPath(p))
+	_ = m.upper.Remove(whiteoutPath(p))
+	if err := m.upper.MkdirAll(p, mode); err != nil {
+		return fmt.Errorf("overlay: mkdir %s: %w", p, err)
+	}
+	if wasDeleted && m.squash.Exists(p) {
+		// Re-created over a deleted lower dir: hide stale lower content.
+		if err := m.upper.WriteFile(path.Join(p, tarstream.OpaqueMarker), nil, 0); err != nil {
+			return fmt.Errorf("overlay: mkdir %s: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// Symlink creates a symbolic link at p in the upper layer.
+func (m *Mount) Symlink(target, p string) error {
+	if m.readonly {
+		return fmt.Errorf("overlay: symlink %s: %w", vfs.Clean(p), ErrReadOnly)
+	}
+	p = vfs.Clean(p)
+	dir := path.Dir(p)
+	if dir != "/" {
+		n, err := m.Stat(dir)
+		if err != nil {
+			return fmt.Errorf("overlay: symlink %s: %w", p, vfs.ErrNotExist)
+		}
+		if !n.IsDir() {
+			return fmt.Errorf("overlay: symlink %s: %w", p, vfs.ErrNotDir)
+		}
+	}
+	if n, err := m.Stat(p); err == nil && n.IsDir() {
+		return fmt.Errorf("overlay: symlink %s: %w", p, vfs.ErrIsDir)
+	}
+	if err := m.ensureUpperDir(dir); err != nil {
+		return fmt.Errorf("overlay: symlink %s: %w", p, err)
+	}
+	_ = m.upper.Remove(whiteoutPath(p))
+	if err := m.upper.Symlink(target, p); err != nil {
+		return fmt.Errorf("overlay: symlink %s: %w", p, err)
+	}
+	return nil
+}
+
+// Remove deletes p from the union view. Upper-only entries are removed
+// directly; entries visible from the lower stack get a whiteout marker in
+// the upper layer ("Gear File Viewer creates ... a whiteout file in diff",
+// §III-D2).
+func (m *Mount) Remove(p string) error {
+	if m.readonly {
+		return fmt.Errorf("overlay: remove %s: %w", vfs.Clean(p), ErrReadOnly)
+	}
+	p = vfs.Clean(p)
+	if p == "/" {
+		return fmt.Errorf("overlay: remove /: %w", vfs.ErrInvalid)
+	}
+	n, err := m.Stat(p)
+	if err != nil {
+		return err
+	}
+	if n.IsDir() {
+		names, err := m.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			return fmt.Errorf("overlay: remove %s: %w", p, vfs.ErrNotEmpty)
+		}
+	}
+	if m.upper.Exists(p) {
+		if err := m.upper.RemoveAll(p); err != nil {
+			return fmt.Errorf("overlay: remove %s: %w", p, err)
+		}
+	}
+	if m.squash.Exists(p) && !m.hiddenByWhiteout(p) {
+		if err := m.ensureUpperDir(path.Dir(p)); err != nil {
+			return fmt.Errorf("overlay: remove %s: %w", p, err)
+		}
+		if err := m.upper.WriteFile(whiteoutPath(p), nil, 0); err != nil {
+			return fmt.Errorf("overlay: remove %s: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// RemoveAll deletes the subtree at p from the union view. Missing paths
+// are not an error.
+func (m *Mount) RemoveAll(p string) error {
+	if m.readonly {
+		return fmt.Errorf("overlay: removeall %s: %w", vfs.Clean(p), ErrReadOnly)
+	}
+	p = vfs.Clean(p)
+	if p == "/" {
+		// rm -rf /: empty the writable layer and hide the whole lower
+		// stack behind a root opaque marker.
+		if err := m.upper.RemoveAll("/"); err != nil {
+			return fmt.Errorf("overlay: removeall /: %w", err)
+		}
+		if err := m.upper.WriteFile("/"+tarstream.OpaqueMarker, nil, 0); err != nil {
+			return fmt.Errorf("overlay: removeall /: %w", err)
+		}
+		return nil
+	}
+	if !m.Exists(p) {
+		// Match os.RemoveAll: a missing path is fine, but an ancestor
+		// that exists and is not a directory is an error.
+		if m.ancestorNotDir(p) {
+			return fmt.Errorf("overlay: removeall %s: %w", p, vfs.ErrNotDir)
+		}
+		return nil
+	}
+	if err := m.upper.RemoveAll(p); err != nil {
+		return fmt.Errorf("overlay: removeall %s: %w", p, err)
+	}
+	if m.squash.Exists(p) && !m.hiddenByWhiteout(p) {
+		if err := m.ensureUpperDir(path.Dir(p)); err != nil {
+			return fmt.Errorf("overlay: removeall %s: %w", p, err)
+		}
+		if err := m.upper.WriteFile(whiteoutPath(p), nil, 0); err != nil {
+			return fmt.Errorf("overlay: removeall %s: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// ancestorNotDir reports whether some proper ancestor of p resolves to a
+// non-directory in the union view.
+func (m *Mount) ancestorNotDir(p string) bool {
+	parts := vfs.Split(p)
+	cur := "/"
+	for i := 0; i < len(parts)-1; i++ {
+		cur = path.Join(cur, parts[i])
+		n, err := m.Stat(cur)
+		if err != nil {
+			return false
+		}
+		if !n.IsDir() {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadDir returns the merged, sorted entry names of the directory at p,
+// with whiteout and opaque markers filtered out.
+func (m *Mount) ReadDir(p string) ([]string, error) {
+	p = vfs.Clean(p)
+	n, err := m.Stat(p)
+	if err != nil {
+		return nil, err
+	}
+	if !n.IsDir() {
+		return nil, fmt.Errorf("overlay: readdir %s: %w", p, vfs.ErrNotDir)
+	}
+
+	names := make(map[string]bool)
+	upperDir, upperErr := m.upper.Stat(p)
+	opaque := false
+	if upperErr == nil && upperDir.IsDir() {
+		for _, name := range upperDir.ChildNames() {
+			if name == tarstream.OpaqueMarker {
+				opaque = true
+				continue
+			}
+			if _, isWh := tarstream.IsWhiteout(name); isWh {
+				continue
+			}
+			names[name] = true
+		}
+		opaque = opaque || upperDir.Opaque
+	}
+	if !opaque && !m.hiddenByWhiteout(p) {
+		if lowerDir, err := m.squash.Stat(p); err == nil && lowerDir.IsDir() {
+			// Upper non-dir shadows the whole lower dir.
+			if upperErr != nil || upperDir.IsDir() {
+				for _, name := range lowerDir.ChildNames() {
+					child := path.Join(p, name)
+					if m.upper.Exists(whiteoutPath(child)) {
+						continue
+					}
+					if un, err := m.upper.Stat(child); err == nil && !un.IsDir() {
+						// Shadowed by an upper file/symlink; already listed.
+						continue
+					}
+					names[name] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(names))
+	for name := range names {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Walk visits the union view in deterministic pre-order.
+func (m *Mount) Walk(fn vfs.WalkFunc) error {
+	return m.walkDir("/", fn)
+}
+
+func (m *Mount) walkDir(dir string, fn vfs.WalkFunc) error {
+	names, err := m.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		p := path.Join(dir, name)
+		n, err := m.Stat(p)
+		if err != nil {
+			return err
+		}
+		if err := fn(p, n); err != nil {
+			return err
+		}
+		if n.IsDir() {
+			if err := m.walkDir(p, fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Materialize flattens the union view into a standalone tree — the root
+// filesystem a container process sees.
+func (m *Mount) Materialize() (*vfs.FS, error) {
+	out := vfs.New()
+	err := m.Walk(func(p string, n *vfs.Node) error {
+		switch n.Type() {
+		case vfs.TypeDir:
+			return out.MkdirAll(p, n.Mode())
+		case vfs.TypeRegular:
+			return out.PutContent(p, n.Content(), n.Mode())
+		case vfs.TypeSymlink:
+			return out.Symlink(n.Target(), p)
+		default:
+			return fmt.Errorf("overlay: materialize %s: %w", p, vfs.ErrInvalid)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DiffTree returns the upper layer — the container's modifications in
+// layer-diff form (whiteouts literal), ready for tarstream packing. This
+// is what "docker commit" turns into a new read-only layer (§II-A) and
+// what the Gear File Viewer's commit extracts Gear files from (§III-D2).
+func (m *Mount) DiffTree() *vfs.FS { return m.upper.Clone() }
+
+// UpperStats summarizes the writable layer.
+func (m *Mount) UpperStats() tarstream.LayerStats { return tarstream.StatsOf(m.upper) }
+
+// IsMarkerName reports whether name is overlay bookkeeping (whiteout or
+// opaque marker) rather than visible payload.
+func IsMarkerName(name string) bool {
+	if name == tarstream.OpaqueMarker {
+		return true
+	}
+	return strings.HasPrefix(name, tarstream.WhiteoutPrefix)
+}

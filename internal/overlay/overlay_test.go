@@ -1,0 +1,590 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/gear-image/gear/internal/tarstream"
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// lowerFixture builds a lower layer resembling a small image rootfs.
+func lowerFixture(t *testing.T) *vfs.FS {
+	t.Helper()
+	f := vfs.New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(f.MkdirAll("/etc", 0o755))
+	must(f.MkdirAll("/bin", 0o755))
+	must(f.WriteFile("/etc/conf", []byte("lower"), 0o644))
+	must(f.WriteFile("/bin/sh", []byte("#!sh"), 0o755))
+	must(f.Symlink("sh", "/bin/bash"))
+	return f
+}
+
+func newMount(t *testing.T) *Mount {
+	t.Helper()
+	m, err := New(lowerFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestReadThroughToLower(t *testing.T) {
+	m := newMount(t)
+	got, err := m.ReadFile("/etc/conf")
+	if err != nil || string(got) != "lower" {
+		t.Errorf("ReadFile = %q, %v", got, err)
+	}
+	target, err := m.Readlink("/bin/bash")
+	if err != nil || target != "sh" {
+		t.Errorf("Readlink = %q, %v", target, err)
+	}
+	if _, err := m.ReadFile("/missing"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("missing file err = %v", err)
+	}
+	if _, err := m.ReadFile("/etc"); !errors.Is(err, vfs.ErrIsDir) {
+		t.Errorf("read dir err = %v", err)
+	}
+	if _, err := m.ReadFile("/bin/bash"); !errors.Is(err, vfs.ErrInvalid) {
+		t.Errorf("read symlink err = %v", err)
+	}
+	if _, err := m.Readlink("/etc/conf"); !errors.Is(err, vfs.ErrInvalid) {
+		t.Errorf("readlink file err = %v", err)
+	}
+}
+
+func TestWriteShadowsLower(t *testing.T) {
+	m := newMount(t)
+	if err := m.WriteFile("/etc/conf", []byte("upper"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile("/etc/conf")
+	if err != nil || string(got) != "upper" {
+		t.Errorf("ReadFile = %q, %v", got, err)
+	}
+	// The lower tree is untouched.
+	low, err := m.Lower().ReadFile("/etc/conf")
+	if err != nil || string(low) != "lower" {
+		t.Errorf("lower mutated: %q, %v", low, err)
+	}
+	// The upper diff contains exactly the one change.
+	s := m.UpperStats()
+	if s.Whiteouts != 0 || s.Bytes != int64(len("upper")) {
+		t.Errorf("upper stats = %+v", s)
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	m := newMount(t)
+	if err := m.WriteFile("/no/parent", nil, 0o644); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("err = %v, want ErrNotExist", err)
+	}
+	if err := m.WriteFile("/etc", nil, 0o644); !errors.Is(err, vfs.ErrIsDir) {
+		t.Errorf("err = %v, want ErrIsDir", err)
+	}
+	if err := m.WriteFile("/bin/sh/x", nil, 0o644); !errors.Is(err, vfs.ErrNotDir) {
+		t.Errorf("err = %v, want ErrNotDir", err)
+	}
+}
+
+func TestRemoveLowerCreatesWhiteout(t *testing.T) {
+	m := newMount(t)
+	if err := m.Remove("/etc/conf"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Exists("/etc/conf") {
+		t.Error("file still visible after Remove")
+	}
+	if _, err := m.ReadFile("/etc/conf"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("err = %v", err)
+	}
+	s := m.UpperStats()
+	if s.Whiteouts != 1 {
+		t.Errorf("whiteouts = %d, want 1", s.Whiteouts)
+	}
+	// Lower still intact.
+	if !m.Lower().Exists("/etc/conf") {
+		t.Error("lower mutated")
+	}
+}
+
+func TestRemoveUpperOnlyLeavesNoWhiteout(t *testing.T) {
+	m := newMount(t)
+	if err := m.WriteFile("/etc/new", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("/etc/new"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Exists("/etc/new") {
+		t.Error("still visible")
+	}
+	if got := m.UpperStats().Whiteouts; got != 0 {
+		t.Errorf("whiteouts = %d, want 0 (no lower entry to hide)", got)
+	}
+}
+
+func TestRemoveShadowedFileNeedsWhiteoutToo(t *testing.T) {
+	m := newMount(t)
+	if err := m.WriteFile("/etc/conf", []byte("upper"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("/etc/conf"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Exists("/etc/conf") {
+		t.Error("lower shows through after removing shadowing upper file")
+	}
+}
+
+func TestRemoveNonEmptyDir(t *testing.T) {
+	m := newMount(t)
+	if err := m.Remove("/etc"); !errors.Is(err, vfs.ErrNotEmpty) {
+		t.Errorf("err = %v, want ErrNotEmpty", err)
+	}
+}
+
+func TestRemoveAllSubtree(t *testing.T) {
+	m := newMount(t)
+	if err := m.WriteFile("/etc/extra", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveAll("/etc"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/etc", "/etc/conf", "/etc/extra"} {
+		if m.Exists(p) {
+			t.Errorf("%s still visible", p)
+		}
+	}
+	if err := m.RemoveAll("/etc"); err != nil {
+		t.Errorf("RemoveAll of missing path = %v, want nil", err)
+	}
+	// /bin unaffected.
+	if !m.Exists("/bin/sh") {
+		t.Error("unrelated subtree removed")
+	}
+}
+
+func TestWriteRevivesDeletedFile(t *testing.T) {
+	m := newMount(t)
+	if err := m.Remove("/etc/conf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteFile("/etc/conf", []byte("reborn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile("/etc/conf")
+	if err != nil || string(got) != "reborn" {
+		t.Errorf("ReadFile = %q, %v", got, err)
+	}
+	if got := m.UpperStats().Whiteouts; got != 0 {
+		t.Errorf("whiteouts = %d, want 0 after revival", got)
+	}
+}
+
+func TestMkdirOverDeletedLowerDirIsOpaque(t *testing.T) {
+	m := newMount(t)
+	if err := m.RemoveAll("/etc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Mkdir("/etc", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if m.Exists("/etc/conf") {
+		t.Error("stale lower content visible in re-created directory")
+	}
+	names, err := m.ReadDir("/etc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Errorf("ReadDir = %v, want empty", names)
+	}
+}
+
+func TestMkdirErrors(t *testing.T) {
+	m := newMount(t)
+	if err := m.Mkdir("/etc", 0o755); !errors.Is(err, vfs.ErrExist) {
+		t.Errorf("err = %v, want ErrExist", err)
+	}
+	if err := m.Mkdir("/no/parent", 0o755); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestReadDirMergesLayers(t *testing.T) {
+	m := newMount(t)
+	if err := m.WriteFile("/etc/upper-only", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("/etc/conf"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := m.ReadDir("/etc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"upper-only"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("ReadDir = %v, want %v", names, want)
+	}
+	names, err = m.ReadDir("/bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(names, ",") != "bash,sh" {
+		t.Errorf("ReadDir(/bin) = %v", names)
+	}
+	if _, err := m.ReadDir("/bin/sh"); !errors.Is(err, vfs.ErrNotDir) {
+		t.Errorf("readdir on file err = %v", err)
+	}
+}
+
+func TestUpperFileShadowsLowerDir(t *testing.T) {
+	lower := vfs.New()
+	if err := lower.MkdirAll("/opt/app", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := lower.WriteFile("/opt/app/bin", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(lower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveAll("/opt/app"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteFile("/opt/app", []byte("now a file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.Stat("/opt/app")
+	if err != nil || n.Type() != vfs.TypeRegular {
+		t.Fatalf("Stat = %v, %v; want regular file", n, err)
+	}
+	if m.Exists("/opt/app/bin") {
+		t.Error("child of shadowed dir still visible")
+	}
+	names, err := m.ReadDir("/opt")
+	if err != nil || strings.Join(names, ",") != "app" {
+		t.Errorf("ReadDir(/opt) = %v, %v", names, err)
+	}
+}
+
+func TestMultipleLowerLayers(t *testing.T) {
+	l1 := vfs.New()
+	if err := l1.MkdirAll("/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := l1.WriteFile("/a/f", []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := l1.WriteFile("/a/gone", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2 := vfs.New()
+	if err := l2.MkdirAll("/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.WriteFile("/a/f", []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.WriteFile("/a/.wh.gone", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile("/a/f")
+	if err != nil || string(got) != "v2" {
+		t.Errorf("upper layer did not win: %q, %v", got, err)
+	}
+	if m.Exists("/a/gone") {
+		t.Error("lower whiteout not applied while squashing")
+	}
+}
+
+func TestReadOnlyMount(t *testing.T) {
+	m := newMount(t)
+	m.SetReadOnly()
+	ops := map[string]error{
+		"write":     m.WriteFile("/etc/x", nil, 0o644),
+		"mkdir":     m.Mkdir("/newdir", 0o755),
+		"symlink":   m.Symlink("t", "/etc/l"),
+		"remove":    m.Remove("/etc/conf"),
+		"removeall": m.RemoveAll("/etc"),
+	}
+	for name, err := range ops {
+		if !errors.Is(err, ErrReadOnly) {
+			t.Errorf("%s err = %v, want ErrReadOnly", name, err)
+		}
+	}
+	if _, err := m.ReadFile("/etc/conf"); err != nil {
+		t.Errorf("read on read-only mount failed: %v", err)
+	}
+}
+
+func TestMaterializeAndWalk(t *testing.T) {
+	m := newMount(t)
+	if err := m.WriteFile("/etc/conf", []byte("upper"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("/bin/bash"); err != nil {
+		t.Fatal(err)
+	}
+	flat, err := m.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := flat.ReadFile("/etc/conf")
+	if err != nil || string(got) != "upper" {
+		t.Errorf("materialized conf = %q, %v", got, err)
+	}
+	if flat.Exists("/bin/bash") {
+		t.Error("removed symlink materialized")
+	}
+	var paths []string
+	if err := m.Walk(func(p string, _ *vfs.Node) error {
+		paths = append(paths, p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if IsMarkerName(path.Base(p)) {
+			t.Errorf("walk leaked marker %s", p)
+		}
+	}
+}
+
+func TestCommitRoundTrip(t *testing.T) {
+	// The upper diff, applied over the lower stack, equals the union view —
+	// the invariant behind "docker commit" and the Gear commit path.
+	m := newMount(t)
+	if err := m.WriteFile("/etc/conf", []byte("changed"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteFile("/etc/new", []byte("n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("/bin/bash"); err != nil {
+		t.Fatal(err)
+	}
+
+	base := m.Lower().Clone()
+	if err := tarstream.ApplyLayer(base, m.DiffTree()); err != nil {
+		t.Fatal(err)
+	}
+	flat, err := m.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapA := snapshot(base)
+	snapB := snapshot(flat)
+	if snapA != snapB {
+		t.Errorf("apply(diff) != materialized view:\n--- apply\n%s--- view\n%s", snapA, snapB)
+	}
+}
+
+func TestNewWithUpperRestoresState(t *testing.T) {
+	m := newMount(t)
+	if err := m.WriteFile("/etc/conf", []byte("persisted"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diff := m.DiffTree()
+
+	m2, err := NewWithUpper(diff, lowerFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.ReadFile("/etc/conf")
+	if err != nil || string(got) != "persisted" {
+		t.Errorf("remounted upper lost data: %q, %v", got, err)
+	}
+}
+
+func snapshot(f *vfs.FS) string {
+	var sb strings.Builder
+	_ = f.Walk(func(p string, n *vfs.Node) error {
+		var body string
+		if n.Type() == vfs.TypeRegular {
+			body = string(n.Content().Data())
+		}
+		fmt.Fprintf(&sb, "%s %v %q %q\n", p, n.Type(), n.Target(), body)
+		return nil
+	})
+	return sb.String()
+}
+
+func mountSnapshot(m *Mount) string {
+	var sb strings.Builder
+	_ = m.Walk(func(p string, n *vfs.Node) error {
+		var body string
+		if n.Type() == vfs.TypeRegular {
+			body = string(n.Content().Data())
+		}
+		fmt.Fprintf(&sb, "%s %v %q %q\n", p, n.Type(), n.Target(), body)
+		return nil
+	})
+	return sb.String()
+}
+
+// Property: a random series of mount mutations keeps three invariants:
+// (1) the union view never shows marker names, (2) Materialize equals
+// ApplyLayer(lower, diff), and (3) the lower tree is never mutated.
+func TestMountInvariantsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lower := vfs.New()
+		buildRandomTree(lower, rng, 25)
+		lowerSnap := snapshot(lower)
+
+		m, err := New(lower)
+		if err != nil {
+			return false
+		}
+		applyRandomMountOps(m, rng, 40)
+
+		// (1) no markers visible
+		bad := false
+		_ = m.Walk(func(p string, _ *vfs.Node) error {
+			if IsMarkerName(path.Base(p)) {
+				bad = true
+			}
+			return nil
+		})
+		if bad {
+			return false
+		}
+		// (2) commit round trip
+		base := m.Lower().Clone()
+		if err := tarstream.ApplyLayer(base, m.DiffTree()); err != nil {
+			return false
+		}
+		flat, err := m.Materialize()
+		if err != nil {
+			return false
+		}
+		if snapshot(base) != snapshot(flat) {
+			return false
+		}
+		// (3) lower untouched
+		return snapshot(lower) == lowerSnap
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildRandomTree(f *vfs.FS, rng *rand.Rand, n int) {
+	dirs := []string{"/"}
+	for i := 0; i < n; i++ {
+		d := dirs[rng.Intn(len(dirs))]
+		name := fmt.Sprintf("e%02d", i)
+		p := path.Join(d, name)
+		switch rng.Intn(3) {
+		case 0:
+			if f.Mkdir(p, 0o755) == nil {
+				dirs = append(dirs, p)
+			}
+		case 1:
+			data := make([]byte, rng.Intn(20))
+			rng.Read(data)
+			_ = f.WriteFile(p, data, 0o644)
+		default:
+			_ = f.Symlink("/tgt", p)
+		}
+	}
+}
+
+func applyRandomMountOps(m *Mount, rng *rand.Rand, n int) {
+	var all []string
+	refresh := func() {
+		all = []string{"/"}
+		_ = m.Walk(func(p string, _ *vfs.Node) error {
+			all = append(all, p)
+			return nil
+		})
+	}
+	for i := 0; i < n; i++ {
+		refresh()
+		target := all[rng.Intn(len(all))]
+		switch rng.Intn(5) {
+		case 0:
+			_ = m.WriteFile(path.Join(target, fmt.Sprintf("w%02d", i)), []byte{byte(i)}, 0o644)
+		case 1:
+			_ = m.Mkdir(path.Join(target, fmt.Sprintf("d%02d", i)), 0o755)
+		case 2:
+			_ = m.Symlink("/x", path.Join(target, fmt.Sprintf("s%02d", i)))
+		case 3:
+			if target != "/" {
+				_ = m.Remove(target)
+			}
+		default:
+			if target != "/" {
+				_ = m.RemoveAll(target)
+			}
+		}
+	}
+}
+
+// Property: remounting the diff over the same lower stack reproduces the
+// identical union view (container stop/start persistence).
+func TestRemountProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lower := vfs.New()
+		buildRandomTree(lower, rng, 20)
+		m, err := New(lower)
+		if err != nil {
+			return false
+		}
+		applyRandomMountOps(m, rng, 30)
+		before := mountSnapshot(m)
+
+		m2, err := NewWithUpper(m.DiffTree(), lower)
+		if err != nil {
+			return false
+		}
+		return mountSnapshot(m2) == before
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUnionStat(b *testing.B) {
+	lower := vfs.New()
+	if err := lower.MkdirAll("/usr/lib/app", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := lower.WriteFile(fmt.Sprintf("/usr/lib/app/f%03d", i), []byte("x"), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m := AttachShared(lower)
+	if err := m.WriteFile("/usr/lib/app/f000", []byte("upper"), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Stat(fmt.Sprintf("/usr/lib/app/f%03d", i%100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package tarstream
+
+import (
+	"testing"
+
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// FuzzUnpack: arbitrary bytes must never panic the unpacker, and any
+// archive it accepts must re-pack deterministically.
+func FuzzUnpack(f *testing.F) {
+	tree := vfs.New()
+	_ = tree.MkdirAll("/d", 0o755)
+	_ = tree.WriteFile("/d/f", []byte("content"), 0o644)
+	_ = tree.Symlink("f", "/d/l")
+	_ = tree.WriteFile("/d/.wh.gone", nil, 0)
+	seed, err := Pack(tree)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte("not a tar archive at all, definitely"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs1, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		a, err := Pack(fs1)
+		if err != nil {
+			t.Fatalf("accepted tree fails to pack: %v", err)
+		}
+		fs2, err := Unpack(a)
+		if err != nil {
+			t.Fatalf("our own archive fails to unpack: %v", err)
+		}
+		b, err := Pack(fs2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatal("pack/unpack not a fixed point")
+		}
+	})
+}
+
+// FuzzGunzip: arbitrary bytes must never panic the decompressor.
+func FuzzGunzip(f *testing.F) {
+	z, err := Gzip([]byte("hello gzip"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(z)
+	f.Add([]byte{0x1f, 0x8b})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Gunzip(data)
+		if err != nil {
+			return
+		}
+		// Accepted payloads round-trip through our compressor.
+		z, err := Gzip(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Gunzip(z)
+		if err != nil || string(back) != string(out) {
+			t.Fatalf("round trip: %v", err)
+		}
+	})
+}

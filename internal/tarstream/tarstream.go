@@ -1,0 +1,411 @@
+// Package tarstream serializes vfs trees to deterministic tar archives and
+// back, including the Docker/OCI whiteout conventions that layered images
+// use to express deletions. Docker stores every layer as a compressed
+// tarball in the registry (§II-B of the Gear paper); this package is the
+// wire format shared by the Docker-baseline registry, the Gear converter
+// (which unpacks layers bottom-up), and the Gear index's single-layer
+// image packaging.
+package tarstream
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path"
+	"strings"
+	"time"
+
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// Whiteout naming follows the OCI image layer specification, which is what
+// Overlay2-backed Docker layers use on the wire.
+const (
+	// WhiteoutPrefix marks a deletion of the suffixed name in lower layers.
+	WhiteoutPrefix = ".wh."
+	// OpaqueMarker inside a directory hides the directory's lower-layer
+	// contents entirely.
+	OpaqueMarker = ".wh..wh..opq"
+)
+
+// ErrCorrupt reports a malformed archive.
+var ErrCorrupt = errors.New("corrupt tar stream")
+
+// epoch is the fixed modification time stamped on all entries so that
+// identical trees always produce byte-identical archives (and therefore
+// identical layer digests, which layer-level dedup depends on).
+var epoch = time.Unix(0, 0)
+
+// Pack serializes the whole tree as an uncompressed tar archive in
+// deterministic order.
+func Pack(f *vfs.FS) ([]byte, error) {
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	err := f.Walk(func(p string, n *vfs.Node) error {
+		return writeEntry(tw, p, n, f)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tarstream: pack: %w", err)
+	}
+	if err := tw.Close(); err != nil {
+		return nil, fmt.Errorf("tarstream: pack close: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func writeEntry(tw *tar.Writer, p string, n *vfs.Node, f *vfs.FS) error {
+	name := strings.TrimPrefix(p, "/")
+	hdr := &tar.Header{
+		Name:    name,
+		Mode:    int64(n.Mode().Perm()),
+		ModTime: epoch,
+	}
+	switch n.Type() {
+	case vfs.TypeDir:
+		hdr.Typeflag = tar.TypeDir
+		hdr.Name += "/"
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		if n.Opaque {
+			opq := &tar.Header{
+				Name:     name + "/" + OpaqueMarker,
+				Mode:     0,
+				ModTime:  epoch,
+				Typeflag: tar.TypeReg,
+			}
+			if err := tw.WriteHeader(opq); err != nil {
+				return err
+			}
+		}
+		return nil
+	case vfs.TypeSymlink:
+		hdr.Typeflag = tar.TypeSymlink
+		hdr.Linkname = n.Target()
+		return tw.WriteHeader(hdr)
+	case vfs.TypeRegular:
+		hdr.Typeflag = tar.TypeReg
+		data := n.Content().Data()
+		hdr.Size = int64(len(data))
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		_, err := tw.Write(data)
+		return err
+	default:
+		return fmt.Errorf("%w: unsupported node type %v at %s", ErrCorrupt, n.Type(), p)
+	}
+}
+
+// PackGz serializes the tree as a gzip-compressed tar archive, the format
+// Docker registries store layers in.
+func PackGz(f *vfs.FS) ([]byte, error) {
+	raw, err := Pack(f)
+	if err != nil {
+		return nil, err
+	}
+	return Gzip(raw)
+}
+
+// Gzip compresses data with deterministic gzip framing.
+func Gzip(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	zw, err := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+	if err != nil {
+		return nil, fmt.Errorf("tarstream: gzip: %w", err)
+	}
+	if _, err := zw.Write(data); err != nil {
+		return nil, fmt.Errorf("tarstream: gzip write: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("tarstream: gzip close: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Gunzip decompresses gzip-framed data.
+func Gunzip(data []byte) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("tarstream: gunzip: %w", err)
+	}
+	out, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("tarstream: gunzip read: %w", err)
+	}
+	if err := zr.Close(); err != nil {
+		return nil, fmt.Errorf("tarstream: gunzip close: %w", err)
+	}
+	return out, nil
+}
+
+// Unpack parses a tar archive into a fresh tree. Whiteout entries are
+// preserved literally (as empty regular files named ".wh.*"); use
+// ApplyLayer to interpret them against a base tree.
+func Unpack(data []byte) (*vfs.FS, error) {
+	f := vfs.New()
+	tr := tar.NewReader(bytes.NewReader(data))
+	for {
+		hdr, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			return f, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tarstream: unpack: %w: %w", ErrCorrupt, err)
+		}
+		p := vfs.Clean(hdr.Name)
+		if p == "/" {
+			continue
+		}
+		if err := f.MkdirAll(path.Dir(p), 0o755); err != nil {
+			return nil, fmt.Errorf("tarstream: unpack %s: %w", p, err)
+		}
+		mode := fs.FileMode(hdr.Mode).Perm()
+		switch hdr.Typeflag {
+		case tar.TypeDir:
+			if f.Exists(p) {
+				continue
+			}
+			if err := f.Mkdir(p, mode); err != nil {
+				return nil, fmt.Errorf("tarstream: unpack %s: %w", p, err)
+			}
+		case tar.TypeReg:
+			content, err := io.ReadAll(tr)
+			if err != nil {
+				return nil, fmt.Errorf("tarstream: unpack %s: %w: %w", p, ErrCorrupt, err)
+			}
+			if err := f.WriteFile(p, content, mode); err != nil {
+				return nil, fmt.Errorf("tarstream: unpack %s: %w", p, err)
+			}
+		case tar.TypeSymlink:
+			if err := f.Symlink(hdr.Linkname, p); err != nil {
+				return nil, fmt.Errorf("tarstream: unpack %s: %w", p, err)
+			}
+		default:
+			return nil, fmt.Errorf("%w: unsupported tar entry type %q at %s",
+				ErrCorrupt, hdr.Typeflag, p)
+		}
+	}
+}
+
+// UnpackGz is Unpack over gzip-compressed data.
+func UnpackGz(data []byte) (*vfs.FS, error) {
+	raw, err := Gunzip(data)
+	if err != nil {
+		return nil, err
+	}
+	return Unpack(raw)
+}
+
+// IsWhiteout reports whether base name marks a lower-layer deletion, and
+// returns the hidden name. The opaque marker is not a whiteout.
+func IsWhiteout(name string) (hidden string, ok bool) {
+	if name == OpaqueMarker {
+		return "", false
+	}
+	if strings.HasPrefix(name, WhiteoutPrefix) {
+		return strings.TrimPrefix(name, WhiteoutPrefix), true
+	}
+	return "", false
+}
+
+// ApplyLayer merges a layer diff (as produced by Unpack, with literal
+// whiteout entries) into base, implementing Overlay2's union semantics:
+// whiteouts delete lower entries, the opaque marker clears a directory,
+// and every other entry replaces or adds to base.
+//
+// Opaque directories are cleared in a first pass — before any sibling
+// entries are applied — because tar walk order is lexicographic and the
+// ".wh..wh..opq" marker can otherwise sort after entries it must not
+// erase (e.g. ".bashrc").
+func ApplyLayer(base *vfs.FS, layer *vfs.FS) error {
+	// Pass 1: opaque directory clears (literal markers or Opaque flags).
+	err := layer.Walk(func(p string, n *vfs.Node) error {
+		var dir string
+		switch {
+		case path.Base(p) == OpaqueMarker:
+			dir = vfs.Clean(path.Dir(p))
+		case n.Type() == vfs.TypeDir && n.Opaque:
+			dir = p
+		default:
+			return nil
+		}
+		if err := base.RemoveAll(dir); err != nil {
+			return err
+		}
+		return base.MkdirAll(dir, 0o755)
+	})
+	if err != nil {
+		return fmt.Errorf("tarstream: apply layer opaque: %w", err)
+	}
+
+	// Pass 2: whiteouts, additions, and replacements.
+	err = layer.Walk(func(p string, n *vfs.Node) error {
+		dir, name := path.Split(p)
+		dir = vfs.Clean(dir)
+
+		if name == OpaqueMarker {
+			return nil // handled in pass 1
+		}
+		if hidden, ok := IsWhiteout(name); ok {
+			target := path.Join(dir, hidden)
+			return base.RemoveAll(target)
+		}
+
+		switch n.Type() {
+		case vfs.TypeDir:
+			if existing, err := base.Stat(p); err == nil && !existing.IsDir() {
+				if err := base.Remove(p); err != nil {
+					return err
+				}
+			}
+			return base.MkdirAll(p, n.Mode())
+		case vfs.TypeRegular:
+			if existing, err := base.Stat(p); err == nil && existing.IsDir() {
+				if err := base.RemoveAll(p); err != nil {
+					return err
+				}
+			}
+			return base.WriteFile(p, n.Content().Data(), n.Mode())
+		case vfs.TypeSymlink:
+			if existing, err := base.Stat(p); err == nil && existing.IsDir() {
+				if err := base.RemoveAll(p); err != nil {
+					return err
+				}
+			}
+			return base.Symlink(n.Target(), p)
+		default:
+			return fmt.Errorf("%w: node type %v at %s", ErrCorrupt, n.Type(), p)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("tarstream: apply layer: %w", err)
+	}
+	return nil
+}
+
+// LayerStats summarizes a layer's visible payload: whiteout markers are
+// counted separately from real entries.
+type LayerStats struct {
+	Entries   int   // real files/dirs/symlinks
+	Whiteouts int   // deletion markers (including opaque)
+	Bytes     int64 // regular-file payload bytes
+}
+
+// StatsOf inspects a layer tree.
+func StatsOf(layer *vfs.FS) LayerStats {
+	var s LayerStats
+	_ = layer.Walk(func(p string, n *vfs.Node) error {
+		name := path.Base(p)
+		if _, ok := IsWhiteout(name); ok || name == OpaqueMarker {
+			s.Whiteouts++
+			return nil
+		}
+		s.Entries++
+		if n.Type() == vfs.TypeRegular {
+			s.Bytes += n.Size()
+		}
+		return nil
+	})
+	return s
+}
+
+// Diff computes the layer tree that transforms base into next: changed and
+// added entries appear literally, deletions appear as whiteout files. The
+// result round-trips through ApplyLayer(base, Diff(base, next)) == next.
+func Diff(base, next *vfs.FS) (*vfs.FS, error) {
+	layer := vfs.New()
+
+	// Additions and modifications.
+	err := next.Walk(func(p string, n *vfs.Node) error {
+		old, statErr := base.Stat(p)
+		if statErr == nil && sameNode(old, n) {
+			return nil
+		}
+		if err := layer.MkdirAll(path.Dir(p), 0o755); err != nil {
+			return err
+		}
+		switch n.Type() {
+		case vfs.TypeDir:
+			// A dir replacing a non-dir must whiteout the old entry first.
+			if statErr == nil && !old.IsDir() {
+				if err := writeWhiteout(layer, p); err != nil {
+					return err
+				}
+			}
+			return layer.MkdirAll(p, n.Mode())
+		case vfs.TypeRegular:
+			return layer.WriteFile(p, n.Content().Data(), n.Mode())
+		case vfs.TypeSymlink:
+			return layer.Symlink(n.Target(), p)
+		default:
+			return fmt.Errorf("%w: node type %v at %s", ErrCorrupt, n.Type(), p)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tarstream: diff: %w", err)
+	}
+
+	// Deletions.
+	err = base.Walk(func(p string, n *vfs.Node) error {
+		if next.Exists(p) {
+			return nil
+		}
+		// Skip children of already-whiteouted directories.
+		parent := path.Dir(p)
+		if parent != "/" && !next.Exists(parent) {
+			return nil
+		}
+		if err := layer.MkdirAll(path.Dir(p), 0o755); err != nil {
+			return err
+		}
+		// A replacement (e.g. file -> dir handled above) may already have
+		// an entry; a pure deletion needs a whiteout.
+		if n.Type() == vfs.TypeDir {
+			// Directory replaced by file/symlink: the new entry already
+			// overwrites it under ApplyLayer semantics; only emit a
+			// whiteout when nothing replaces it.
+			if layerHas(layer, p) {
+				return nil
+			}
+		}
+		if layerHas(layer, p) {
+			return nil
+		}
+		return writeWhiteout(layer, p)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tarstream: diff deletions: %w", err)
+	}
+	return layer, nil
+}
+
+func layerHas(layer *vfs.FS, p string) bool {
+	return layer.Exists(p)
+}
+
+func writeWhiteout(layer *vfs.FS, p string) error {
+	dir, name := path.Split(p)
+	wh := path.Join(vfs.Clean(dir), WhiteoutPrefix+name)
+	return layer.WriteFile(wh, nil, 0)
+}
+
+func sameNode(a, b *vfs.Node) bool {
+	if a.Type() != b.Type() || a.Mode() != b.Mode() {
+		return false
+	}
+	switch a.Type() {
+	case vfs.TypeDir:
+		return true
+	case vfs.TypeSymlink:
+		return a.Target() == b.Target()
+	case vfs.TypeRegular:
+		return bytes.Equal(a.Content().Data(), b.Content().Data())
+	default:
+		return false
+	}
+}

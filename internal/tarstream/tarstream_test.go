@@ -1,0 +1,532 @@
+package tarstream
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// buildTree constructs a small fixture tree.
+func buildTree(t *testing.T) *vfs.FS {
+	t.Helper()
+	f := vfs.New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(f.MkdirAll("/etc/app", 0o755))
+	must(f.MkdirAll("/usr/bin", 0o755))
+	must(f.WriteFile("/etc/app/conf", []byte("key=value\n"), 0o644))
+	must(f.WriteFile("/usr/bin/app", bytes.Repeat([]byte{0x7f}, 1024), 0o755))
+	must(f.Symlink("app", "/usr/bin/app-latest"))
+	return f
+}
+
+func treeEqual(a, b *vfs.FS) (string, bool) {
+	snap := func(f *vfs.FS) string {
+		var sb strings.Builder
+		_ = f.Walk(func(p string, n *vfs.Node) error {
+			var body string
+			if n.Type() == vfs.TypeRegular {
+				body = string(n.Content().Data())
+			}
+			fmt.Fprintf(&sb, "%s %v %o %q %q\n", p, n.Type(), n.Mode(), n.Target(), body)
+			return nil
+		})
+		return sb.String()
+	}
+	sa, sb := snap(a), snap(b)
+	if sa == sb {
+		return "", true
+	}
+	return fmt.Sprintf("--- a\n%s--- b\n%s", sa, sb), false
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := buildTree(t)
+	data, err := Pack(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Unpack(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff, ok := treeEqual(f, g); !ok {
+		t.Errorf("round trip mismatch:\n%s", diff)
+	}
+}
+
+func TestPackDeterministic(t *testing.T) {
+	f := buildTree(t)
+	a, err := Pack(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Pack(f.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("identical trees produced different archives")
+	}
+	ga, err := PackGz(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := PackGz(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ga, gb) {
+		t.Error("identical trees produced different gzip archives")
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	in := bytes.Repeat([]byte("compressible "), 100)
+	z, err := Gzip(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) >= len(in) {
+		t.Errorf("gzip did not compress: %d >= %d", len(z), len(in))
+	}
+	out, err := Gunzip(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Error("gzip round trip mismatch")
+	}
+}
+
+func TestGunzipCorrupt(t *testing.T) {
+	if _, err := Gunzip([]byte("not gzip")); err == nil {
+		t.Error("Gunzip accepted garbage")
+	}
+}
+
+func TestUnpackGz(t *testing.T) {
+	f := buildTree(t)
+	data, err := PackGz(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := UnpackGz(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff, ok := treeEqual(f, g); !ok {
+		t.Errorf("gz round trip mismatch:\n%s", diff)
+	}
+}
+
+func TestUnpackCorrupt(t *testing.T) {
+	if _, err := Unpack([]byte("definitely not a tar archive")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestIsWhiteout(t *testing.T) {
+	tests := []struct {
+		name   string
+		hidden string
+		ok     bool
+	}{
+		{".wh.foo", "foo", true},
+		{".wh..hidden", ".hidden", true},
+		{OpaqueMarker, "", false},
+		{"foo", "", false},
+		{"wh.foo", "", false},
+	}
+	for _, tt := range tests {
+		hidden, ok := IsWhiteout(tt.name)
+		if hidden != tt.hidden || ok != tt.ok {
+			t.Errorf("IsWhiteout(%q) = %q,%v; want %q,%v", tt.name, hidden, ok, tt.hidden, tt.ok)
+		}
+	}
+}
+
+func TestApplyLayerWhiteout(t *testing.T) {
+	base := vfs.New()
+	if err := base.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.WriteFile("/d/gone", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.WriteFile("/d/kept", []byte("y"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	layer := vfs.New()
+	if err := layer.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := layer.WriteFile("/d/.wh.gone", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := layer.WriteFile("/d/new", []byte("z"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ApplyLayer(base, layer); err != nil {
+		t.Fatal(err)
+	}
+	if base.Exists("/d/gone") {
+		t.Error("whiteout did not delete /d/gone")
+	}
+	for p, want := range map[string]string{"/d/kept": "y", "/d/new": "z"} {
+		got, err := base.ReadFile(p)
+		if err != nil || string(got) != want {
+			t.Errorf("ReadFile(%s) = %q, %v; want %q", p, got, err, want)
+		}
+	}
+	if base.Exists("/d/.wh.gone") {
+		t.Error("whiteout marker leaked into base")
+	}
+}
+
+func TestApplyLayerOpaqueBeforeSiblings(t *testing.T) {
+	// Regression: the opaque marker sorts after dot-files like ".bashrc";
+	// it must still clear only LOWER content, never this layer's entries.
+	base := vfs.New()
+	if err := base.MkdirAll("/home", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.WriteFile("/home/old", []byte("lower"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	layer := vfs.New()
+	if err := layer.MkdirAll("/home", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := layer.WriteFile("/home/"+OpaqueMarker, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := layer.WriteFile("/home/.bashrc", []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ApplyLayer(base, layer); err != nil {
+		t.Fatal(err)
+	}
+	if base.Exists("/home/old") {
+		t.Error("opaque marker did not clear lower content")
+	}
+	got, err := base.ReadFile("/home/.bashrc")
+	if err != nil || string(got) != "new" {
+		t.Errorf("/home/.bashrc = %q, %v; layer entry erased by opaque marker", got, err)
+	}
+}
+
+func TestApplyLayerOpaqueFlag(t *testing.T) {
+	base := vfs.New()
+	if err := base.MkdirAll("/opt", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.WriteFile("/opt/lower", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	layer := vfs.New()
+	if err := layer.MkdirAll("/opt", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	n, err := layer.Stat("/opt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Opaque = true
+	if err := ApplyLayer(base, layer); err != nil {
+		t.Fatal(err)
+	}
+	if base.Exists("/opt/lower") {
+		t.Error("Opaque flag not honored")
+	}
+}
+
+func TestApplyLayerTypeReplacements(t *testing.T) {
+	base := vfs.New()
+	if err := base.MkdirAll("/a/dir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.WriteFile("/a/dir/child", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.WriteFile("/a/file", []byte("f"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	layer := vfs.New()
+	if err := layer.MkdirAll("/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// dir -> regular file
+	if err := layer.WriteFile("/a/dir", []byte("now a file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// file -> dir
+	if err := layer.MkdirAll("/a/file", 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ApplyLayer(base, layer); err != nil {
+		t.Fatal(err)
+	}
+	n, err := base.Stat("/a/dir")
+	if err != nil || n.Type() != vfs.TypeRegular {
+		t.Errorf("/a/dir = %v, %v; want regular", n, err)
+	}
+	n, err = base.Stat("/a/file")
+	if err != nil || !n.IsDir() {
+		t.Errorf("/a/file = %v, %v; want dir", n, err)
+	}
+}
+
+func TestDiffAndApplyBasic(t *testing.T) {
+	base := buildTree(t)
+	next := base.Clone()
+	if err := next.WriteFile("/etc/app/conf", []byte("key=other\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := next.WriteFile("/etc/app/extra", []byte("e"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := next.Remove("/usr/bin/app-latest"); err != nil {
+		t.Fatal(err)
+	}
+
+	layer, err := Diff(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := StatsOf(layer)
+	if s.Whiteouts != 1 {
+		t.Errorf("whiteouts = %d, want 1", s.Whiteouts)
+	}
+
+	got := base.Clone()
+	if err := ApplyLayer(got, layer); err != nil {
+		t.Fatal(err)
+	}
+	if diff, ok := treeEqual(got, next); !ok {
+		t.Errorf("apply(diff) != next:\n%s", diff)
+	}
+}
+
+func TestDiffEmptyForIdenticalTrees(t *testing.T) {
+	base := buildTree(t)
+	layer, err := Diff(base, base.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := StatsOf(layer)
+	if s.Bytes != 0 || s.Whiteouts != 0 {
+		t.Errorf("diff of identical trees: %+v", s)
+	}
+}
+
+func TestDiffDeletedSubtreeEmitsSingleWhiteout(t *testing.T) {
+	base := vfs.New()
+	if err := base.MkdirAll("/big/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := base.WriteFile(fmt.Sprintf("/big/sub/f%d", i), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next := vfs.New()
+	layer, err := Diff(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := StatsOf(layer)
+	if s.Whiteouts != 1 {
+		t.Errorf("whiteouts = %d, want 1 (only the subtree root)", s.Whiteouts)
+	}
+	got := base.Clone()
+	if err := ApplyLayer(got, layer); err != nil {
+		t.Fatal(err)
+	}
+	if got.Exists("/big") {
+		t.Error("subtree not removed")
+	}
+}
+
+func TestStatsOf(t *testing.T) {
+	layer := vfs.New()
+	if err := layer.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := layer.WriteFile("/d/f", make([]byte, 10), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := layer.WriteFile("/d/.wh.x", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := layer.WriteFile("/d/"+OpaqueMarker, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := StatsOf(layer)
+	if s.Entries != 2 || s.Whiteouts != 2 || s.Bytes != 10 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// randomMutate applies n random mutations to f.
+func randomMutate(f *vfs.FS, rng *rand.Rand, n int) {
+	var files, dirs []string
+	collect := func() {
+		files, dirs = nil, []string{"/"}
+		_ = f.Walk(func(p string, node *vfs.Node) error {
+			if node.IsDir() {
+				dirs = append(dirs, p)
+			} else {
+				files = append(files, p)
+			}
+			return nil
+		})
+	}
+	for i := 0; i < n; i++ {
+		collect()
+		switch rng.Intn(5) {
+		case 0: // new file
+			d := dirs[rng.Intn(len(dirs))]
+			data := make([]byte, rng.Intn(32))
+			rng.Read(data)
+			_ = f.WriteFile(path.Join(d, fmt.Sprintf("nf%d", rng.Int31())), data, 0o644)
+		case 1: // new dir
+			d := dirs[rng.Intn(len(dirs))]
+			_ = f.Mkdir(path.Join(d, fmt.Sprintf("nd%d", rng.Int31())), 0o755)
+		case 2: // modify file
+			if len(files) > 0 {
+				p := files[rng.Intn(len(files))]
+				_ = f.WriteFile(p, []byte(fmt.Sprintf("mod%d", rng.Int31())), 0o644)
+			}
+		case 3: // delete something
+			if len(files) > 0 {
+				_ = f.RemoveAll(files[rng.Intn(len(files))])
+			} else if len(dirs) > 1 {
+				_ = f.RemoveAll(dirs[1+rng.Intn(len(dirs)-1)])
+			}
+		default: // symlink
+			d := dirs[rng.Intn(len(dirs))]
+			_ = f.Symlink("/etc", path.Join(d, fmt.Sprintf("ln%d", rng.Int31())))
+		}
+	}
+}
+
+// Property: ApplyLayer(base, Diff(base, next)) reconstructs next exactly,
+// for arbitrary mutation sequences, and the layer survives a tar round
+// trip unchanged.
+func TestDiffApplyRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := vfs.New()
+		randomMutate(base, rng, 30)
+		next := base.Clone()
+		randomMutate(next, rng, 20)
+
+		layer, err := Diff(base, next)
+		if err != nil {
+			return false
+		}
+		// Tar round trip of the layer.
+		data, err := Pack(layer)
+		if err != nil {
+			return false
+		}
+		layer2, err := Unpack(data)
+		if err != nil {
+			return false
+		}
+		got := base.Clone()
+		if err := ApplyLayer(got, layer2); err != nil {
+			return false
+		}
+		_, ok := treeEqual(got, next)
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Pack is deterministic for random trees.
+func TestPackDeterministicProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := vfs.New()
+		randomMutate(f, rng, 40)
+		a, err := Pack(f)
+		if err != nil {
+			return false
+		}
+		b, err := Pack(f.Clone())
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(a, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPack(b *testing.B) {
+	f := vfs.New()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		data := make([]byte, 2048)
+		rng.Read(data)
+		if err := f.WriteFile(fmt.Sprintf("/f%03d", i), data, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.SetBytes(200 * 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Pack(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApplyLayer(b *testing.B) {
+	base := vfs.New()
+	layer := vfs.New()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		data := make([]byte, 512)
+		rng.Read(data)
+		if err := base.WriteFile(fmt.Sprintf("/f%03d", i), data, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := layer.WriteFile(fmt.Sprintf("/f%03d", i), []byte("new"), 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := base.Clone()
+		if err := ApplyLayer(target, layer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,523 @@
+// Package vfs implements the in-memory filesystem substrate used throughout
+// the Gear reproduction. It models the subset of POSIX semantics that
+// container images rely on: directories, regular files, symbolic links,
+// hard links (shared, reference-counted content), permission bits, and a
+// deterministic tree walk.
+//
+// All container layers, overlay mounts, Gear indexes, and container root
+// filesystems in this repository are vfs trees. Keeping the filesystem in
+// memory is the substitution for the paper's on-disk EXT4/Overlay2 stack;
+// the structural operations (lookup, link, whiteout, copy-up) are identical.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Sentinel errors returned by filesystem operations. They are comparable
+// with errors.Is after being wrapped with path context.
+var (
+	ErrNotExist = errors.New("file does not exist")
+	ErrExist    = errors.New("file already exists")
+	ErrNotDir   = errors.New("not a directory")
+	ErrIsDir    = errors.New("is a directory")
+	ErrNotEmpty = errors.New("directory not empty")
+	ErrInvalid  = errors.New("invalid argument")
+)
+
+// FileType identifies the kind of a filesystem node.
+type FileType int
+
+// Node types. TypeRegular covers both ordinary files and Gear fingerprint
+// placeholders (the distinction lives in higher layers).
+const (
+	TypeRegular FileType = iota + 1
+	TypeDir
+	TypeSymlink
+)
+
+// String returns a short human-readable name for the type.
+func (t FileType) String() string {
+	switch t {
+	case TypeRegular:
+		return "regular"
+	case TypeDir:
+		return "dir"
+	case TypeSymlink:
+		return "symlink"
+	default:
+		return fmt.Sprintf("FileType(%d)", int(t))
+	}
+}
+
+// Content is reference-counted regular-file content. Hard links share one
+// Content; the link count tracks how many nodes point at it. The Gear local
+// cache exploits this to "hard link" pool files into container indexes
+// exactly as the paper's three-level storage structure does (§III-D1).
+type Content struct {
+	data  []byte
+	nlink int
+}
+
+// Data returns the content bytes. Callers must not mutate the result.
+func (c *Content) Data() []byte { return c.data }
+
+// Size returns the content length in bytes.
+func (c *Content) Size() int64 { return int64(len(c.data)) }
+
+// Nlink returns the current hard-link count.
+func (c *Content) Nlink() int { return c.nlink }
+
+// NewContent wraps data in a Content with a zero link count. The caller
+// owns data and must not mutate it afterwards.
+func NewContent(data []byte) *Content { return &Content{data: data} }
+
+// Node is a single entry in the filesystem tree.
+type Node struct {
+	name     string
+	typ      FileType
+	mode     fs.FileMode
+	content  *Content // regular files only
+	target   string   // symlinks only
+	children map[string]*Node
+	// Opaque marks a directory that hides lower-layer entries under
+	// overlay union semantics (Overlay2's "trusted.overlay.opaque").
+	Opaque bool
+}
+
+// Name returns the node's base name ("" for the root).
+func (n *Node) Name() string { return n.name }
+
+// Type returns the node type.
+func (n *Node) Type() FileType { return n.typ }
+
+// Mode returns the permission bits.
+func (n *Node) Mode() fs.FileMode { return n.mode }
+
+// SetMode replaces the permission bits.
+func (n *Node) SetMode(m fs.FileMode) { n.mode = m }
+
+// Target returns the symlink target; empty for non-symlinks.
+func (n *Node) Target() string { return n.target }
+
+// Content returns the shared content of a regular file, nil otherwise.
+func (n *Node) Content() *Content { return n.content }
+
+// Size returns the byte size of a regular file, the length of a symlink
+// target, and zero for directories.
+func (n *Node) Size() int64 {
+	switch n.typ {
+	case TypeRegular:
+		return n.content.Size()
+	case TypeSymlink:
+		return int64(len(n.target))
+	default:
+		return 0
+	}
+}
+
+// IsDir reports whether the node is a directory.
+func (n *Node) IsDir() bool { return n.typ == TypeDir }
+
+// ChildNames returns the sorted names of a directory's entries.
+func (n *Node) ChildNames() []string {
+	if n.typ != TypeDir {
+		return nil
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Child returns the named child of a directory, or nil.
+func (n *Node) Child(name string) *Node {
+	if n.typ != TypeDir {
+		return nil
+	}
+	return n.children[name]
+}
+
+// NumChildren returns the number of entries in a directory.
+func (n *Node) NumChildren() int { return len(n.children) }
+
+// FS is an in-memory filesystem rooted at "/". The zero value is not
+// usable; construct with New.
+type FS struct {
+	root *Node
+}
+
+// New returns an empty filesystem containing only the root directory.
+func New() *FS {
+	return &FS{root: &Node{
+		typ:      TypeDir,
+		mode:     0o755,
+		children: make(map[string]*Node),
+	}}
+}
+
+// Root returns the root directory node.
+func (f *FS) Root() *Node { return f.root }
+
+// pathError wraps err with the operation and path for context.
+func pathError(op, p string, err error) error {
+	return fmt.Errorf("%s %s: %w", op, p, err)
+}
+
+// Clean normalizes p to a slash-rooted clean path ("/a/b"). An empty path
+// or "." becomes "/".
+func Clean(p string) string {
+	p = path.Clean("/" + p)
+	return p
+}
+
+// Split breaks a cleaned path into its segments; "/" yields nil.
+func Split(p string) []string {
+	p = Clean(p)
+	if p == "/" {
+		return nil
+	}
+	return strings.Split(strings.TrimPrefix(p, "/"), "/")
+}
+
+// lookup walks to the node at p without following a trailing symlink.
+func (f *FS) lookup(p string) (*Node, error) {
+	parts := Split(p)
+	cur := f.root
+	for i, part := range parts {
+		if cur.typ != TypeDir {
+			return nil, ErrNotDir
+		}
+		next := cur.children[part]
+		if next == nil {
+			return nil, ErrNotExist
+		}
+		if i < len(parts)-1 && next.typ == TypeSymlink {
+			// Intermediate symlinks are not followed: images are
+			// self-contained trees and layer application operates on
+			// literal paths, matching tar extraction semantics.
+			return nil, ErrNotDir
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// lookupParent returns the directory containing p and p's base name.
+func (f *FS) lookupParent(p string) (*Node, string, error) {
+	p = Clean(p)
+	if p == "/" {
+		return nil, "", ErrInvalid
+	}
+	dir, base := path.Split(p)
+	parent, err := f.lookup(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if parent.typ != TypeDir {
+		return nil, "", ErrNotDir
+	}
+	return parent, base, nil
+}
+
+// Stat returns the node at p.
+func (f *FS) Stat(p string) (*Node, error) {
+	n, err := f.lookup(p)
+	if err != nil {
+		return nil, pathError("stat", Clean(p), err)
+	}
+	return n, nil
+}
+
+// Exists reports whether a node exists at p.
+func (f *FS) Exists(p string) bool {
+	_, err := f.lookup(p)
+	return err == nil
+}
+
+// Mkdir creates a single directory at p.
+func (f *FS) Mkdir(p string, mode fs.FileMode) error {
+	parent, base, err := f.lookupParent(p)
+	if err != nil {
+		return pathError("mkdir", Clean(p), err)
+	}
+	if _, ok := parent.children[base]; ok {
+		return pathError("mkdir", Clean(p), ErrExist)
+	}
+	parent.children[base] = &Node{
+		name:     base,
+		typ:      TypeDir,
+		mode:     mode.Perm(),
+		children: make(map[string]*Node),
+	}
+	return nil
+}
+
+// MkdirAll creates the directory at p along with any missing parents.
+// Existing directories along the way are left untouched.
+func (f *FS) MkdirAll(p string, mode fs.FileMode) error {
+	parts := Split(p)
+	cur := f.root
+	for _, part := range parts {
+		next := cur.children[part]
+		if next == nil {
+			next = &Node{
+				name:     part,
+				typ:      TypeDir,
+				mode:     mode.Perm(),
+				children: make(map[string]*Node),
+			}
+			cur.children[part] = next
+		} else if next.typ != TypeDir {
+			return pathError("mkdir", Clean(p), ErrNotDir)
+		}
+		cur = next
+	}
+	return nil
+}
+
+// WriteFile creates or replaces the regular file at p with data. The parent
+// directory must exist. Replacing breaks any hard links (a fresh Content is
+// installed), matching write-through-rename semantics used by tar unpack.
+func (f *FS) WriteFile(p string, data []byte, mode fs.FileMode) error {
+	parent, base, err := f.lookupParent(p)
+	if err != nil {
+		return pathError("write", Clean(p), err)
+	}
+	if old, ok := parent.children[base]; ok {
+		if old.typ == TypeDir {
+			return pathError("write", Clean(p), ErrIsDir)
+		}
+		f.unlinkNode(old)
+	}
+	content := &Content{data: data, nlink: 1}
+	parent.children[base] = &Node{
+		name:    base,
+		typ:     TypeRegular,
+		mode:    mode.Perm(),
+		content: content,
+	}
+	return nil
+}
+
+// PutContent installs shared content at p, creating a hard link to it.
+// It is the primitive behind the Gear cache's link-into-index operation.
+func (f *FS) PutContent(p string, c *Content, mode fs.FileMode) error {
+	parent, base, err := f.lookupParent(p)
+	if err != nil {
+		return pathError("link", Clean(p), err)
+	}
+	if old, ok := parent.children[base]; ok {
+		if old.typ == TypeDir {
+			return pathError("link", Clean(p), ErrIsDir)
+		}
+		f.unlinkNode(old)
+	}
+	c.nlink++
+	parent.children[base] = &Node{
+		name:    base,
+		typ:     TypeRegular,
+		mode:    mode.Perm(),
+		content: c,
+	}
+	return nil
+}
+
+// ReadFile returns the content bytes of the regular file at p. The result
+// must not be mutated.
+func (f *FS) ReadFile(p string) ([]byte, error) {
+	n, err := f.lookup(p)
+	if err != nil {
+		return nil, pathError("read", Clean(p), err)
+	}
+	if n.typ == TypeDir {
+		return nil, pathError("read", Clean(p), ErrIsDir)
+	}
+	if n.typ != TypeRegular {
+		return nil, pathError("read", Clean(p), ErrInvalid)
+	}
+	return n.content.data, nil
+}
+
+// Symlink creates a symbolic link at p pointing at target.
+func (f *FS) Symlink(target, p string) error {
+	parent, base, err := f.lookupParent(p)
+	if err != nil {
+		return pathError("symlink", Clean(p), err)
+	}
+	if old, ok := parent.children[base]; ok {
+		if old.typ == TypeDir {
+			return pathError("symlink", Clean(p), ErrIsDir)
+		}
+		f.unlinkNode(old)
+	}
+	parent.children[base] = &Node{
+		name:   base,
+		typ:    TypeSymlink,
+		mode:   0o777,
+		target: target,
+	}
+	return nil
+}
+
+// Link creates a hard link at newp to the regular file at oldp.
+func (f *FS) Link(oldp, newp string) error {
+	n, err := f.lookup(oldp)
+	if err != nil {
+		return pathError("link", Clean(oldp), err)
+	}
+	if n.typ != TypeRegular {
+		return pathError("link", Clean(oldp), ErrInvalid)
+	}
+	return f.PutContent(newp, n.content, n.mode)
+}
+
+// unlinkNode drops one reference from a non-directory node's content.
+func (f *FS) unlinkNode(n *Node) {
+	if n.typ == TypeRegular && n.content != nil {
+		n.content.nlink--
+	}
+}
+
+// Remove deletes the file, symlink, or empty directory at p.
+func (f *FS) Remove(p string) error {
+	parent, base, err := f.lookupParent(p)
+	if err != nil {
+		return pathError("remove", Clean(p), err)
+	}
+	n, ok := parent.children[base]
+	if !ok {
+		return pathError("remove", Clean(p), ErrNotExist)
+	}
+	if n.typ == TypeDir && len(n.children) > 0 {
+		return pathError("remove", Clean(p), ErrNotEmpty)
+	}
+	f.unlinkNode(n)
+	delete(parent.children, base)
+	return nil
+}
+
+// RemoveAll deletes p and everything below it. Removing "/" empties the
+// filesystem. A missing path is not an error, matching os.RemoveAll.
+func (f *FS) RemoveAll(p string) error {
+	p = Clean(p)
+	if p == "/" {
+		for _, c := range f.root.children {
+			releaseTree(c)
+		}
+		f.root.children = make(map[string]*Node)
+		return nil
+	}
+	parent, base, err := f.lookupParent(p)
+	if err != nil {
+		if errors.Is(err, ErrNotExist) {
+			return nil
+		}
+		return pathError("removeall", p, err)
+	}
+	n, ok := parent.children[base]
+	if !ok {
+		return nil
+	}
+	releaseTree(n)
+	delete(parent.children, base)
+	return nil
+}
+
+// releaseTree walks a subtree dropping content references.
+func releaseTree(n *Node) {
+	if n.typ == TypeRegular && n.content != nil {
+		n.content.nlink--
+		return
+	}
+	for _, c := range n.children {
+		releaseTree(c)
+	}
+}
+
+// WalkFunc visits one node during a Walk. p is the full cleaned path.
+// Returning an error aborts the walk and is returned from Walk.
+type WalkFunc func(p string, n *Node) error
+
+// Walk visits every node in deterministic (pre-order, lexicographic)
+// order, starting at the root. The root itself is not visited.
+func (f *FS) Walk(fn WalkFunc) error {
+	return walkNode("", f.root, fn)
+}
+
+func walkNode(prefix string, dir *Node, fn WalkFunc) error {
+	for _, name := range dir.ChildNames() {
+		child := dir.children[name]
+		p := prefix + "/" + name
+		if err := fn(p, child); err != nil {
+			return err
+		}
+		if child.typ == TypeDir {
+			if err := walkNode(p, child, fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the filesystem. Regular-file content is
+// shared structurally (copy-on-write at the node level): clones get fresh
+// Content wrappers over the same byte slices, so mutating one tree never
+// disturbs the other's link counts.
+func (f *FS) Clone() *FS {
+	return &FS{root: cloneNode(f.root)}
+}
+
+func cloneNode(n *Node) *Node {
+	c := &Node{
+		name:   n.name,
+		typ:    n.typ,
+		mode:   n.mode,
+		target: n.target,
+		Opaque: n.Opaque,
+	}
+	if n.typ == TypeRegular {
+		c.content = &Content{data: n.content.data, nlink: 1}
+	}
+	if n.typ == TypeDir {
+		c.children = make(map[string]*Node, len(n.children))
+		for name, child := range n.children {
+			c.children[name] = cloneNode(child)
+		}
+	}
+	return c
+}
+
+// Stats summarizes a filesystem tree.
+type Stats struct {
+	Files    int   // regular files
+	Dirs     int   // directories (excluding the root)
+	Symlinks int   // symbolic links
+	Bytes    int64 // total regular-file bytes (hard links counted once per node)
+}
+
+// Stats walks the tree and returns aggregate counts.
+func (f *FS) Stats() Stats {
+	var s Stats
+	_ = f.Walk(func(_ string, n *Node) error {
+		switch n.typ {
+		case TypeRegular:
+			s.Files++
+			s.Bytes += n.Size()
+		case TypeDir:
+			s.Dirs++
+		case TypeSymlink:
+			s.Symlinks++
+		}
+		return nil
+	})
+	return s
+}
