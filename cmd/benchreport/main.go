@@ -8,7 +8,8 @@
 //	benchreport -exp fig9 -quick         # one experiment, reduced scale
 //	benchreport -exp table2 -scale 0.5   # custom scale
 //
-// Experiments: table2, fig2, fig6, fig7, fig8, fig9, fig10, fig11, all.
+// Experiments: inventory, table2, fig2, fig6, fig7, fig8, fig9, fig10,
+// fig11, extload, extcache, extparallel, all.
 package main
 
 import (

@@ -17,6 +17,7 @@
 //	fig11  — long-running throughput and short-running lifecycle
 //	extload — extension: registry egress under a client fleet
 //	extcache — extension: level-1 cache capacity/policy ablation
+//	extparallel — extension: concurrent fetch engine worker sweep
 package experiments
 
 import (
@@ -242,6 +243,7 @@ func All() []Runner {
 		{"fig11", "Fig 11: long-running and short-running workloads", runFig11},
 		{"extload", "Extension: registry egress under a client fleet", runExtLoad},
 		{"extcache", "Extension: level-1 cache capacity/policy ablation", runExtCache},
+		{"extparallel", "Extension: concurrent fetch engine worker sweep", runExtParallel},
 	}
 }
 
@@ -301,6 +303,8 @@ func Result(id string, cfg Config) (any, error) {
 		return RunExtLoad(cfg)
 	case "extcache":
 		return RunExtCache(cfg)
+	case "extparallel":
+		return RunExtParallel(cfg)
 	default:
 		return nil, fmt.Errorf("experiments: %q: %w", id, ErrUnknownExperiment)
 	}

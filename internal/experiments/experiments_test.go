@@ -29,7 +29,7 @@ func TestRunDispatch(t *testing.T) {
 		t.Errorf("err = %v, want ErrUnknownExperiment", err)
 	}
 	ids := IDs()
-	if len(ids) != 11 || ids[0] != "inventory" || ids[10] != "extcache" {
+	if len(ids) != 12 || ids[0] != "inventory" || ids[11] != "extparallel" {
 		t.Errorf("ids = %v", ids)
 	}
 	for _, id := range ids {
@@ -358,6 +358,40 @@ func TestExtCacheShape(t *testing.T) {
 	res.Print(&buf)
 	if !strings.Contains(buf.String(), "unlimited") {
 		t.Error("print missing unlimited row")
+	}
+}
+
+func TestExtParallelShape(t *testing.T) {
+	res, err := RunExtParallel(mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(extParallelWorkers) || res.Deploys == 0 {
+		t.Fatalf("shape = %d points, %d deploys", len(res.Points), res.Deploys)
+	}
+	base := res.Points[0]
+	if base.Workers != 1 || base.Speedup != 1 {
+		t.Errorf("baseline point = workers %d, speedup %.2f", base.Workers, base.Speedup)
+	}
+	for i, p := range res.Points {
+		// Parallelism must not change what is fetched.
+		if p.Bytes != base.Bytes || p.Requests != base.Requests {
+			t.Errorf("workers=%d: bytes/requests = %d/%d, want %d/%d",
+				p.Workers, p.Bytes, p.Requests, base.Bytes, base.Requests)
+		}
+		// Deploy time is monotonically non-increasing in workers.
+		if i > 0 && p.DeployTime > res.Points[i-1].DeployTime {
+			t.Errorf("deploy time rose from workers=%d (%v) to workers=%d (%v)",
+				res.Points[i-1].Workers, res.Points[i-1].DeployTime, p.Workers, p.DeployTime)
+		}
+	}
+	if last := res.Points[len(res.Points)-1]; last.Speedup < 1 {
+		t.Errorf("workers=%d slower than serial: speedup %.2f", last.Workers, last.Speedup)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "workers") {
+		t.Error("print missing workers column")
 	}
 }
 

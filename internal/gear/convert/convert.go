@@ -15,6 +15,7 @@ package convert
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/gear-image/gear/internal/disksim"
@@ -84,10 +85,13 @@ type Options struct {
 
 // Converter converts Docker images to Gear images. Fingerprint
 // assignment is shared across conversions so collisions are detected
-// globally. Converter is not safe for concurrent use; the paper's
-// converter runs in the registry as a single sequential service.
+// globally. Converter is safe for concurrent use: conversions serialize
+// on an internal lock, matching the paper's converter, which runs in
+// the registry as a single sequential service.
 type Converter struct {
 	opts Options
+
+	mu   sync.Mutex
 	reg  *hashing.Registry
 	disk *disksim.Disk
 	done map[string]bool // references already converted
@@ -119,6 +123,8 @@ func New(opts Options) (*Converter, error) {
 // Convert turns img into a Gear image. Each reference converts once;
 // converting it again returns ErrAlreadyConverted.
 func (c *Converter) Convert(img *imagefmt.Image) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	ref := img.Manifest.Reference()
 	if c.done[ref] {
 		return nil, fmt.Errorf("convert %s: %w", ref, ErrAlreadyConverted)
@@ -217,4 +223,8 @@ func Publish(res *Result, docker registry.Store, gear gearregistry.Store) (index
 }
 
 // DiskStats exposes the converter's accumulated modeled I/O.
-func (c *Converter) DiskStats() disksim.Stats { return c.disk.Stats() }
+func (c *Converter) DiskStats() disksim.Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.disk.Stats()
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"github.com/gear-image/gear/internal/disksim"
@@ -337,5 +338,60 @@ func TestDiskStatsAccumulate(t *testing.T) {
 	s := c.DiskStats()
 	if s.Reads == 0 || s.Writes == 0 || s.Elapsed == 0 {
 		t.Errorf("disk stats = %+v", s)
+	}
+}
+
+// TestConcurrentConversions: the Converter's documented contract is that
+// it is safe for concurrent use (conversions serialize internally).
+// Distinct images converting in parallel must all succeed, share the
+// fingerprint registry, and leave consistent disk stats; a duplicate
+// reference still fails with ErrAlreadyConverted no matter which
+// goroutine wins.
+func TestConcurrentConversions(t *testing.T) {
+	c := newConverter(t, Options{})
+	const images = 8
+	results := make([]*Result, images)
+	errs := make([]error, images)
+	var wg sync.WaitGroup
+	for i := 0; i < images; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			img := buildImage(t, fmt.Sprintf("app%d", i), "v1")
+			results[i], errs[i] = c.Convert(img)
+		}(i)
+	}
+	// Race two conversions of the same reference: exactly one wins.
+	dupErrs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, dupErrs[i] = c.Convert(buildImage(t, "dup", "v1"))
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < images; i++ {
+		if errs[i] != nil {
+			t.Fatalf("image %d: %v", i, errs[i])
+		}
+		if results[i] == nil || results[i].Index == nil {
+			t.Fatalf("image %d: no result", i)
+		}
+	}
+	var already int
+	for _, err := range dupErrs {
+		if errors.Is(err, ErrAlreadyConverted) {
+			already++
+		} else if err != nil {
+			t.Fatalf("duplicate conversion: %v", err)
+		}
+	}
+	if already != 1 {
+		t.Errorf("duplicate conversions rejected = %d, want exactly 1", already)
+	}
+	if st := c.DiskStats(); st.ReadBytes == 0 && st.WriteBytes == 0 {
+		t.Error("disk stats empty after conversions")
 	}
 }

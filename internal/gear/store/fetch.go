@@ -1,0 +1,288 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/gear-image/gear/internal/gearregistry"
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// flight is one in-progress remote download. Concurrent faults on the
+// same fingerprint join the first caller's flight instead of issuing
+// duplicate downloads (singleflight).
+type flight struct {
+	done    chan struct{}
+	content *vfs.Content
+	err     error
+}
+
+// claimFlight registers a flight for fp, or joins the one in progress.
+func (s *Store) claimFlight(fp hashing.Fingerprint) (f *flight, leader bool) {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	if f, ok := s.flights[fp]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	s.flights[fp] = f
+	return f, true
+}
+
+// finishFlight publishes the flight's result and releases waiters.
+func (s *Store) finishFlight(fp hashing.Fingerprint, f *flight) {
+	s.flightMu.Lock()
+	delete(s.flights, fp)
+	s.flightMu.Unlock()
+	close(f.done)
+}
+
+// fetchOne obtains the Gear file for fp: level-1 cache, then an
+// in-progress flight, then a remote download it leads itself.
+// downloaded reports whether this call performed the remote transfer
+// (and therefore whether wire bytes were spent); joiners and cache hits
+// return downloaded=false. The caller is responsible for accounting.
+func (s *Store) fetchOne(fp hashing.Fingerprint) (c *vfs.Content, wire int64, downloaded bool, err error) {
+	if c, ok := s.cache.Get(fp); ok {
+		return c, 0, false, nil
+	}
+	f, leader := s.claimFlight(fp)
+	if !leader {
+		<-f.done
+		return f.content, 0, false, f.err
+	}
+	defer s.finishFlight(fp, f)
+	// Re-check after claiming: a previous leader may have completed
+	// between our miss and our claim. Contains leaves hit/miss stats
+	// untouched, so the race does not distort cache accounting.
+	if s.cache.Contains(fp) {
+		if c, ok := s.cache.Get(fp); ok {
+			f.content = c
+			return c, 0, false, nil
+		}
+	}
+	data, wire, err := s.download(fp)
+	if err != nil {
+		f.err = err
+		return nil, 0, false, err
+	}
+	c, err = s.cache.Put(fp, data)
+	if err != nil {
+		f.err = fmt.Errorf("store: cache %s: %w", fp, err)
+		return nil, 0, false, f.err
+	}
+	f.content = c
+	return c, wire, true, nil
+}
+
+// StreamStat describes one worker's share of a fetch window.
+type StreamStat struct {
+	// Objects is how many Gear files the worker transferred.
+	Objects int `json:"objects"`
+	// Bytes is the wire volume the worker moved.
+	Bytes int64 `json:"bytes"`
+	// Batched reports whether the worker used one DownloadBatch round
+	// trip (true) or per-object downloads (false).
+	Batched bool `json:"batched"`
+}
+
+// FetchWindow summarizes one FetchAll call: the concurrent streams that
+// shared the link. The deployment simulator converts this into netsim
+// fair-share streams.
+type FetchWindow struct {
+	Streams []StreamStat `json:"streams"`
+}
+
+// Objects returns the total object count across streams.
+func (w FetchWindow) Objects() int {
+	var n int
+	for _, st := range w.Streams {
+		n += st.Objects
+	}
+	return n
+}
+
+// Bytes returns the total wire bytes across streams.
+func (w FetchWindow) Bytes() int64 {
+	var n int64
+	for _, st := range w.Streams {
+		n += st.Bytes
+	}
+	return n
+}
+
+// FetchAll materializes every given Gear file into the level-1 cache
+// using up to FetchWorkers concurrent workers. Each worker issues one
+// DownloadBatch round trip when the remote supports it, or per-object
+// downloads otherwise. Fingerprints already cached or already being
+// fetched by another goroutine are not downloaded again.
+//
+// The returned window describes only the transfers this call performed;
+// accounting hooks (OnFetchWindow, or OnRemoteFetch as a fallback) fire
+// once for the whole window.
+func (s *Store) FetchAll(fps []hashing.Fingerprint) (FetchWindow, error) {
+	// Deduplicate, drop what is already local, and claim or join flights.
+	seen := make(map[hashing.Fingerprint]bool, len(fps))
+	var claimed []hashing.Fingerprint
+	claimedFlights := make(map[hashing.Fingerprint]*flight)
+	var joined []*flight
+	for _, fp := range fps {
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		if s.cache.Contains(fp) {
+			continue
+		}
+		f, leader := s.claimFlight(fp)
+		if leader {
+			claimed = append(claimed, fp)
+			claimedFlights[fp] = f
+		} else {
+			joined = append(joined, f)
+		}
+	}
+
+	var errs []error
+	if len(claimed) > 0 {
+		workers := min(s.opts.FetchWorkers, len(claimed))
+		if workers < 1 {
+			workers = 1
+		}
+		streams := make([]StreamStat, workers)
+		workerErrs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			// Contiguous balanced shards: worker w takes [lo, hi).
+			lo := w * len(claimed) / workers
+			hi := (w + 1) * len(claimed) / workers
+			wg.Add(1)
+			go func(w int, shard []hashing.Fingerprint) {
+				defer wg.Done()
+				streams[w], workerErrs[w] = s.fetchShard(shard, claimedFlights)
+			}(w, claimed[lo:hi])
+		}
+		wg.Wait()
+		var window FetchWindow
+		for w := 0; w < workers; w++ {
+			if streams[w].Objects > 0 {
+				window.Streams = append(window.Streams, streams[w])
+			}
+			if workerErrs[w] != nil {
+				errs = append(errs, workerErrs[w])
+			}
+		}
+		if n := window.Objects(); n > 0 {
+			s.remoteObjects.Add(int64(n))
+			s.remoteBytes.Add(window.Bytes())
+			switch {
+			case s.opts.OnFetchWindow != nil:
+				s.opts.OnFetchWindow(window)
+			case s.opts.OnRemoteFetch != nil:
+				s.opts.OnRemoteFetch(n, window.Bytes())
+			}
+		}
+		for _, f := range joined {
+			<-f.done
+			if f.err != nil {
+				errs = append(errs, f.err)
+			}
+		}
+		return window, errors.Join(errs...)
+	}
+
+	for _, f := range joined {
+		<-f.done
+		if f.err != nil {
+			errs = append(errs, f.err)
+		}
+	}
+	return FetchWindow{}, errors.Join(errs...)
+}
+
+// fetchShard downloads one worker's shard, preferring a single batch
+// round trip. Every claimed flight in the shard is completed exactly
+// once, whether the shard succeeds or fails.
+func (s *Store) fetchShard(shard []hashing.Fingerprint, flights map[hashing.Fingerprint]*flight) (StreamStat, error) {
+	if len(shard) == 0 {
+		return StreamStat{}, nil
+	}
+	if s.opts.Remote == nil {
+		err := fmt.Errorf("store: no remote registry: %w", gearregistry.ErrNotFound)
+		for _, fp := range shard {
+			f := flights[fp]
+			f.err = err
+			s.finishFlight(fp, f)
+		}
+		return StreamStat{}, err
+	}
+
+	if bd, ok := s.opts.Remote.(gearregistry.BatchDownloader); ok {
+		payloads, wire, err := bd.DownloadBatch(shard)
+		if err == nil {
+			for i, fp := range shard {
+				if verr := verify(fp, payloads[i]); verr != nil {
+					err = verr
+					break
+				}
+			}
+		}
+		if err != nil {
+			// All-or-nothing: the whole shard's flights fail together.
+			err = fmt.Errorf("store: batch download: %w", err)
+			for _, fp := range shard {
+				f := flights[fp]
+				f.err = err
+				s.finishFlight(fp, f)
+			}
+			return StreamStat{}, err
+		}
+		for i, fp := range shard {
+			f := flights[fp]
+			c, perr := s.cache.Put(fp, payloads[i])
+			if perr != nil {
+				f.err = fmt.Errorf("store: cache %s: %w", fp, perr)
+				err = errors.Join(err, f.err)
+			} else {
+				f.content = c
+			}
+			s.finishFlight(fp, f)
+		}
+		return StreamStat{Objects: len(shard), Bytes: wire, Batched: true}, err
+	}
+
+	var st StreamStat
+	var errs []error
+	for _, fp := range shard {
+		f := flights[fp]
+		data, wire, err := s.download(fp)
+		if err == nil {
+			var c *vfs.Content
+			c, err = s.cache.Put(fp, data)
+			if err != nil {
+				err = fmt.Errorf("store: cache %s: %w", fp, err)
+			} else {
+				f.content = c
+				st.Objects++
+				st.Bytes += wire
+			}
+		}
+		f.err = err
+		if err != nil {
+			errs = append(errs, err)
+		}
+		s.finishFlight(fp, f)
+	}
+	return st, errors.Join(errs...)
+}
+
+// verify checks a payload against its content address; collision
+// fallback IDs ("<fp>-cN") are accepted as-is.
+func verify(fp hashing.Fingerprint, data []byte) error {
+	if len(fp) == 32 && hashing.FingerprintBytes(data) != fp {
+		return fmt.Errorf("store: download %s: %w", fp, ErrCorruptDownload)
+	}
+	return nil
+}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/gear-image/gear/internal/cache"
 	"github.com/gear-image/gear/internal/gear/index"
@@ -52,7 +53,20 @@ type Options struct {
 	// OnRemoteFetch, if set, observes every remote fetch (object count
 	// and byte volume). The deployment simulator hooks netsim here.
 	OnRemoteFetch func(objects int, bytes int64)
+	// FetchWorkers bounds the concurrency of FetchAll (and Prefetch,
+	// which uses it). 0 selects DefaultFetchWorkers. Lazy single-file
+	// faults (Resolve) are unaffected.
+	FetchWorkers int
+	// OnFetchWindow, if set, observes each FetchAll call as a window of
+	// concurrent streams; it takes precedence over OnRemoteFetch for
+	// those transfers. The deployment simulator hooks netsim's
+	// fair-share model here.
+	OnFetchWindow func(FetchWindow)
 }
+
+// DefaultFetchWorkers is the FetchAll concurrency used when Options
+// leaves FetchWorkers zero.
+const DefaultFetchWorkers = 8
 
 // Store is a client's Gear storage. It is safe for concurrent use.
 type Store struct {
@@ -63,8 +77,13 @@ type Store struct {
 	indexes    map[string]*imageState
 	containers map[string]*containerState
 
-	remoteObjects int64
-	remoteBytes   int64
+	// flightMu guards flights, the singleflight table of in-progress
+	// downloads. It is always taken without mu held.
+	flightMu sync.Mutex
+	flights  map[hashing.Fingerprint]*flight
+
+	remoteObjects atomic.Int64
+	remoteBytes   atomic.Int64
 }
 
 type imageState struct {
@@ -85,6 +104,9 @@ func New(opts Options) (*Store, error) {
 	if opts.CachePolicy == 0 {
 		opts.CachePolicy = cache.LRU
 	}
+	if opts.FetchWorkers <= 0 {
+		opts.FetchWorkers = DefaultFetchWorkers
+	}
 	c, err := cache.New(opts.CacheCapacity, opts.CachePolicy)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -94,6 +116,7 @@ func New(opts Options) (*Store, error) {
 		cache:      c,
 		indexes:    make(map[string]*imageState),
 		containers: make(map[string]*containerState),
+		flights:    make(map[hashing.Fingerprint]*flight),
 	}, nil
 }
 
@@ -193,13 +216,17 @@ func (s *Store) Container(id string) (*viewer.Viewer, error) {
 // the image index and cached files survive.
 func (s *Store) RemoveContainer(id string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	c, ok := s.containers[id]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("store: %s: %w", id, ErrNoContainer)
 	}
-	c.view.Close()
 	delete(s.containers, id)
+	// Close outside mu: the viewer takes its own lock, which faulting
+	// reads hold while they call back into the store — closing under mu
+	// would invert that order and deadlock.
+	s.mu.Unlock()
+	c.view.Close()
 	return nil
 }
 
@@ -208,13 +235,17 @@ func (s *Store) RemoveContainer(id string) error {
 // index tree.
 func (s *Store) Resolve(imageRef, path string, fp hashing.Fingerprint, size int64) (*vfs.Content, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-
 	st := s.indexes[imageRef]
 	// The index may have been removed while containers still run; the
 	// fetch continues against the cache/registry without level-2 updates.
+	var chunks []index.Chunk
+	if st != nil {
+		chunks = st.chunks[fp]
+	}
+	s.mu.Unlock()
 
-	// A concurrent fault may have materialized the node already.
+	// A concurrent fault may have materialized the node already. The
+	// shared tree is internally locked, so mu is not needed here.
 	if st != nil {
 		if n, err := st.tree.Stat(path); err == nil && n.Type() == vfs.TypeRegular {
 			if !index.IsPlaceholder(n.Content().Data()) {
@@ -223,11 +254,7 @@ func (s *Store) Resolve(imageRef, path string, fp hashing.Fingerprint, size int6
 		}
 	}
 
-	var chunks []index.Chunk
-	if st != nil {
-		chunks = st.chunks[fp]
-	}
-	content, err := s.fetchLocked(fp, size, chunks)
+	content, err := s.fetch(fp, size, chunks)
 	if err != nil {
 		return nil, err
 	}
@@ -241,32 +268,28 @@ func (s *Store) Resolve(imageRef, path string, fp hashing.Fingerprint, size int6
 	return content, nil
 }
 
-// fetchLocked obtains the Gear file for fp: level-1 cache first, then
-// the remote registry. Chunked files fetch missing chunks individually
-// and assemble. Caller holds s.mu.
-func (s *Store) fetchLocked(fp hashing.Fingerprint, size int64, chunks []index.Chunk) (*vfs.Content, error) {
-	if c, ok := s.cache.Get(fp); ok {
-		return c, nil
-	}
+// fetch obtains the Gear file for fp: level-1 cache first, then the
+// remote registry, deduplicating concurrent downloads of the same
+// fingerprint. Chunked files fetch missing chunks individually and
+// assemble.
+func (s *Store) fetch(fp hashing.Fingerprint, size int64, chunks []index.Chunk) (*vfs.Content, error) {
 	if len(chunks) > 0 {
+		if c, ok := s.cache.Get(fp); ok {
+			return c, nil
+		}
 		assembled := make([]byte, 0, size)
 		var fetched int
 		var fetchedBytes int64
 		for _, ch := range chunks {
-			if c, ok := s.cache.Get(ch.Fingerprint); ok {
-				assembled = append(assembled, c.Data()...)
-				continue
-			}
-			data, wire, err := s.download(ch.Fingerprint)
+			c, wire, downloaded, err := s.fetchOne(ch.Fingerprint)
 			if err != nil {
 				return nil, err
 			}
-			fetched++
-			fetchedBytes += wire
-			if _, err := s.cache.Put(ch.Fingerprint, data); err != nil {
-				return nil, fmt.Errorf("store: cache chunk %s: %w", ch.Fingerprint, err)
+			if downloaded {
+				fetched++
+				fetchedBytes += wire
 			}
-			assembled = append(assembled, data...)
+			assembled = append(assembled, c.Data()...)
 		}
 		s.recordRemote(fetched, fetchedBytes)
 		content, err := s.cache.Put(fp, assembled)
@@ -275,16 +298,14 @@ func (s *Store) fetchLocked(fp hashing.Fingerprint, size int64, chunks []index.C
 		}
 		return content, nil
 	}
-	data, wire, err := s.download(fp)
+	c, wire, downloaded, err := s.fetchOne(fp)
 	if err != nil {
 		return nil, err
 	}
-	s.recordRemote(1, wire)
-	content, err := s.cache.Put(fp, data)
-	if err != nil {
-		return nil, fmt.Errorf("store: cache %s: %w", fp, err)
+	if downloaded {
+		s.recordRemote(1, wire)
 	}
-	return content, nil
+	return c, nil
 }
 
 // ErrCorruptDownload reports a fetched Gear file whose content does not
@@ -302,8 +323,8 @@ func (s *Store) download(fp hashing.Fingerprint) ([]byte, int64, error) {
 	// Content addressing makes end-to-end integrity free: verify before
 	// anything enters the cache or an index tree. Collision-fallback IDs
 	// ("<fp>-cN") cannot be verified by hashing and are accepted as-is.
-	if len(fp) == 32 && hashing.FingerprintBytes(data) != fp {
-		return nil, 0, fmt.Errorf("store: download %s: %w", fp, ErrCorruptDownload)
+	if err := verify(fp, data); err != nil {
+		return nil, 0, err
 	}
 	return data, wire, nil
 }
@@ -312,8 +333,8 @@ func (s *Store) recordRemote(objects int, bytes int64) {
 	if objects == 0 {
 		return
 	}
-	s.remoteObjects += int64(objects)
-	s.remoteBytes += bytes
+	s.remoteObjects.Add(int64(objects))
+	s.remoteBytes.Add(bytes)
 	if s.opts.OnRemoteFetch != nil {
 		s.opts.OnRemoteFetch(objects, bytes)
 	}
@@ -330,12 +351,11 @@ func (s *Store) ResolveRange(imageRef string, fp hashing.Fingerprint, off, n int
 		return nil, fmt.Errorf("store: range [%d,+%d): %w", off, n, ErrBadRange)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-
 	var chunks []index.Chunk
 	if st := s.indexes[imageRef]; st != nil {
 		chunks = st.chunks[fp]
 	}
+	s.mu.Unlock()
 	if len(chunks) == 0 {
 		return nil, ErrNotChunked
 	}
@@ -356,21 +376,15 @@ func (s *Store) ResolveRange(imageRef string, fp hashing.Fingerprint, off, n int
 		if pos >= off+n {
 			break
 		}
-		var data []byte
-		if c, ok := s.cache.Get(ch.Fingerprint); ok {
-			data = c.Data()
-		} else {
-			d, wire, err := s.download(ch.Fingerprint)
-			if err != nil {
-				return nil, err
-			}
+		c, wire, downloaded, err := s.fetchOne(ch.Fingerprint)
+		if err != nil {
+			return nil, err
+		}
+		if downloaded {
 			fetched++
 			fetchedBytes += wire
-			if _, err := s.cache.Put(ch.Fingerprint, d); err != nil {
-				return nil, fmt.Errorf("store: cache chunk %s: %w", ch.Fingerprint, err)
-			}
-			data = d
 		}
+		data := c.Data()
 		lo := int64(0)
 		if off > pos {
 			lo = off - pos
@@ -405,7 +419,8 @@ func sliceRange(data []byte, off, n int64) []byte {
 
 // Prefetch materializes every file of an installed image (a full
 // download, used to pre-warm caches or to compare against Docker's
-// eager pull).
+// eager pull). The downloads run through FetchAll, so they use up to
+// FetchWorkers concurrent (batched where supported) transfers.
 func (s *Store) Prefetch(ref string) error {
 	s.mu.Lock()
 	st, ok := s.indexes[ref]
@@ -413,6 +428,26 @@ func (s *Store) Prefetch(ref string) error {
 	if !ok {
 		return fmt.Errorf("store: %s: %w", ref, ErrNoIndex)
 	}
+	// Gather the raw objects to pull: chunk fingerprints for chunked
+	// files (the transfer unit), file fingerprints otherwise.
+	var fps []hashing.Fingerprint
+	walkEntries(st.ix.Root, "", func(_ string, e *index.Entry) {
+		if e.Type != vfs.TypeRegular || e.Fingerprint == "" {
+			return
+		}
+		if chunks := st.chunks[e.Fingerprint]; len(chunks) > 0 {
+			for _, ch := range chunks {
+				fps = append(fps, ch.Fingerprint)
+			}
+			return
+		}
+		fps = append(fps, e.Fingerprint)
+	})
+	if _, err := s.FetchAll(fps); err != nil {
+		return err
+	}
+	// Link everything into the level-2 tree; all content is local now,
+	// so these resolves assemble and hard-link without network traffic.
 	var err error
 	walkEntries(st.ix.Root, "", func(p string, e *index.Entry) {
 		if err != nil || e.Type != vfs.TypeRegular {
@@ -423,6 +458,39 @@ func (s *Store) Prefetch(ref string) error {
 		}
 	})
 	return err
+}
+
+// Fingerprints translates index-tree paths of ref into the raw Gear
+// objects a fetch must pull: paths still holding placeholders map to
+// their file fingerprint, or to their chunk fingerprints for chunked
+// files. Already-materialized, missing, and non-regular paths are
+// skipped. The result feeds FetchAll to pre-fault a known access set.
+func (s *Store) Fingerprints(ref string, paths []string) ([]hashing.Fingerprint, error) {
+	s.mu.Lock()
+	st, ok := s.indexes[ref]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("store: %s: %w", ref, ErrNoIndex)
+	}
+	var fps []hashing.Fingerprint
+	for _, p := range paths {
+		n, err := st.tree.Stat(p)
+		if err != nil || n.Type() != vfs.TypeRegular {
+			continue
+		}
+		fp, _, err := index.ParsePlaceholder(n.Content().Data())
+		if err != nil {
+			continue // already materialized
+		}
+		if chunks := st.chunks[fp]; len(chunks) > 0 {
+			for _, ch := range chunks {
+				fps = append(fps, ch.Fingerprint)
+			}
+			continue
+		}
+		fps = append(fps, fp)
+	}
+	return fps, nil
 }
 
 func walkEntries(e *index.Entry, at string, fn func(p string, e *index.Entry)) {
@@ -486,8 +554,8 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		RemoteObjects: s.remoteObjects,
-		RemoteBytes:   s.remoteBytes,
+		RemoteObjects: s.remoteObjects.Load(),
+		RemoteBytes:   s.remoteBytes.Load(),
 		Indexes:       len(s.indexes),
 		Containers:    len(s.containers),
 	}

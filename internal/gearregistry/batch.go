@@ -1,0 +1,112 @@
+package gearregistry
+
+import (
+	"fmt"
+
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/tarstream"
+)
+
+// BatchDownloader is implemented by stores that can serve many Gear
+// files in one round trip, amortizing per-request overhead across the
+// batch — the transfer shape behind the concurrent fetch engine.
+type BatchDownloader interface {
+	// DownloadBatch fetches the given Gear files in one request. The
+	// payloads come back uncompressed, in request order, alongside the
+	// total bytes that crossed the wire. The whole batch fails if any
+	// fingerprint is malformed or absent.
+	DownloadBatch(fps []hashing.Fingerprint) (payloads [][]byte, wireBytes int64, err error)
+}
+
+// DownloadBatch implements BatchDownloader on the in-process registry.
+func (r *Registry) DownloadBatch(fps []hashing.Fingerprint) ([][]byte, int64, error) {
+	for _, fp := range fps {
+		if err := fp.Validate(); err != nil {
+			return nil, 0, fmt.Errorf("gearregistry: batch: %w", err)
+		}
+	}
+	// Gather all stored objects under one read lock so the batch is a
+	// consistent snapshot, then decompress outside it.
+	stored := make([][]byte, len(fps))
+	var wire int64
+	r.mu.RLock()
+	for i, fp := range fps {
+		b, ok := r.objects[fp]
+		if !ok {
+			r.mu.RUnlock()
+			return nil, 0, fmt.Errorf("gearregistry: batch: %s: %w", fp, ErrNotFound)
+		}
+		stored[i] = b
+		wire += int64(len(b))
+	}
+	r.mu.RUnlock()
+
+	if !r.opts.Compress {
+		return stored, wire, nil
+	}
+	payloads := make([][]byte, len(fps))
+	for i, b := range stored {
+		data, err := tarstream.Gunzip(b)
+		if err != nil {
+			return nil, 0, fmt.Errorf("gearregistry: batch %s: %w", fps[i], err)
+		}
+		payloads[i] = data
+	}
+	return payloads, wire, nil
+}
+
+// DownloadAll fetches every fingerprint from s, using one DownloadBatch
+// round trip when s supports it and falling back to per-object Download
+// otherwise. batched reports which path was taken, so callers can model
+// the request cost accordingly.
+func DownloadAll(s Store, fps []hashing.Fingerprint) (payloads [][]byte, wireBytes int64, batched bool, err error) {
+	if len(fps) == 0 {
+		return nil, 0, false, nil
+	}
+	if bd, ok := s.(BatchDownloader); ok {
+		payloads, wireBytes, err = bd.DownloadBatch(fps)
+		return payloads, wireBytes, true, err
+	}
+	payloads = make([][]byte, len(fps))
+	for i, fp := range fps {
+		data, wire, err := s.Download(fp)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		payloads[i] = data
+		wireBytes += wire
+	}
+	return payloads, wireBytes, false, nil
+}
+
+// DownloadBatch implements BatchDownloader with retries when the inner
+// store batches; otherwise it degrades to per-object Download (each with
+// its own retry budget).
+func (r *RetryStore) DownloadBatch(fps []hashing.Fingerprint) ([][]byte, int64, error) {
+	bd, ok := r.inner.(BatchDownloader)
+	if !ok {
+		payloads := make([][]byte, len(fps))
+		var wire int64
+		for i, fp := range fps {
+			data, w, err := r.Download(fp)
+			if err != nil {
+				return nil, 0, err
+			}
+			payloads[i] = data
+			wire += w
+		}
+		return payloads, wire, nil
+	}
+	var payloads [][]byte
+	var wire int64
+	err := r.do(func() error {
+		var err error
+		payloads, wire, err = bd.DownloadBatch(fps)
+		return err
+	})
+	return payloads, wire, err
+}
+
+var _ BatchDownloader = (*Registry)(nil)
+var _ BatchDownloader = (*RetryStore)(nil)
+var _ BatchDownloader = (*Client)(nil)

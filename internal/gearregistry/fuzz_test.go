@@ -1,0 +1,92 @@
+package gearregistry
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/gear-image/gear/internal/hashing"
+)
+
+// FuzzBatchHandler: the /gear/batch handler must never panic on
+// arbitrary fingerprint lists, and every 200 response must parse with
+// the client framing and contain only objects the registry holds.
+func FuzzBatchHandler(f *testing.F) {
+	reg := New(Options{})
+	known := hashing.FingerprintBytes([]byte("known object"))
+	if err := reg.Upload(known, []byte("known object")); err != nil {
+		f.Fatal(err)
+	}
+	compressed := New(Options{Compress: true})
+	if err := compressed.Upload(known, []byte("known object")); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add(string(known) + "\n")
+	f.Add(string(known) + "\n" + string(known) + "\n") // duplicates
+	f.Add("d41d8cd98f00b204e9800998ecf8427e\n")        // unknown but well-formed
+	f.Add("zzzz\n")                                    // malformed
+	f.Add(string(known) + "\nnot a fingerprint\n")
+	f.Add("d41d8cd98f00b204e9800998ecf8427e-c2\n") // collision id form
+	f.Add(string(known) + " 5 raw\nhello")         // framing-shaped input
+
+	f.Fuzz(func(t *testing.T, body string) {
+		for _, reg := range []*Registry{reg, compressed} {
+			req := httptest.NewRequest(http.MethodPost, "/gear/batch", bytes.NewReader([]byte(body)))
+			rec := httptest.NewRecorder()
+			NewHandler(reg).ServeHTTP(rec, req)
+
+			switch rec.Code {
+			case http.StatusOK:
+				objects, err := parseBatchResponse(rec.Body.Bytes())
+				if err != nil {
+					t.Fatalf("200 response does not parse: %v", err)
+				}
+				for _, o := range objects {
+					if err := o.fp.Validate(); err != nil {
+						t.Fatalf("served invalid fingerprint %q", o.fp)
+					}
+					present, err := reg.Query(o.fp)
+					if err != nil || !present {
+						t.Fatalf("served object %s the registry does not hold", o.fp)
+					}
+				}
+			case http.StatusBadRequest, http.StatusNotFound:
+				// Rejected lists are fine; the handler just must not panic
+				// or serve partial garbage.
+			default:
+				t.Fatalf("unexpected status %d", rec.Code)
+			}
+		}
+	})
+}
+
+// FuzzParseBatchResponse: the client-side frame parser must never panic
+// and must only accept frames whose payload lengths are consistent.
+func FuzzParseBatchResponse(f *testing.F) {
+	f.Add([]byte("d41d8cd98f00b204e9800998ecf8427e 5 raw\nhello"))
+	f.Add([]byte("d41d8cd98f00b204e9800998ecf8427e 0 gzip\n"))
+	f.Add([]byte("d41d8cd98f00b204e9800998ecf8427e 99 raw\nshort"))
+	f.Add([]byte("zzzz 5 raw\nhello"))
+	f.Add([]byte("no header"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		objects, err := parseBatchResponse(data)
+		if err != nil {
+			return
+		}
+		var total int
+		for _, o := range objects {
+			if err := o.fp.Validate(); err != nil {
+				t.Fatalf("accepted invalid fingerprint %q", o.fp)
+			}
+			total += len(o.stored)
+		}
+		if total > len(data) {
+			t.Fatalf("parsed %d payload bytes from %d input bytes", total, len(data))
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"github.com/gear-image/gear/internal/hashing"
@@ -18,6 +19,8 @@ import (
 //	GET  /gear/query/{fingerprint}    -> 200 if present, 404 otherwise
 //	PUT  /gear/upload/{fingerprint}   <- file bytes
 //	GET  /gear/download/{fingerprint} -> file bytes
+//	POST /gear/batch                  <- newline-separated fingerprints
+//	                                  -> framed objects (see serveBatch)
 //	POST /gear/gc                     <- newline-separated fingerprints to KEEP
 //	                                  -> "removed=N freed=M"
 
@@ -35,6 +38,10 @@ func NewHandler(reg *Registry) *Handler { return &Handler{reg: reg} }
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path == "/gear/gc" {
 		h.serveGC(w, r)
+		return
+	}
+	if r.URL.Path == "/gear/batch" {
+		h.serveBatch(w, r)
 		return
 	}
 	verb, fp, ok := splitPath(r.URL.Path)
@@ -100,6 +107,66 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write(data)
 	default:
 		http.NotFound(w, r)
+	}
+}
+
+// serveBatch implements the one-round-trip multi-object download verb.
+// The request body is newline-separated fingerprints (the gc framing);
+// the response is, per requested object in order, a header line
+//
+//	<fingerprint> <storedLen> <raw|gzip>\n
+//
+// followed by exactly storedLen stored (possibly gzip-compressed) bytes.
+// A malformed fingerprint fails the whole batch with 400, an absent one
+// with 404 — batches are all-or-nothing, mirroring Registry.DownloadBatch.
+func (h *Handler) serveBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var fps []hashing.Fingerprint
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fps = append(fps, hashing.Fingerprint(line))
+	}
+	// Validate and locate everything before the first write: HTTP status
+	// is only expressible up front.
+	type object struct {
+		fp         hashing.Fingerprint
+		stored     []byte
+		compressed bool
+	}
+	objects := make([]object, 0, len(fps))
+	for _, fp := range fps {
+		stored, compressed, err := h.reg.downloadWire(fp)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrNotFound) {
+				status = http.StatusNotFound
+			} else if errors.Is(err, hashing.ErrMalformed) {
+				status = http.StatusBadRequest
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		objects = append(objects, object{fp, stored, compressed})
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	for _, o := range objects {
+		enc := "raw"
+		if o.compressed {
+			enc = "gzip"
+		}
+		fmt.Fprintf(w, "%s %d %s\n", o.fp, len(o.stored), enc)
+		_, _ = w.Write(o.stored)
 	}
 }
 
@@ -224,6 +291,112 @@ func (c *Client) GC(keep []hashing.Fingerprint) (removed int, freed int64, err e
 		return 0, 0, fmt.Errorf("gearregistry client: gc: parse %q: %w", out, err)
 	}
 	return removed, freed, nil
+}
+
+// DownloadBatch implements BatchDownloader over HTTP via POST
+// /gear/batch. The wire size is the full response body as transported
+// (object headers included).
+func (c *Client) DownloadBatch(fps []hashing.Fingerprint) ([][]byte, int64, error) {
+	if len(fps) == 0 {
+		return nil, 0, nil
+	}
+	var reqBody strings.Builder
+	for _, fp := range fps {
+		reqBody.WriteString(string(fp))
+		reqBody.WriteByte('\n')
+	}
+	resp, err := c.http.Post(c.base+"/gear/batch", "text/plain", strings.NewReader(reqBody.String()))
+	if err != nil {
+		return nil, 0, fmt.Errorf("gearregistry client: batch: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("gearregistry client: batch: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, 0, fmt.Errorf("gearregistry client: batch: %s: %w",
+			strings.TrimSpace(string(body)), ErrNotFound)
+	default:
+		return nil, 0, fmt.Errorf("gearregistry client: batch: %s: %s",
+			resp.Status, strings.TrimSpace(string(body)))
+	}
+	objects, err := parseBatchResponse(body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("gearregistry client: batch: %w", err)
+	}
+	if len(objects) != len(fps) {
+		return nil, 0, fmt.Errorf("gearregistry client: batch: got %d objects, want %d",
+			len(objects), len(fps))
+	}
+	payloads := make([][]byte, len(fps))
+	for i, o := range objects {
+		if o.fp != fps[i] {
+			return nil, 0, fmt.Errorf("gearregistry client: batch: object %d is %s, want %s",
+				i, o.fp, fps[i])
+		}
+		if o.compressed {
+			data, err := tarstream.Gunzip(o.stored)
+			if err != nil {
+				return nil, 0, fmt.Errorf("gearregistry client: batch %s: %w", o.fp, err)
+			}
+			payloads[i] = data
+		} else {
+			payloads[i] = o.stored
+		}
+	}
+	return payloads, int64(len(body)), nil
+}
+
+// batchObject is one framed object in a /gear/batch response.
+type batchObject struct {
+	fp         hashing.Fingerprint
+	stored     []byte
+	compressed bool
+}
+
+// parseBatchResponse decodes the /gear/batch framing: repeated
+// "<fingerprint> <storedLen> <raw|gzip>\n" headers each followed by
+// exactly storedLen bytes. It rejects truncated or malformed frames.
+func parseBatchResponse(body []byte) ([]batchObject, error) {
+	var objects []batchObject
+	for len(body) > 0 {
+		nl := bytes.IndexByte(body, '\n')
+		if nl < 0 {
+			return nil, fmt.Errorf("truncated object header %q", body)
+		}
+		header := string(body[:nl])
+		body = body[nl+1:]
+		fields := strings.Fields(header)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("malformed object header %q", header)
+		}
+		fp := hashing.Fingerprint(fields[0])
+		if err := fp.Validate(); err != nil {
+			return nil, fmt.Errorf("object header %q: %w", header, err)
+		}
+		size, err := strconv.Atoi(fields[1])
+		if err != nil || size < 0 {
+			return nil, fmt.Errorf("object header %q: bad size", header)
+		}
+		var compressed bool
+		switch fields[2] {
+		case "raw":
+		case "gzip":
+			compressed = true
+		default:
+			return nil, fmt.Errorf("object header %q: bad encoding", header)
+		}
+		if size > len(body) {
+			return nil, fmt.Errorf("object %s: truncated payload: want %d bytes, have %d",
+				fp, size, len(body))
+		}
+		objects = append(objects, batchObject{fp: fp, stored: body[:size], compressed: compressed})
+		body = body[size:]
+	}
+	return objects, nil
 }
 
 // Download implements Store. Compressed payloads (marked with the

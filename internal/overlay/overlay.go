@@ -418,10 +418,13 @@ func (m *Mount) ReadDir(p string) ([]string, error) {
 		opaque = opaque || upperDir.Opaque
 	}
 	if !opaque && !m.hiddenByWhiteout(p) {
-		if lowerDir, err := m.squash.Stat(p); err == nil && lowerDir.IsDir() {
+		// ReadDirNames lists the lower tree under its lock: the squash
+		// layer may be a live shared index tree that a concurrent fetch
+		// is linking Gear files into.
+		if lowerNames, err := m.squash.ReadDirNames(p); err == nil {
 			// Upper non-dir shadows the whole lower dir.
 			if upperErr != nil || upperDir.IsDir() {
-				for _, name := range lowerDir.ChildNames() {
+				for _, name := range lowerNames {
 					child := path.Join(p, name)
 					if m.upper.Exists(whiteoutPath(child)) {
 						continue

@@ -17,6 +17,8 @@ import (
 	"path"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Sentinel errors returned by filesystem operations. They are comparable
@@ -59,9 +61,14 @@ func (t FileType) String() string {
 // Content; the link count tracks how many nodes point at it. The Gear local
 // cache exploits this to "hard link" pool files into container indexes
 // exactly as the paper's three-level storage structure does (§III-D1).
+//
+// The link count is atomic because one Content can be linked into several
+// trees at once (the shared cache pins, each image's index tree links),
+// and the cache reads Nlink under its own lock while a store links or
+// unlinks under another.
 type Content struct {
 	data  []byte
-	nlink int
+	nlink atomic.Int64
 }
 
 // Data returns the content bytes. Callers must not mutate the result.
@@ -71,11 +78,18 @@ func (c *Content) Data() []byte { return c.data }
 func (c *Content) Size() int64 { return int64(len(c.data)) }
 
 // Nlink returns the current hard-link count.
-func (c *Content) Nlink() int { return c.nlink }
+func (c *Content) Nlink() int { return int(c.nlink.Load()) }
 
 // NewContent wraps data in a Content with a zero link count. The caller
 // owns data and must not mutate it afterwards.
 func NewContent(data []byte) *Content { return &Content{data: data} }
+
+// newContent wraps data with an initial link count.
+func newContent(data []byte, nlink int64) *Content {
+	c := &Content{data: data}
+	c.nlink.Store(nlink)
+	return c
+}
 
 // Node is a single entry in the filesystem tree.
 type Node struct {
@@ -150,7 +164,16 @@ func (n *Node) NumChildren() int { return len(n.children) }
 
 // FS is an in-memory filesystem rooted at "/". The zero value is not
 // usable; construct with New.
+//
+// FS methods are safe for concurrent use: lookups take a shared lock and
+// mutations an exclusive one, so one tree can be read by many container
+// viewers while the Gear driver links fetched files into it (§III-D2's
+// shared index directory). Nodes returned by Stat/Walk are immutable
+// snapshots — mutations replace nodes rather than editing them — except
+// for directory nodes, whose child sets may change; use ReadDirNames for
+// a consistent listing of a live tree.
 type FS struct {
+	mu   sync.RWMutex
 	root *Node
 }
 
@@ -163,7 +186,8 @@ func New() *FS {
 	}}
 }
 
-// Root returns the root directory node.
+// Root returns the root directory node. The caller must ensure the tree
+// is quiescent (no concurrent mutators) while navigating from it.
 func (f *FS) Root() *Node { return f.root }
 
 // pathError wraps err with the operation and path for context.
@@ -229,6 +253,8 @@ func (f *FS) lookupParent(p string) (*Node, string, error) {
 
 // Stat returns the node at p.
 func (f *FS) Stat(p string) (*Node, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	n, err := f.lookup(p)
 	if err != nil {
 		return nil, pathError("stat", Clean(p), err)
@@ -238,12 +264,32 @@ func (f *FS) Stat(p string) (*Node, error) {
 
 // Exists reports whether a node exists at p.
 func (f *FS) Exists(p string) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	_, err := f.lookup(p)
 	return err == nil
 }
 
+// ReadDirNames returns the sorted entry names of the directory at p. It
+// is the race-safe way to list a directory of a live tree (a directory
+// Node's own ChildNames is only stable on quiescent trees).
+func (f *FS) ReadDirNames(p string) ([]string, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, err := f.lookup(p)
+	if err != nil {
+		return nil, pathError("readdir", Clean(p), err)
+	}
+	if n.typ != TypeDir {
+		return nil, pathError("readdir", Clean(p), ErrNotDir)
+	}
+	return n.ChildNames(), nil
+}
+
 // Mkdir creates a single directory at p.
 func (f *FS) Mkdir(p string, mode fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	parent, base, err := f.lookupParent(p)
 	if err != nil {
 		return pathError("mkdir", Clean(p), err)
@@ -263,6 +309,8 @@ func (f *FS) Mkdir(p string, mode fs.FileMode) error {
 // MkdirAll creates the directory at p along with any missing parents.
 // Existing directories along the way are left untouched.
 func (f *FS) MkdirAll(p string, mode fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	parts := Split(p)
 	cur := f.root
 	for _, part := range parts {
@@ -287,6 +335,8 @@ func (f *FS) MkdirAll(p string, mode fs.FileMode) error {
 // directory must exist. Replacing breaks any hard links (a fresh Content is
 // installed), matching write-through-rename semantics used by tar unpack.
 func (f *FS) WriteFile(p string, data []byte, mode fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	parent, base, err := f.lookupParent(p)
 	if err != nil {
 		return pathError("write", Clean(p), err)
@@ -297,7 +347,7 @@ func (f *FS) WriteFile(p string, data []byte, mode fs.FileMode) error {
 		}
 		f.unlinkNode(old)
 	}
-	content := &Content{data: data, nlink: 1}
+	content := newContent(data, 1)
 	parent.children[base] = &Node{
 		name:    base,
 		typ:     TypeRegular,
@@ -310,6 +360,13 @@ func (f *FS) WriteFile(p string, data []byte, mode fs.FileMode) error {
 // PutContent installs shared content at p, creating a hard link to it.
 // It is the primitive behind the Gear cache's link-into-index operation.
 func (f *FS) PutContent(p string, c *Content, mode fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.putContent(p, c, mode)
+}
+
+// putContent is PutContent with f.mu already held.
+func (f *FS) putContent(p string, c *Content, mode fs.FileMode) error {
 	parent, base, err := f.lookupParent(p)
 	if err != nil {
 		return pathError("link", Clean(p), err)
@@ -320,7 +377,7 @@ func (f *FS) PutContent(p string, c *Content, mode fs.FileMode) error {
 		}
 		f.unlinkNode(old)
 	}
-	c.nlink++
+	c.nlink.Add(1)
 	parent.children[base] = &Node{
 		name:    base,
 		typ:     TypeRegular,
@@ -333,6 +390,8 @@ func (f *FS) PutContent(p string, c *Content, mode fs.FileMode) error {
 // ReadFile returns the content bytes of the regular file at p. The result
 // must not be mutated.
 func (f *FS) ReadFile(p string) ([]byte, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	n, err := f.lookup(p)
 	if err != nil {
 		return nil, pathError("read", Clean(p), err)
@@ -348,6 +407,8 @@ func (f *FS) ReadFile(p string) ([]byte, error) {
 
 // Symlink creates a symbolic link at p pointing at target.
 func (f *FS) Symlink(target, p string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	parent, base, err := f.lookupParent(p)
 	if err != nil {
 		return pathError("symlink", Clean(p), err)
@@ -369,6 +430,8 @@ func (f *FS) Symlink(target, p string) error {
 
 // Link creates a hard link at newp to the regular file at oldp.
 func (f *FS) Link(oldp, newp string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	n, err := f.lookup(oldp)
 	if err != nil {
 		return pathError("link", Clean(oldp), err)
@@ -376,18 +439,20 @@ func (f *FS) Link(oldp, newp string) error {
 	if n.typ != TypeRegular {
 		return pathError("link", Clean(oldp), ErrInvalid)
 	}
-	return f.PutContent(newp, n.content, n.mode)
+	return f.putContent(newp, n.content, n.mode)
 }
 
 // unlinkNode drops one reference from a non-directory node's content.
 func (f *FS) unlinkNode(n *Node) {
 	if n.typ == TypeRegular && n.content != nil {
-		n.content.nlink--
+		n.content.nlink.Add(-1)
 	}
 }
 
 // Remove deletes the file, symlink, or empty directory at p.
 func (f *FS) Remove(p string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	parent, base, err := f.lookupParent(p)
 	if err != nil {
 		return pathError("remove", Clean(p), err)
@@ -407,6 +472,8 @@ func (f *FS) Remove(p string) error {
 // RemoveAll deletes p and everything below it. Removing "/" empties the
 // filesystem. A missing path is not an error, matching os.RemoveAll.
 func (f *FS) RemoveAll(p string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	p = Clean(p)
 	if p == "/" {
 		for _, c := range f.root.children {
@@ -434,7 +501,7 @@ func (f *FS) RemoveAll(p string) error {
 // releaseTree walks a subtree dropping content references.
 func releaseTree(n *Node) {
 	if n.typ == TypeRegular && n.content != nil {
-		n.content.nlink--
+		n.content.nlink.Add(-1)
 		return
 	}
 	for _, c := range n.children {
@@ -447,8 +514,11 @@ func releaseTree(n *Node) {
 type WalkFunc func(p string, n *Node) error
 
 // Walk visits every node in deterministic (pre-order, lexicographic)
-// order, starting at the root. The root itself is not visited.
+// order, starting at the root. The root itself is not visited. The walk
+// holds the tree's read lock, so fn must not mutate the same FS.
 func (f *FS) Walk(fn WalkFunc) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	return walkNode("", f.root, fn)
 }
 
@@ -473,6 +543,8 @@ func walkNode(prefix string, dir *Node, fn WalkFunc) error {
 // Content wrappers over the same byte slices, so mutating one tree never
 // disturbs the other's link counts.
 func (f *FS) Clone() *FS {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	return &FS{root: cloneNode(f.root)}
 }
 
@@ -485,7 +557,7 @@ func cloneNode(n *Node) *Node {
 		Opaque: n.Opaque,
 	}
 	if n.typ == TypeRegular {
-		c.content = &Content{data: n.content.data, nlink: 1}
+		c.content = newContent(n.content.data, 1)
 	}
 	if n.typ == TypeDir {
 		c.children = make(map[string]*Node, len(n.children))
