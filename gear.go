@@ -189,10 +189,26 @@ type (
 func NewConverter(opts ConverterOptions) (*Converter, error) { return convert.New(opts) }
 
 // Publish stores a conversion result: index image to the Docker
-// registry, absent Gear files to the Gear registry.
+// registry, absent Gear files to the Gear registry, one request per
+// file. Pusher is its concurrent counterpart.
 func Publish(res *ConvertResult, docker RegistryStore, files GearStore) (indexBytes, fileBytes int64, err error) {
 	return convert.Publish(res, docker, files)
 }
+
+// Concurrent push pipeline.
+type (
+	// Pusher uploads Gear file sets: one batched dedup query for the
+	// whole set, then the absent files through a bounded worker pool.
+	Pusher = convert.Pusher
+	// PusherOptions configures a Pusher.
+	PusherOptions = convert.PushOptions
+	// PushWindow summarizes one PushAll call (query round trips, dedup
+	// skips, upload streams).
+	PushWindow = convert.PushWindow
+)
+
+// NewPusher returns a Pusher uploading to opts.Gear.
+func NewPusher(opts PusherOptions) (*Pusher, error) { return convert.NewPusher(opts) }
 
 // Client-side storage and deployment.
 type (

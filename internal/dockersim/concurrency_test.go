@@ -197,4 +197,3 @@ func TestConcurrentDeployDestroyLoop(t *testing.T) {
 		t.Errorf("containers left = %d, want 0", got)
 	}
 }
-

@@ -234,15 +234,12 @@ func NewDaemon(docker registry.Store, gear gearregistry.Store, opts Options) (*D
 		OnFetchWindow: func(w store.FetchWindow) {
 			streams := make([]netsim.Stream, 0, len(w.Streams))
 			for _, st := range w.Streams {
-				lat := (d.opts.Link.RTT + d.opts.Link.RequestOverhead) * time.Duration(st.Objects)
+				bytes := st.Bytes + int64(st.Objects)*d.opts.GearRequestBytes
+				s := netsim.PerObjectStream(d.opts.Link, st.Objects, bytes)
 				if st.Batched {
-					lat = d.opts.Link.RTT + d.opts.Link.RequestOverhead*time.Duration(st.Objects)
+					s = netsim.BatchedStream(d.opts.Link, st.Objects, bytes)
 				}
-				streams = append(streams, netsim.Stream{
-					Latency:  lat,
-					Requests: st.Objects,
-					Bytes:    st.Bytes + int64(st.Objects)*d.opts.GearRequestBytes,
-				})
+				streams = append(streams, s)
 			}
 			d.link.TransferWindow(streams)
 		},

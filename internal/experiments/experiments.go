@@ -18,6 +18,7 @@
 //	extload — extension: registry egress under a client fleet
 //	extcache — extension: level-1 cache capacity/policy ablation
 //	extparallel — extension: concurrent fetch engine worker sweep
+//	extpush — extension: concurrent push engine worker sweep
 package experiments
 
 import (
@@ -244,6 +245,7 @@ func All() []Runner {
 		{"extload", "Extension: registry egress under a client fleet", runExtLoad},
 		{"extcache", "Extension: level-1 cache capacity/policy ablation", runExtCache},
 		{"extparallel", "Extension: concurrent fetch engine worker sweep", runExtParallel},
+		{"extpush", "Extension: concurrent push engine worker sweep", runExtPush},
 	}
 }
 
@@ -305,6 +307,8 @@ func Result(id string, cfg Config) (any, error) {
 		return RunExtCache(cfg)
 	case "extparallel":
 		return RunExtParallel(cfg)
+	case "extpush":
+		return RunExtPush(cfg)
 	default:
 		return nil, fmt.Errorf("experiments: %q: %w", id, ErrUnknownExperiment)
 	}

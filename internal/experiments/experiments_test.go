@@ -29,7 +29,7 @@ func TestRunDispatch(t *testing.T) {
 		t.Errorf("err = %v, want ErrUnknownExperiment", err)
 	}
 	ids := IDs()
-	if len(ids) != 12 || ids[0] != "inventory" || ids[11] != "extparallel" {
+	if len(ids) != 13 || ids[0] != "inventory" || ids[12] != "extpush" {
 		t.Errorf("ids = %v", ids)
 	}
 	for _, id := range ids {
@@ -392,6 +392,55 @@ func TestExtParallelShape(t *testing.T) {
 	res.Print(&buf)
 	if !strings.Contains(buf.String(), "workers") {
 		t.Error("print missing workers column")
+	}
+}
+
+func TestExtPushShape(t *testing.T) {
+	res, err := RunExtPush(mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(extPushWorkers) || res.Images == 0 {
+		t.Fatalf("shape = %d points, %d images", len(res.Points), res.Images)
+	}
+	base := res.Points[0]
+	if base.Workers != 1 || base.Speedup != 1 {
+		t.Errorf("baseline point = workers %d, speedup %.2f", base.Workers, base.Speedup)
+	}
+	if base.Uploaded == 0 || base.Skipped == 0 {
+		t.Errorf("rollout uploaded %d / skipped %d; want both nonzero", base.Uploaded, base.Skipped)
+	}
+	// The batch protocol pays one query round trip per image.
+	if base.QueryRoundTrips != int64(res.Images) {
+		t.Errorf("query round trips = %d, want one per image (%d)", base.QueryRoundTrips, res.Images)
+	}
+	for i, p := range res.Points {
+		// Parallelism must not change what is pushed.
+		if p.Uploaded != base.Uploaded || p.UploadedBytes != base.UploadedBytes ||
+			p.Skipped != base.Skipped || p.DedupRatio != base.DedupRatio {
+			t.Errorf("workers=%d: uploads/bytes/dedup = %d/%d/%.4f, want %d/%d/%.4f",
+				p.Workers, p.Uploaded, p.UploadedBytes, p.DedupRatio,
+				base.Uploaded, base.UploadedBytes, base.DedupRatio)
+		}
+		// Push time is monotonically non-increasing in workers.
+		if i > 0 && p.PushTime > res.Points[i-1].PushTime {
+			t.Errorf("push time rose from workers=%d (%v) to workers=%d (%v)",
+				res.Points[i-1].Workers, res.Points[i-1].PushTime, p.Workers, p.PushTime)
+		}
+	}
+	if last := res.Points[len(res.Points)-1]; last.Speedup < 1 {
+		t.Errorf("workers=%d slower than serial: speedup %.2f", last.Workers, last.Speedup)
+	}
+	// The dedup fast path: a fully present image costs one QueryBatch
+	// round trip and zero uploads.
+	if res.WarmQueryRoundTrips != 1 || res.WarmUploads != 0 {
+		t.Errorf("warm re-push = %d round trips, %d uploads; want 1, 0",
+			res.WarmQueryRoundTrips, res.WarmUploads)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "dedup") {
+		t.Error("print missing dedup column")
 	}
 }
 

@@ -35,7 +35,7 @@ type ExtParallelResult struct {
 	// Series lists the deployed series (one per category).
 	Series []string `json:"series"`
 	// Deploys is the number of deployments summed into each point.
-	Deploys int `json:"deploys"`
+	Deploys int                `json:"deploys"`
 	Points  []ExtParallelPoint `json:"points"`
 }
 

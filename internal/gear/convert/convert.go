@@ -81,6 +81,12 @@ type Options struct {
 	// original name (the paper stores the Gear index under the original
 	// reference once the regular image is removed).
 	IndexName string
+	// Workers bounds the fingerprint/extract worker pool. Disk costs stay
+	// serial (one modeled spindle), but the CPU-bound costs — hashing and
+	// the per-file conversion work — divide across workers. Fingerprints
+	// and pool contents are bit-identical for any worker count (see
+	// index.BuildChunkedParallel); workers <= 1 is the serial baseline.
+	Workers int
 }
 
 // Converter converts Docker images to Gear images. Fingerprint
@@ -94,7 +100,7 @@ type Converter struct {
 	mu   sync.Mutex
 	reg  *hashing.Registry
 	disk *disksim.Disk
-	done map[string]bool // references already converted
+	done map[string]*Result // references already converted -> cached result
 }
 
 // New returns a Converter.
@@ -108,6 +114,9 @@ func New(opts Options) (*Converter, error) {
 	if opts.HashBPS == 0 {
 		opts.HashBPS = 200e6
 	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
 	disk, err := disksim.New(opts.Disk)
 	if err != nil {
 		return nil, fmt.Errorf("convert: %w", err)
@@ -116,18 +125,20 @@ func New(opts Options) (*Converter, error) {
 		opts: opts,
 		reg:  hashing.NewRegistry(nil),
 		disk: disk,
-		done: make(map[string]bool),
+		done: make(map[string]*Result),
 	}, nil
 }
 
 // Convert turns img into a Gear image. Each reference converts once;
-// converting it again returns ErrAlreadyConverted.
+// converting it again returns the cached Result alongside
+// ErrAlreadyConverted, so callers can push an already-converted image
+// without paying for a reconversion.
 func (c *Converter) Convert(img *imagefmt.Image) (*Result, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ref := img.Manifest.Reference()
-	if c.done[ref] {
-		return nil, fmt.Errorf("convert %s: %w", ref, ErrAlreadyConverted)
+	if cached := c.done[ref]; cached != nil {
+		return cached, fmt.Errorf("convert %s: %w", ref, ErrAlreadyConverted)
 	}
 	if err := img.Validate(); err != nil {
 		return nil, fmt.Errorf("convert %s: %w", ref, err)
@@ -153,43 +164,52 @@ func (c *Converter) Convert(img *imagefmt.Image) (*Result, error) {
 
 	// Phase 2: traverse the reconstructed filesystem; every regular file
 	// is read once to fingerprint it. Small files make this seek-bound,
-	// which is why Fig 6's time grows with file count.
+	// which is why Fig 6's time grows with file count. The disk is one
+	// spindle, so reads stay serial; the hash CPU fans out over the
+	// worker pool.
+	workers := c.opts.Workers
+	var hashCPU time.Duration
 	err := root.Walk(func(_ string, n *vfs.Node) error {
 		if n.Type() == vfs.TypeRegular {
 			timing.Traverse += c.disk.Read(n.Size())
-			timing.Traverse += time.Duration(float64(n.Size()) / c.opts.HashBPS * float64(time.Second))
+			hashCPU += time.Duration(float64(n.Size()) / c.opts.HashBPS * float64(time.Second))
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("convert %s: %w", ref, err)
 	}
+	timing.Traverse += hashCPU / time.Duration(workers)
 
 	name := img.Manifest.Name
 	if c.opts.IndexName != "" {
 		name = c.opts.IndexName
 	}
-	ix, pool, err := index.BuildChunked(name, img.Manifest.Tag, img.Manifest.Config,
-		root, c.reg, c.opts.ChunkSize)
+	ix, pool, err := index.BuildChunkedParallel(name, img.Manifest.Tag, img.Manifest.Config,
+		root, c.reg, c.opts.ChunkSize, workers)
 	if err != nil {
 		return nil, fmt.Errorf("convert %s: %w", ref, err)
 	}
 
 	// Phase 3: write Gear files and build the single-layer index image.
 	// Each file pays the device write plus the device-independent
-	// conversion CPU (Docker API calls, metadata bookkeeping).
+	// conversion CPU (Docker API calls, metadata bookkeeping); the CPU
+	// share divides across the worker pool.
+	var buildCPU time.Duration
 	for _, data := range pool {
 		timing.Build += c.disk.Write(int64(len(data)))
-		timing.Build += c.opts.PerFileCPU
+		buildCPU += c.opts.PerFileCPU
 	}
+	timing.Build += buildCPU / time.Duration(workers)
 	indexImage, err := ix.ToImage()
 	if err != nil {
 		return nil, fmt.Errorf("convert %s: %w", ref, err)
 	}
 	timing.Build += c.disk.Write(indexImage.Manifest.TotalSize())
 
-	c.done[ref] = true
-	return &Result{Index: ix, Files: pool, IndexImage: indexImage, Timing: timing}, nil
+	res := &Result{Index: ix, Files: pool, IndexImage: indexImage, Timing: timing}
+	c.done[ref] = res
+	return res, nil
 }
 
 // applyTree merges a layer tree into root, resolving whiteouts.

@@ -395,3 +395,69 @@ func TestConcurrentConversions(t *testing.T) {
 		t.Error("disk stats empty after conversions")
 	}
 }
+
+// A parallel conversion must produce the same Gear image as the serial
+// baseline — same index bytes, same pool — while the modeled time is
+// monotone non-increasing in the worker count.
+func TestParallelConversionMatchesSerial(t *testing.T) {
+	img := buildImage(t, "app", "v1")
+	serial := newConverter(t, Options{ChunkSize: 512})
+	want, err := serial.Convert(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnc, err := index.Encode(want.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := want.Timing.Total()
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		c := newConverter(t, Options{ChunkSize: 512, Workers: workers})
+		res, err := c.Convert(buildImage(t, "app", "v1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := index.Encode(res.Index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, wantEnc) {
+			t.Fatalf("workers=%d: index differs from serial conversion", workers)
+		}
+		if len(res.Files) != len(want.Files) {
+			t.Fatalf("workers=%d: pool size %d, want %d", workers, len(res.Files), len(want.Files))
+		}
+		for fp, data := range want.Files {
+			if !bytes.Equal(res.Files[fp], data) {
+				t.Fatalf("workers=%d: pool content differs at %s", workers, fp)
+			}
+		}
+		if workers == 1 && res.Timing != want.Timing {
+			t.Fatalf("workers=1 timing %+v differs from serial baseline %+v", res.Timing, want.Timing)
+		}
+		if got := res.Timing.Total(); got > prev {
+			t.Fatalf("workers=%d: time %v regressed from %v", workers, got, prev)
+		} else {
+			prev = got
+		}
+	}
+}
+
+// A second Convert of the same reference returns the cached Result
+// alongside ErrAlreadyConverted, so callers can re-push without paying
+// for a reconversion.
+func TestConvertReturnsCachedResult(t *testing.T) {
+	c := newConverter(t, Options{})
+	img := buildImage(t, "app", "v1")
+	first, err := c.Convert(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.Convert(img)
+	if !errors.Is(err, ErrAlreadyConverted) {
+		t.Fatalf("err = %v, want ErrAlreadyConverted", err)
+	}
+	if again != first {
+		t.Error("second Convert did not return the cached Result")
+	}
+}

@@ -112,10 +112,65 @@ func BuildChunked(name, tag string, cfg imagefmt.Config, root *vfs.FS, reg *hash
 	return &Index{Name: name, Tag: tag, Config: cfg, Root: rootEntry}, b.pool, nil
 }
 
+// BuildChunkedParallel is BuildChunked with the fingerprinting fanned out
+// over a bounded worker pool — the CPU-bound hash over the many small
+// files that dominates conversion time (Fig 6 of the paper). The output
+// is bit-identical to BuildChunked for any worker count: the tree walk
+// first collects every content item in exactly the order the serial
+// builder would Assign it (whole file, then its chunks, in walk order),
+// hashes run concurrently, and collision IDs are assigned sequentially in
+// that order (see hashing.Registry.AssignAll). workers <= 1 is the serial
+// path.
+func BuildChunkedParallel(name, tag string, cfg imagefmt.Config, root *vfs.FS, reg *hashing.Registry, chunkSize int64, workers int) (*Index, map[hashing.Fingerprint][]byte, error) {
+	if workers <= 1 {
+		return BuildChunked(name, tag, cfg, root, reg, chunkSize)
+	}
+	if reg == nil {
+		reg = hashing.NewRegistry(nil)
+	}
+	b := &builder{reg: reg, pool: make(map[hashing.Fingerprint][]byte), chunkSize: chunkSize, collect: true}
+	rootEntry, err := b.buildEntry("", root.Root())
+	if err != nil {
+		return nil, nil, fmt.Errorf("index: build %s:%s: %w", name, tag, err)
+	}
+	items := make([][]byte, len(b.slots))
+	for i, s := range b.slots {
+		items[i] = s.data
+	}
+	fps := reg.AssignAll(items, workers)
+	for i, s := range b.slots {
+		fp := fps[i]
+		if s.chunk {
+			s.entry.Chunks = append(s.entry.Chunks, Chunk{Fingerprint: fp, Size: int64(len(s.data))})
+			b.pool[fp] = s.data
+		} else {
+			s.entry.Fingerprint = fp
+			if !s.chunked {
+				b.pool[fp] = s.data
+			}
+		}
+	}
+	return &Index{Name: name, Tag: tag, Config: cfg, Root: rootEntry}, b.pool, nil
+}
+
 type builder struct {
 	reg       *hashing.Registry
 	pool      map[hashing.Fingerprint][]byte
 	chunkSize int64
+	// collect defers fingerprint assignment: buildEntry records slots in
+	// serial Assign order instead of calling Assign inline.
+	collect bool
+	slots   []assignSlot
+}
+
+// assignSlot is one pending content-address assignment.
+type assignSlot struct {
+	entry *Entry
+	data  []byte
+	// chunk marks a chunk piece; chunked marks a whole-file slot whose
+	// content is pooled at chunk granularity instead.
+	chunk   bool
+	chunked bool
 }
 
 func (b *builder) buildEntry(name string, n *vfs.Node) (*Entry, error) {
@@ -131,21 +186,31 @@ func (b *builder) buildEntry(name string, n *vfs.Node) (*Entry, error) {
 		}
 	case vfs.TypeRegular:
 		data := n.Content().Data()
-		e.Fingerprint = b.reg.Assign(data)
 		e.Size = int64(len(data))
-		if b.chunkSize > 0 && e.Size > b.chunkSize {
+		chunked := b.chunkSize > 0 && e.Size > b.chunkSize
+		if b.collect {
+			b.slots = append(b.slots, assignSlot{entry: e, data: data, chunked: chunked})
+		} else {
+			e.Fingerprint = b.reg.Assign(data)
+			if !chunked {
+				b.pool[e.Fingerprint] = data
+			}
+		}
+		if chunked {
 			for off := int64(0); off < e.Size; off += b.chunkSize {
 				end := off + b.chunkSize
 				if end > e.Size {
 					end = e.Size
 				}
 				piece := data[off:end]
+				if b.collect {
+					b.slots = append(b.slots, assignSlot{entry: e, data: piece, chunk: true})
+					continue
+				}
 				cfp := b.reg.Assign(piece)
 				e.Chunks = append(e.Chunks, Chunk{Fingerprint: cfp, Size: int64(len(piece))})
 				b.pool[cfp] = piece
 			}
-		} else {
-			b.pool[e.Fingerprint] = data
 		}
 	case vfs.TypeSymlink:
 		e.Target = n.Target()

@@ -555,3 +555,59 @@ func TestBinaryCodecRejectsGarbage(t *testing.T) {
 		t.Error("trailing bytes accepted")
 	}
 }
+
+// BuildChunkedParallel must be bit-identical to BuildChunked for any
+// worker count — same tree, same fingerprints (including collision IDs),
+// same pool — under both the real hasher and a colliding one.
+func TestBuildChunkedParallelMatchesSerial(t *testing.T) {
+	cfg := imagefmt.Config{Env: []string{"A=1"}}
+	for _, tc := range []struct {
+		name   string
+		hasher hashing.Hasher
+	}{
+		{"md5", nil},
+		{"colliding", collidingHasher{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			root := randomRoot(rng, 80)
+			// Small chunk size so several files chunk.
+			const chunkSize = 64
+			serialReg := hashing.NewRegistry(tc.hasher)
+			wantIx, wantPool, err := BuildChunked("app", "v1", cfg, root, serialReg, chunkSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantEnc, err := Encode(wantIx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				reg := hashing.NewRegistry(tc.hasher)
+				ix, pool, err := BuildChunkedParallel("app", "v1", cfg, root, reg, chunkSize, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				enc, err := Encode(ix)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(enc, wantEnc) {
+					t.Fatalf("workers=%d: index differs from serial build", workers)
+				}
+				if len(pool) != len(wantPool) {
+					t.Fatalf("workers=%d: pool size %d, want %d", workers, len(pool), len(wantPool))
+				}
+				for fp, data := range wantPool {
+					if !bytes.Equal(pool[fp], data) {
+						t.Fatalf("workers=%d: pool content differs at %s", workers, fp)
+					}
+				}
+				if reg.Collisions() != serialReg.Collisions() {
+					t.Fatalf("workers=%d: collisions = %d, want %d",
+						workers, reg.Collisions(), serialReg.Collisions())
+				}
+			}
+		})
+	}
+}

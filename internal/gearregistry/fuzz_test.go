@@ -64,6 +64,85 @@ func FuzzBatchHandler(f *testing.F) {
 	})
 }
 
+// FuzzQueryBatchHandler: the /gear/querybatch handler must never panic
+// on arbitrary fingerprint lists, and every 200 response must parse with
+// the client framing, echo the request order, and agree with per-object
+// Query verdicts.
+func FuzzQueryBatchHandler(f *testing.F) {
+	reg := New(Options{})
+	known := hashing.FingerprintBytes([]byte("known object"))
+	if err := reg.Upload(known, []byte("known object")); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add(string(known) + "\n")
+	f.Add(string(known) + "\n" + string(known) + "\n") // duplicates
+	f.Add("d41d8cd98f00b204e9800998ecf8427e\n")        // unknown but well-formed
+	f.Add("zzzz\n")                                    // malformed
+	f.Add(string(known) + "\nnot a fingerprint\n")
+	f.Add("d41d8cd98f00b204e9800998ecf8427e-c2\n") // collision id form
+	f.Add(string(known) + " present\n")            // response-shaped input
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest(http.MethodPost, "/gear/querybatch", bytes.NewReader([]byte(body)))
+		rec := httptest.NewRecorder()
+		NewHandler(reg).ServeHTTP(rec, req)
+
+		switch rec.Code {
+		case http.StatusOK:
+			present, fps, err := parseQueryBatchResponse(rec.Body.Bytes())
+			if err != nil {
+				t.Fatalf("200 response does not parse: %v", err)
+			}
+			if len(present) != len(fps) {
+				t.Fatalf("%d verdicts for %d fingerprints", len(present), len(fps))
+			}
+			for i, fp := range fps {
+				got, err := reg.Query(fp)
+				if err != nil {
+					t.Fatalf("served invalid fingerprint %q: %v", fp, err)
+				}
+				if got != present[i] {
+					t.Fatalf("verdict for %s = %v, registry says %v", fp, present[i], got)
+				}
+			}
+		case http.StatusBadRequest:
+			// Malformed lists are rejected whole; the handler just must
+			// not panic or answer a partial batch.
+		default:
+			t.Fatalf("unexpected status %d", rec.Code)
+		}
+	})
+}
+
+// FuzzParseQueryBatchResponse: the client-side verdict parser must never
+// panic and must only accept well-formed fingerprint/verdict lines.
+func FuzzParseQueryBatchResponse(f *testing.F) {
+	f.Add([]byte("d41d8cd98f00b204e9800998ecf8427e present\n"))
+	f.Add([]byte("d41d8cd98f00b204e9800998ecf8427e absent\n"))
+	f.Add([]byte("d41d8cd98f00b204e9800998ecf8427e-c2 present\n"))
+	f.Add([]byte("d41d8cd98f00b204e9800998ecf8427e maybe\n"))
+	f.Add([]byte("zzzz present\n"))
+	f.Add([]byte("no verdict"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		present, fps, err := parseQueryBatchResponse(data)
+		if err != nil {
+			return
+		}
+		if len(present) != len(fps) {
+			t.Fatalf("%d verdicts for %d fingerprints", len(present), len(fps))
+		}
+		for _, fp := range fps {
+			if err := fp.Validate(); err != nil {
+				t.Fatalf("accepted invalid fingerprint %q", fp)
+			}
+		}
+	})
+}
+
 // FuzzParseBatchResponse: the client-side frame parser must never panic
 // and must only accept frames whose payload lengths are consistent.
 func FuzzParseBatchResponse(f *testing.F) {

@@ -21,6 +21,10 @@ import (
 //	GET  /gear/download/{fingerprint} -> file bytes
 //	POST /gear/batch                  <- newline-separated fingerprints
 //	                                  -> framed objects (see serveBatch)
+//	POST /gear/querybatch             <- newline-separated fingerprints
+//	                                  -> "<fingerprint> present|absent" lines
+//	                                     (see serveQueryBatch; bodies may be
+//	                                     gzip-framed via X-Gear-Encoding)
 //	POST /gear/gc                     <- newline-separated fingerprints to KEEP
 //	                                  -> "removed=N freed=M"
 
@@ -42,6 +46,10 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.URL.Path == "/gear/batch" {
 		h.serveBatch(w, r)
+		return
+	}
+	if r.URL.Path == "/gear/querybatch" {
+		h.serveQueryBatch(w, r)
 		return
 	}
 	verb, fp, ok := splitPath(r.URL.Path)
@@ -168,6 +176,87 @@ func (h *Handler) serveBatch(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "%s %d %s\n", o.fp, len(o.stored), enc)
 		_, _ = w.Write(o.stored)
 	}
+}
+
+// gzipWireThreshold is the body size above which querybatch bodies are
+// worth gzip-framing: a whole image's fingerprint set is thousands of
+// highly compressible hex lines, while a handful of lines costs more in
+// gzip header than it saves.
+const gzipWireThreshold = 1024
+
+// encodingHeader marks a gzip-framed request or response body, and
+// acceptHeader advertises that the peer may gzip its reply — the same
+// explicit framing /gear/download uses, so compression survives any
+// transport.
+const (
+	encodingHeader = "X-Gear-Encoding"
+	acceptHeader   = "X-Gear-Accept"
+)
+
+// readWireBody reads a request or response body, inflating it when the
+// encoding header says it is gzip-framed.
+func readWireBody(body io.Reader, encoding string) ([]byte, error) {
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return nil, err
+	}
+	if encoding == "gzip" {
+		return tarstream.Gunzip(data)
+	}
+	return data, nil
+}
+
+// serveQueryBatch implements the one-round-trip multi-object presence
+// check behind the parallel push pipeline. The request body is
+// newline-separated fingerprints (the batch/gc framing, optionally
+// gzip-framed with X-Gear-Encoding: gzip); the response is, per
+// requested fingerprint in order, a line
+//
+//	<fingerprint> <present|absent>\n
+//
+// gzip-framed when the client sent X-Gear-Accept: gzip and the body is
+// large enough to profit. A malformed fingerprint fails the whole batch
+// with 400 — batches are all-or-nothing, mirroring Registry.QueryBatch.
+func (h *Handler) serveQueryBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := readWireBody(r.Body, r.Header.Get(encodingHeader))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var fps []hashing.Fingerprint
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fps = append(fps, hashing.Fingerprint(line))
+	}
+	present, err := h.reg.QueryBatch(fps)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var out bytes.Buffer
+	for i, fp := range fps {
+		verdict := "absent"
+		if present[i] {
+			verdict = "present"
+		}
+		fmt.Fprintf(&out, "%s %s\n", fp, verdict)
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	payload := out.Bytes()
+	if strings.Contains(r.Header.Get(acceptHeader), "gzip") && out.Len() > gzipWireThreshold {
+		if z, err := tarstream.Gzip(payload); err == nil {
+			w.Header().Set(encodingHeader, "gzip")
+			payload = z
+		}
+	}
+	_, _ = w.Write(payload)
 }
 
 // serveGC implements the keep-set garbage collection verb.
@@ -397,6 +486,94 @@ func parseBatchResponse(body []byte) ([]batchObject, error) {
 		body = body[size:]
 	}
 	return objects, nil
+}
+
+// QueryBatch implements BatchQuerier over HTTP via POST
+// /gear/querybatch: one round trip answers presence for a whole
+// fingerprint set. Large request bodies are gzip-framed, and the client
+// advertises that it accepts a gzip-framed response.
+func (c *Client) QueryBatch(fps []hashing.Fingerprint) ([]bool, error) {
+	if len(fps) == 0 {
+		return nil, nil
+	}
+	var reqBody strings.Builder
+	for _, fp := range fps {
+		reqBody.WriteString(string(fp))
+		reqBody.WriteByte('\n')
+	}
+	payload := []byte(reqBody.String())
+	req, err := http.NewRequest(http.MethodPost, c.base+"/gear/querybatch", nil)
+	if err != nil {
+		return nil, fmt.Errorf("gearregistry client: querybatch: %w", err)
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	req.Header.Set(acceptHeader, "gzip")
+	if len(payload) > gzipWireThreshold {
+		if z, zerr := tarstream.Gzip(payload); zerr == nil {
+			payload = z
+			req.Header.Set(encodingHeader, "gzip")
+		}
+	}
+	req.Body = io.NopCloser(bytes.NewReader(payload))
+	req.ContentLength = int64(len(payload))
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("gearregistry client: querybatch: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := readWireBody(resp.Body, resp.Header.Get(encodingHeader))
+	if err != nil {
+		return nil, fmt.Errorf("gearregistry client: querybatch: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("gearregistry client: querybatch: %s: %s",
+			resp.Status, strings.TrimSpace(string(body)))
+	}
+	present, got, err := parseQueryBatchResponse(body)
+	if err != nil {
+		return nil, fmt.Errorf("gearregistry client: querybatch: %w", err)
+	}
+	if len(present) != len(fps) {
+		return nil, fmt.Errorf("gearregistry client: querybatch: got %d verdicts, want %d",
+			len(present), len(fps))
+	}
+	for i, fp := range got {
+		if fp != fps[i] {
+			return nil, fmt.Errorf("gearregistry client: querybatch: verdict %d is %s, want %s",
+				i, fp, fps[i])
+		}
+	}
+	return present, nil
+}
+
+// parseQueryBatchResponse decodes the /gear/querybatch framing: one
+// "<fingerprint> <present|absent>" line per queried object, in request
+// order. It rejects malformed lines and invalid fingerprints.
+func parseQueryBatchResponse(body []byte) (present []bool, fps []hashing.Fingerprint, err error) {
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, nil, fmt.Errorf("malformed verdict line %q", line)
+		}
+		fp := hashing.Fingerprint(fields[0])
+		if verr := fp.Validate(); verr != nil {
+			return nil, nil, fmt.Errorf("verdict line %q: %w", line, verr)
+		}
+		switch fields[1] {
+		case "present":
+			present = append(present, true)
+		case "absent":
+			present = append(present, false)
+		default:
+			return nil, nil, fmt.Errorf("verdict line %q: bad verdict", line)
+		}
+		fps = append(fps, fp)
+	}
+	return present, fps, nil
 }
 
 // Download implements Store. Compressed payloads (marked with the

@@ -1,0 +1,91 @@
+package gearregistry
+
+import (
+	"fmt"
+
+	"github.com/gear-image/gear/internal/hashing"
+)
+
+// BatchQuerier is implemented by stores that can answer many presence
+// queries in one round trip. It is the upload-side mirror of
+// BatchDownloader: before pushing an image, a client checks the image's
+// whole fingerprint set against the registry at once, so dedup (the
+// paper's query-before-upload protocol, §III-C) costs one request
+// instead of one per Gear file.
+type BatchQuerier interface {
+	// QueryBatch reports, per fingerprint in request order, whether the
+	// Gear file is already stored. The whole batch fails if any
+	// fingerprint is malformed — batches are all-or-nothing, mirroring
+	// DownloadBatch. Absent objects are not an error; they simply report
+	// false.
+	QueryBatch(fps []hashing.Fingerprint) ([]bool, error)
+}
+
+// QueryBatch implements BatchQuerier on the in-process registry.
+func (r *Registry) QueryBatch(fps []hashing.Fingerprint) ([]bool, error) {
+	for _, fp := range fps {
+		if err := fp.Validate(); err != nil {
+			return nil, fmt.Errorf("gearregistry: querybatch: %w", err)
+		}
+	}
+	// Answer under one read lock so the batch is a consistent snapshot.
+	present := make([]bool, len(fps))
+	r.mu.RLock()
+	for i, fp := range fps {
+		_, present[i] = r.objects[fp]
+	}
+	r.mu.RUnlock()
+	return present, nil
+}
+
+// QueryAll checks every fingerprint against s, using one QueryBatch
+// round trip when s supports it and falling back to per-object Query
+// otherwise. batched reports which path was taken, so callers can model
+// the request cost accordingly.
+func QueryAll(s Store, fps []hashing.Fingerprint) (present []bool, batched bool, err error) {
+	if len(fps) == 0 {
+		return nil, false, nil
+	}
+	if bq, ok := s.(BatchQuerier); ok {
+		present, err = bq.QueryBatch(fps)
+		return present, true, err
+	}
+	present = make([]bool, len(fps))
+	for i, fp := range fps {
+		p, err := s.Query(fp)
+		if err != nil {
+			return nil, false, err
+		}
+		present[i] = p
+	}
+	return present, false, nil
+}
+
+// QueryBatch implements BatchQuerier with retries when the inner store
+// batches; otherwise it degrades to per-object Query (each with its own
+// retry budget).
+func (r *RetryStore) QueryBatch(fps []hashing.Fingerprint) ([]bool, error) {
+	bq, ok := r.inner.(BatchQuerier)
+	if !ok {
+		present := make([]bool, len(fps))
+		for i, fp := range fps {
+			p, err := r.Query(fp)
+			if err != nil {
+				return nil, err
+			}
+			present[i] = p
+		}
+		return present, nil
+	}
+	var present []bool
+	err := r.do(func() error {
+		var err error
+		present, err = bq.QueryBatch(fps)
+		return err
+	})
+	return present, err
+}
+
+var _ BatchQuerier = (*Registry)(nil)
+var _ BatchQuerier = (*RetryStore)(nil)
+var _ BatchQuerier = (*Client)(nil)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"github.com/gear-image/gear/internal/hashing"
 )
@@ -11,26 +12,47 @@ import (
 // RetryStore wraps a Store with bounded retries on transient failures,
 // the behavior a production Gear driver needs against a flaky network.
 // Definite failures — a missing object, a malformed fingerprint — are
-// returned immediately; everything else retries up to Attempts times.
+// returned immediately; everything else retries up to Attempts times,
+// with optional exponential backoff between attempts. Every verb —
+// Query, Upload, Download, and their batched forms — shares the one
+// retry/backoff policy.
 type RetryStore struct {
 	inner Store
 	// attempts is the total number of tries per operation (>= 1).
 	attempts int
+	// backoff is the sleep before the first retry; it doubles per extra
+	// retry, capped at maxBackoffShift doublings. Zero disables sleeping.
+	backoff time.Duration
 	// retries counts extra attempts actually spent, for observability.
 	retries atomic.Int64
 }
 
 var _ Store = (*RetryStore)(nil)
 
+// maxBackoffShift caps the exponential backoff at base << maxBackoffShift.
+const maxBackoffShift = 6
+
 // ErrBadAttempts reports a non-positive attempt bound.
 var ErrBadAttempts = errors.New("attempts must be >= 1")
 
-// NewRetryStore wraps inner with the given total attempt bound.
+// NewRetryStore wraps inner with the given total attempt bound and no
+// backoff (retries fire immediately — the right shape for tests and
+// in-process stores).
 func NewRetryStore(inner Store, attempts int) (*RetryStore, error) {
+	return NewRetryStoreBackoff(inner, attempts, 0)
+}
+
+// NewRetryStoreBackoff wraps inner with the given total attempt bound
+// and exponential backoff: the i-th retry waits backoff << (i-1), capped
+// after maxBackoffShift doublings. A negative backoff is rejected.
+func NewRetryStoreBackoff(inner Store, attempts int, backoff time.Duration) (*RetryStore, error) {
 	if attempts < 1 {
 		return nil, fmt.Errorf("gearregistry: retry: %d: %w", attempts, ErrBadAttempts)
 	}
-	return &RetryStore{inner: inner, attempts: attempts}, nil
+	if backoff < 0 {
+		return nil, fmt.Errorf("gearregistry: retry: negative backoff %v: %w", backoff, ErrBadAttempts)
+	}
+	return &RetryStore{inner: inner, attempts: attempts, backoff: backoff}, nil
 }
 
 // Retries returns how many extra attempts have been spent so far.
@@ -43,11 +65,24 @@ func permanent(err error) bool {
 		errors.Is(err, hashing.ErrMalformed)
 }
 
+// wait sleeps the exponential backoff before retry number i (1-based).
+func (r *RetryStore) wait(i int) {
+	if r.backoff <= 0 {
+		return
+	}
+	shift := i - 1
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	time.Sleep(r.backoff << shift)
+}
+
 func (r *RetryStore) do(op func() error) error {
 	var err error
 	for i := 0; i < r.attempts; i++ {
 		if i > 0 {
 			r.retries.Add(1)
+			r.wait(i)
 		}
 		if err = op(); err == nil || permanent(err) {
 			return err
@@ -67,9 +102,26 @@ func (r *RetryStore) Query(fp hashing.Fingerprint) (bool, error) {
 	return present, err
 }
 
-// Upload implements Store with retries.
+// Upload implements Store with retries. Retried uploads are idempotent:
+// a failed attempt may in fact have landed server-side (the response,
+// not the upload, was lost), so each retry first queries the object and
+// treats presence as success — re-uploading would both waste the wire
+// and inflate the registry's dedup counters.
 func (r *RetryStore) Upload(fp hashing.Fingerprint, data []byte) error {
-	return r.do(func() error { return r.inner.Upload(fp, data) })
+	var err error
+	for i := 0; i < r.attempts; i++ {
+		if i > 0 {
+			r.retries.Add(1)
+			r.wait(i)
+			if present, qerr := r.inner.Query(fp); qerr == nil && present {
+				return nil
+			}
+		}
+		if err = r.inner.Upload(fp, data); err == nil || permanent(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("gearregistry: after %d attempts: %w", r.attempts, err)
 }
 
 // Download implements Store with retries.

@@ -3,6 +3,7 @@ package gearregistry
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"github.com/gear-image/gear/internal/hashing"
 )
@@ -54,7 +55,11 @@ func TestNewRetryStoreValidates(t *testing.T) {
 
 func TestRetryRecoversFromTransientFailures(t *testing.T) {
 	inner := New(Options{})
-	flaky := &flakyStore{inner: inner, failures: 2}
+	// Retried uploads probe with Query first, and the flaky store fails
+	// any operation while failures remain: attempt 1 upload fails, retry
+	// 2's probe fails (ignored), its upload fails, retry 3's probe sees
+	// the object absent and the upload finally lands.
+	flaky := &flakyStore{inner: inner, failures: 3}
 	r, err := NewRetryStore(flaky, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -82,8 +87,72 @@ func TestRetryGivesUpAfterBound(t *testing.T) {
 	if err := r.Upload(hashing.FingerprintBytes([]byte("x")), []byte("x")); !errors.Is(err, errTransient) {
 		t.Errorf("err = %v, want wrapped errTransient", err)
 	}
-	if flaky.calls != 3 {
-		t.Errorf("attempts = %d, want 3", flaky.calls)
+	// 3 uploads plus the idempotency probe before each of the 2 retries.
+	if flaky.calls != 5 {
+		t.Errorf("calls = %d, want 5", flaky.calls)
+	}
+}
+
+// lossyStore lands uploads server-side but loses the first N responses —
+// the failure mode that makes naive upload retries double-count dedup.
+type lossyStore struct {
+	inner  *Registry
+	losses int
+}
+
+func (l *lossyStore) Query(fp hashing.Fingerprint) (bool, error) { return l.inner.Query(fp) }
+func (l *lossyStore) Download(fp hashing.Fingerprint) ([]byte, int64, error) {
+	return l.inner.Download(fp)
+}
+func (l *lossyStore) Upload(fp hashing.Fingerprint, data []byte) error {
+	err := l.inner.Upload(fp, data)
+	if err == nil && l.losses > 0 {
+		l.losses--
+		return errTransient
+	}
+	return err
+}
+
+func TestRetryUploadIsIdempotent(t *testing.T) {
+	inner := New(Options{})
+	lossy := &lossyStore{inner: inner, losses: 1}
+	r, err := NewRetryStore(lossy, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("landed but response lost")
+	fp := hashing.FingerprintBytes(data)
+	if err := r.Upload(fp, data); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	// The retry's Query probe saw the object present and did not
+	// re-upload, so the registry records no duplicate-upload hit.
+	st := inner.Stats()
+	if st.DedupHits != 0 {
+		t.Errorf("dedup hits = %d, want 0 (retry must not re-upload)", st.DedupHits)
+	}
+	if st.Objects != 1 {
+		t.Errorf("objects = %d, want 1", st.Objects)
+	}
+}
+
+func TestRetryBackoff(t *testing.T) {
+	if _, err := NewRetryStoreBackoff(New(Options{}), 3, -1); !errors.Is(err, ErrBadAttempts) {
+		t.Errorf("negative backoff: err = %v, want ErrBadAttempts", err)
+	}
+	flaky := &flakyStore{inner: New(Options{}), failures: 2}
+	r, err := NewRetryStoreBackoff(flaky, 3, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("backed off")
+	start := time.Now()
+	if _, err := r.Query(hashing.FingerprintBytes(data)); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	// Two retries sleep 1ms + 2ms under exponential backoff.
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Errorf("elapsed = %v, want >= 3ms of backoff", elapsed)
 	}
 }
 

@@ -145,8 +145,12 @@ func NewRegistry(hasher Hasher) *Registry {
 // Identical contents always receive identical addresses; distinct contents
 // always receive distinct addresses, even under a colliding hasher.
 func (r *Registry) Assign(data []byte) Fingerprint {
-	fp := r.hasher.Fingerprint(data)
+	return r.assign(r.hasher.Fingerprint(data), data)
+}
 
+// assign resolves a precomputed fingerprint to its collision-safe ID,
+// recording data under it. Callers must pass fp computed by r's hasher.
+func (r *Registry) assign(fp Fingerprint, data []byte) Fingerprint {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	seen := r.byFP[fp]
@@ -160,6 +164,45 @@ func (r *Registry) Assign(data []byte) Fingerprint {
 		r.collisions++
 	}
 	return indexedID(fp, len(seen))
+}
+
+// AssignAll assigns content addresses to every item using up to workers
+// goroutines for the hash computation — the CPU-bound part — while the
+// collision-ID assignment runs sequentially in input order afterwards.
+// The returned addresses are therefore bit-identical to calling Assign on
+// each item in order, for any worker count: "-cN" suffixes depend only on
+// the order collisions are *assigned*, which AssignAll keeps serial.
+func (r *Registry) AssignAll(items [][]byte, workers int) []Fingerprint {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	fps := make([]Fingerprint, len(items))
+	if workers <= 1 {
+		for i, data := range items {
+			fps[i] = r.hasher.Fingerprint(data)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * len(items) / workers
+			hi := (w + 1) * len(items) / workers
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					fps[i] = r.hasher.Fingerprint(items[i])
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	for i, data := range items {
+		fps[i] = r.assign(fps[i], data)
+	}
+	return fps
 }
 
 // Collisions returns how many fallback IDs have been assigned.

@@ -194,3 +194,67 @@ func TestCollisionProbability(t *testing.T) {
 		t.Errorf("one file should have zero collision probability, got %g", got)
 	}
 }
+
+// AssignAll must be indistinguishable from serial Assign calls for any
+// worker count — including the "-cN" collision IDs, which depend on
+// assignment order.
+func TestAssignAllMatchesSerial(t *testing.T) {
+	var items [][]byte
+	for i := 0; i < 64; i++ {
+		// A mix of duplicates and weakHasher collisions.
+		items = append(items, []byte(strings.Repeat("x", i%7)+fmt.Sprint(i%9)))
+	}
+	for _, hasher := range []Hasher{nil, weakHasher{}} {
+		serial := NewRegistry(hasher)
+		want := make([]Fingerprint, len(items))
+		for i, data := range items {
+			want[i] = serial.Assign(data)
+		}
+		for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+			r := NewRegistry(hasher)
+			got := r.AssignAll(items, workers)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("hasher %T workers %d: item %d = %s, want %s",
+						hasher, workers, i, got[i], want[i])
+				}
+			}
+			if r.Collisions() != serial.Collisions() {
+				t.Errorf("hasher %T workers %d: collisions = %d, want %d",
+					hasher, workers, r.Collisions(), serial.Collisions())
+			}
+		}
+	}
+	if out := NewRegistry(nil).AssignAll(nil, 4); len(out) != 0 {
+		t.Errorf("empty AssignAll returned %v", out)
+	}
+}
+
+// Concurrent AssignAll and Assign calls on one registry must be
+// race-free and keep the injectivity invariant.
+func TestAssignAllConcurrent(t *testing.T) {
+	r := NewRegistry(weakHasher{})
+	var items [][]byte
+	for i := 0; i < 32; i++ {
+		items = append(items, []byte(fmt.Sprintf("payload %d", i%11)))
+	}
+	var wg sync.WaitGroup
+	results := make([][]Fingerprint, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = r.AssignAll(items, 4)
+		}(g)
+	}
+	wg.Wait()
+	// Identical inputs always resolve to identical IDs, regardless of
+	// which goroutine assigned first.
+	for g := 1; g < 8; g++ {
+		for i := range items {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d item %d = %s, want %s", g, i, results[g][i], results[0][i])
+			}
+		}
+	}
+}

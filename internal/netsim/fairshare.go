@@ -24,6 +24,28 @@ type Stream struct {
 	Bytes int64
 }
 
+// PerObjectStream returns the Stream for a worker that issues one
+// request per object: each object pays its own RTT and server overhead
+// before the payload bytes share the wire.
+func PerObjectStream(cfg LinkConfig, objects int, bytes int64) Stream {
+	return Stream{
+		Latency:  (cfg.RTT + cfg.RequestOverhead) * time.Duration(objects),
+		Requests: objects,
+		Bytes:    bytes,
+	}
+}
+
+// BatchedStream returns the Stream for a worker that moves objects in
+// one batched round trip: a single RTT, with the per-object server
+// overhead still paid for every object in the batch.
+func BatchedStream(cfg LinkConfig, objects int, bytes int64) Stream {
+	return Stream{
+		Latency:  cfg.RTT + cfg.RequestOverhead*time.Duration(objects),
+		Requests: objects,
+		Bytes:    bytes,
+	}
+}
+
 // FairShare runs a deterministic processor-sharing simulation of the
 // given streams on a link with cfg's bandwidth: at any instant the
 // streams with remaining bytes split BytesPerSecond equally. It returns
