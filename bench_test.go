@@ -46,6 +46,7 @@ func BenchmarkFig9DeployTime(b *testing.B) { benchExperiment(b, "fig9") }
 func BenchmarkFig10Versions(b *testing.B)  { benchExperiment(b, "fig10") }
 func BenchmarkFig11Services(b *testing.B)  { benchExperiment(b, "fig11") }
 func BenchmarkExtLoadFleet(b *testing.B)   { benchExperiment(b, "extload") }
+func BenchmarkExtP2P(b *testing.B)         { benchExperiment(b, "extp2p") }
 
 // --- Core-path micro benchmarks ---
 

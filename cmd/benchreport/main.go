@@ -9,7 +9,7 @@
 //	benchreport -exp table2 -scale 0.5   # custom scale
 //
 // Experiments: inventory, table2, fig2, fig6, fig7, fig8, fig9, fig10,
-// fig11, extload, extcache, extparallel, extpush, all.
+// fig11, extload, extcache, extparallel, extpush, extp2p, all.
 package main
 
 import (

@@ -10,6 +10,7 @@
 //	gearctl index  -docker URL -image gear/nginx:v01
 //	gearctl deploy -docker URL -gear URL -image gear/nginx:v01 -mode gear -mbps 100
 //	gearctl gc     -docker URL -gear URL
+//	gearctl peers  -tracker URL
 //
 // The deploy subcommand's -mode selects the Docker baseline ("docker",
 // full image pull) or Gear ("gear", lazy index pull). Bandwidth is the
@@ -31,6 +32,7 @@ import (
 	"github.com/gear-image/gear/internal/gearregistry"
 	"github.com/gear-image/gear/internal/hashing"
 	"github.com/gear-image/gear/internal/netsim"
+	"github.com/gear-image/gear/internal/peer"
 	"github.com/gear-image/gear/internal/registry"
 )
 
@@ -56,8 +58,10 @@ func run(args []string) error {
 		return cmdDeploy(args[1:])
 	case "gc":
 		return cmdGC(args[1:])
+	case "peers":
+		return cmdPeers(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want seed, list, index, deploy, or gc)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want seed, list, index, deploy, gc, or peers)", args[0])
 	}
 }
 
@@ -221,6 +225,32 @@ func cmdGC(args []string) error {
 	}
 	fmt.Printf("gc: %d index images reference %d files; removed %d orphans, freed %d B\n",
 		indexImages, len(keep), removed, freed)
+	return nil
+}
+
+// cmdPeers reports a cluster tracker's view of peer-to-peer
+// distribution: how many Gear files are tracked across how many
+// holders, and how much deployment traffic the fleet served from peers
+// instead of the registry.
+func cmdPeers(args []string) error {
+	fs := flag.NewFlagSet("peers", flag.ContinueOnError)
+	trackerURL := fs.String("tracker", "http://localhost:7002", "peer tracker URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := peer.NewTrackerClient(*trackerURL, nil).Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tracker %s\n", *trackerURL)
+	fmt.Printf("tracked: %d gear files across %d holders (%d announces, %d withdraws)\n",
+		st.Fingerprints, st.Holders, st.Announces, st.Withdraws)
+	total := st.PeerBytes + st.RegistryBytes
+	fmt.Printf("served p2p:      %d files, %d B\n", st.PeerObjects, st.PeerBytes)
+	fmt.Printf("served registry: %d files, %d B\n", st.RegistryObjects, st.RegistryBytes)
+	if total > 0 {
+		fmt.Printf("peer share: %.1f%% of %d B total\n", 100*float64(st.PeerBytes)/float64(total), total)
+	}
 	return nil
 }
 

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"github.com/gear-image/gear/internal/gearregistry"
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/peer"
 	"github.com/gear-image/gear/internal/registry"
 )
 
@@ -73,5 +75,24 @@ func TestSeedListIndexDeployGC(t *testing.T) {
 		"-image", "ghost-img:v01", "-series", "redis", "-scale", "0.2"})
 	if err == nil {
 		t.Error("missing image deployed")
+	}
+}
+
+// TestPeersSubcommand drives gearctl peers against a live HTTP tracker.
+func TestPeersSubcommand(t *testing.T) {
+	tr := peer.NewTracker()
+	tr.Announce("node0", hashing.FingerprintBytes([]byte("a")), hashing.FingerprintBytes([]byte("b")))
+	tr.Announce("node1", hashing.FingerprintBytes([]byte("a")))
+	tr.ReportServed(3, 4096, 2, 1024)
+	srv := httptest.NewServer(peer.NewTrackerHandler(tr))
+	defer srv.Close()
+
+	if err := run([]string{"peers", "-tracker", srv.URL}); err != nil {
+		t.Fatalf("gearctl peers: %v", err)
+	}
+	// An unreachable tracker fails cleanly.
+	srv.Close()
+	if err := run([]string{"peers", "-tracker", srv.URL}); err == nil {
+		t.Error("peers against a dead tracker succeeded")
 	}
 }

@@ -53,6 +53,23 @@ type entry struct {
 	elem    *list.Element
 }
 
+// Hooks observe cache membership transitions. Peer distribution wires
+// them to a tracker: OnAdmit announces a newly cached file as shareable,
+// OnEvict withdraws it. Hooks run outside the cache lock (so they may
+// take their own locks or call back into the cache) and fire exactly
+// once per transition: OnAdmit when a fingerprint enters the cache,
+// OnEvict whenever one leaves — policy eviction, Drop, or Clear.
+//
+// Because hooks fire after the lock is released, a concurrent admit and
+// evict of the same fingerprint may deliver their callbacks out of
+// order; consumers that mirror membership (trackers) must tolerate a
+// briefly stale view, which peer fetch paths already do by verifying
+// and falling back.
+type Hooks struct {
+	OnAdmit func(fp hashing.Fingerprint, size int64)
+	OnEvict func(fp hashing.Fingerprint, size int64)
+}
+
 // Cache is the shared Gear file cache. It is safe for concurrent use.
 type Cache struct {
 	mu       sync.Mutex
@@ -61,6 +78,7 @@ type Cache struct {
 	entries  map[hashing.Fingerprint]*entry
 	order    *list.List // front = next eviction candidate
 	used     int64
+	hooks    Hooks
 
 	hits, misses, evictions int64
 }
@@ -80,6 +98,15 @@ func New(capacity int64, policy Policy) (*Cache, error) {
 		entries:  make(map[hashing.Fingerprint]*entry),
 		order:    list.New(),
 	}, nil
+}
+
+// SetHooks installs membership hooks. Install them before the cache
+// sees traffic; SetHooks is not synchronized against in-flight
+// operations.
+func (c *Cache) SetHooks(h Hooks) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hooks = h
 }
 
 // Get returns the shared content for fp if cached. Under LRU a hit
@@ -107,6 +134,20 @@ func (c *Cache) Contains(fp hashing.Fingerprint) bool {
 	return ok
 }
 
+// Peek returns the shared content for fp without touching hit/miss
+// stats or recency. Peer serves read through Peek so exporting the
+// cache to the cluster does not distort the owner's replacement
+// decisions or cache-effectiveness accounting.
+func (c *Cache) Peek(fp hashing.Fingerprint) (*vfs.Content, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[fp]
+	if !ok {
+		return nil, false
+	}
+	return e.content, true
+}
+
 // Put inserts data under fp and returns the shared content (existing
 // content if fp was already cached). Inserting may evict unpinned
 // entries; if the cache cannot make room because every entry is pinned
@@ -118,32 +159,42 @@ func (c *Cache) Put(fp hashing.Fingerprint, data []byte) (*vfs.Content, error) {
 		return nil, fmt.Errorf("cache: put: %w", err)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if e, ok := c.entries[fp]; ok {
 		if c.policy == LRU {
 			c.order.MoveToBack(e.elem)
 		}
-		return e.content, nil
+		content := e.content
+		c.mu.Unlock()
+		return content, nil
 	}
 	size := int64(len(data))
 	if c.capacity > 0 && size > c.capacity {
+		c.mu.Unlock()
 		return nil, fmt.Errorf("cache: put %s (%d bytes): %w", fp, size, ErrTooLarge)
 	}
-	c.makeRoom(size)
+	evicted := c.makeRoom(size)
 	content := vfs.NewContent(data)
 	e := &entry{fp: fp, content: content}
 	e.elem = c.order.PushBack(e)
 	c.entries[fp] = e
 	c.used += size
+	hooks := c.hooks
+	c.mu.Unlock()
+	fireEvicts(hooks, evicted)
+	if hooks.OnAdmit != nil {
+		hooks.OnAdmit(fp, size)
+	}
 	return content, nil
 }
 
-// makeRoom evicts unpinned entries (front first) until size fits.
-// Pinned entries (link count > 0) are skipped.
-func (c *Cache) makeRoom(size int64) {
+// makeRoom evicts unpinned entries (front first) until size fits,
+// returning the removed entries so the caller can fire hooks after
+// releasing the lock. Pinned entries (link count > 0) are skipped.
+func (c *Cache) makeRoom(size int64) []*entry {
 	if c.capacity == 0 {
-		return
+		return nil
 	}
+	var evicted []*entry
 	elem := c.order.Front()
 	for c.used+size > c.capacity && elem != nil {
 		next := elem.Next()
@@ -155,9 +206,11 @@ func (c *Cache) makeRoom(size int64) {
 		}
 		if e.content.Nlink() == 0 {
 			c.removeLocked(e)
+			evicted = append(evicted, e)
 		}
 		elem = next
 	}
+	return evicted
 }
 
 func (c *Cache) removeLocked(e *entry) {
@@ -167,18 +220,31 @@ func (c *Cache) removeLocked(e *entry) {
 	c.evictions++
 }
 
+// fireEvicts delivers OnEvict for every removed entry, outside the lock.
+func fireEvicts(hooks Hooks, evicted []*entry) {
+	if hooks.OnEvict == nil {
+		return
+	}
+	for _, e := range evicted {
+		hooks.OnEvict(e.fp, e.content.Size())
+	}
+}
+
 // Drop removes fp from the cache regardless of policy (used when a file
 // is superseded). Pinned contents stay alive through their links; the
 // cache simply forgets them. Returns whether fp was present.
 func (c *Cache) Drop(fp hashing.Fingerprint) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	e, ok := c.entries[fp]
 	if !ok {
+		c.mu.Unlock()
 		return false
 	}
 	c.removeLocked(e)
 	c.evictions-- // explicit drops are not policy evictions
+	hooks := c.hooks
+	c.mu.Unlock()
+	fireEvicts(hooks, []*entry{e})
 	return true
 }
 
@@ -186,10 +252,16 @@ func (c *Cache) Drop(fp hashing.Fingerprint) bool {
 // client between deployments this way).
 func (c *Cache) Clear() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	evicted := make([]*entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		evicted = append(evicted, e)
+	}
 	c.entries = make(map[hashing.Fingerprint]*entry)
 	c.order.Init()
 	c.used = 0
+	hooks := c.hooks
+	c.mu.Unlock()
+	fireEvicts(hooks, evicted)
 }
 
 // Stats is a snapshot of cache effectiveness.

@@ -65,8 +65,14 @@ var (
 
 // Options configures a Daemon's cost model.
 type Options struct {
-	// Link models the client<->registry network. Required.
+	// Link models the client<->registry network. Required unless Links
+	// is set.
 	Link netsim.LinkConfig
+	// Links, if set, attaches the daemon to a cluster topology instead
+	// of a single link: registry traffic rides Links.WAN (which
+	// replaces Link) and peer-to-peer Gear transfers ride Links.LAN.
+	// Obtain it from netsim.Topology.Node.
+	Links *netsim.NodeLinks
 	// LocalReadLatency and LocalReadBPS model serving a file that is
 	// already local (page-cache-ish).
 	LocalReadLatency time.Duration
@@ -92,6 +98,15 @@ type Options struct {
 	// SlackerRequestBytes is the wire overhead per block fetch (NFS RPC
 	// framing — leaner than HTTP).
 	SlackerRequestBytes int64
+	// Peers, if set, lets Gear fetches try cluster peers before the
+	// registry (see store.Options.Peers). Peer transfers are priced on
+	// Links.LAN when a topology is attached, on Link otherwise.
+	Peers store.PeerSource
+	// PeerRequestBytes is the wire overhead charged per peer-served
+	// Gear file. 0 means "same as GearRequestBytes" — both paths speak
+	// the registry wire protocol, which is what keeps per-node received
+	// bytes identical whether a file came from a peer or the registry.
+	PeerRequestBytes int64
 	// CacheCapacity/CachePolicy configure the Gear level-1 cache.
 	CacheCapacity int64
 	CachePolicy   cache.Policy
@@ -129,6 +144,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SlackerRequestBytes == 0 {
 		o.SlackerRequestBytes = 120
+	}
+	if o.PeerRequestBytes == 0 {
+		o.PeerRequestBytes = o.GearRequestBytes
 	}
 	return o
 }
@@ -189,6 +207,9 @@ type Daemon struct {
 	docker registry.Store
 	gear   gearregistry.Store
 	link   *netsim.Link
+	// peerLink prices peer-to-peer Gear transfers. It equals link when
+	// no topology is attached, so single-link setups keep working.
+	peerLink *netsim.Link
 
 	// layersMu guards layers, the local layer store implementing
 	// Docker's client-side layer sharing (§II-C). It is held across a
@@ -208,24 +229,40 @@ type Daemon struct {
 // NewDaemon returns a Daemon speaking to the given registries.
 func NewDaemon(docker registry.Store, gear gearregistry.Store, opts Options) (*Daemon, error) {
 	opts = opts.withDefaults()
-	link, err := netsim.NewLink(opts.Link)
-	if err != nil {
-		return nil, fmt.Errorf("dockersim: %w", err)
+	var link, peerLink *netsim.Link
+	if opts.Links != nil {
+		link = opts.Links.WAN
+		peerLink = opts.Links.LAN
+		// Stream pricing (OnFetchWindow) needs the WAN's configuration.
+		opts.Link = link.Config()
+	} else {
+		var err error
+		link, err = netsim.NewLink(opts.Link)
+		if err != nil {
+			return nil, fmt.Errorf("dockersim: %w", err)
+		}
+		peerLink = link
 	}
 	d := &Daemon{
-		opts:   opts,
-		docker: docker,
-		gear:   gear,
-		link:   link,
-		layers: make(map[hashing.Digest]*imagefmt.Layer),
+		opts:     opts,
+		docker:   docker,
+		gear:     gear,
+		link:     link,
+		peerLink: peerLink,
+		layers:   make(map[hashing.Digest]*imagefmt.Layer),
 	}
+	var err error
 	d.gearStore, err = store.New(store.Options{
 		CacheCapacity: opts.CacheCapacity,
 		CachePolicy:   opts.CachePolicy,
 		Remote:        gear,
+		Peers:         opts.Peers,
 		FetchWorkers:  max(opts.FetchWorkers, 1),
 		OnRemoteFetch: func(objects int, bytes int64) {
 			d.link.TransferBatch(objects, bytes+int64(objects)*d.opts.GearRequestBytes)
+		},
+		OnPeerFetch: func(objects int, bytes int64) {
+			d.peerLink.TransferBatch(objects, bytes+int64(objects)*d.opts.PeerRequestBytes)
 		},
 		// FetchAll windows are priced by the fair-share model: each
 		// worker stream pays its request setup latency (one RTT for a
@@ -263,8 +300,13 @@ func (d *Daemon) ConfigureSlacker(srv *slacker.Server) {
 // commits).
 func (d *Daemon) GearStore() *store.Store { return d.gearStore }
 
-// Link exposes the daemon's network link counters.
+// Link exposes the daemon's network link counters (the WAN link when a
+// topology is attached).
 func (d *Daemon) Link() *netsim.Link { return d.link }
+
+// PeerLink exposes the link pricing peer-to-peer Gear transfers: the
+// topology's LAN attachment, or the same link as Link() without one.
+func (d *Daemon) PeerLink() *netsim.Link { return d.peerLink }
 
 // ClearGearCache empties the Gear level-1 cache (cold-cache runs).
 func (d *Daemon) ClearGearCache() { d.gearStore.ClearCache() }
@@ -286,16 +328,28 @@ func (d *Daemon) localRead(size int64) time.Duration {
 		time.Duration(float64(size)/d.opts.LocalReadBPS*float64(time.Second))
 }
 
-// netDelta runs fn and returns the link stats it accrued.
+// netDelta runs fn and returns the link stats it accrued. Bytes and
+// Requests count WAN (registry) traffic only — they are the registry
+// egress the experiments sum — while Time also includes what a separate
+// peer LAN link spent, so deploy durations reflect every transfer.
 func (d *Daemon) netDelta(fn func() error) (PhaseStats, error) {
 	before := d.link.Stats()
+	var peerBefore netsim.Stats
+	if d.peerLink != d.link {
+		peerBefore = d.peerLink.Stats()
+	}
 	err := fn()
 	after := d.link.Stats()
-	return PhaseStats{
+	ps := PhaseStats{
 		Time:     after.Elapsed - before.Elapsed,
 		Bytes:    after.Bytes - before.Bytes,
 		Requests: after.Requests - before.Requests,
-	}, err
+	}
+	if d.peerLink != d.link {
+		peerAfter := d.peerLink.Stats()
+		ps.Time += peerAfter.Elapsed - peerBefore.Elapsed
+	}
+	return ps, err
 }
 
 // DeployDocker deploys ref the stock Docker way: download every layer
@@ -554,6 +608,7 @@ func (dep *Deployment) Read(p string) ([]byte, time.Duration, error) {
 		return data, d.opts.OverlayLatency + d.localRead(int64(len(data))), nil
 	case ModeGear:
 		before := d.link.Stats()
+		peerBefore := d.peerLink.Stats()
 		data, err := dep.view.ReadFile(p)
 		if err != nil {
 			return nil, 0, err
@@ -561,6 +616,9 @@ func (dep *Deployment) Read(p string) ([]byte, time.Duration, error) {
 		after := d.link.Stats()
 		cost := d.opts.OverlayLatency + d.localRead(int64(len(data))) +
 			(after.Elapsed - before.Elapsed)
+		if d.peerLink != d.link {
+			cost += d.peerLink.Stats().Elapsed - peerBefore.Elapsed
+		}
 		return data, cost, nil
 	case ModeSlacker:
 		before := d.link.Stats()

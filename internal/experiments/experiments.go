@@ -19,6 +19,7 @@
 //	extcache — extension: level-1 cache capacity/policy ablation
 //	extparallel — extension: concurrent fetch engine worker sweep
 //	extpush — extension: concurrent push engine worker sweep
+//	extp2p — extension: peer-to-peer distribution fleet/bandwidth sweep
 package experiments
 
 import (
@@ -246,6 +247,7 @@ func All() []Runner {
 		{"extcache", "Extension: level-1 cache capacity/policy ablation", runExtCache},
 		{"extparallel", "Extension: concurrent fetch engine worker sweep", runExtParallel},
 		{"extpush", "Extension: concurrent push engine worker sweep", runExtPush},
+		{"extp2p", "Extension: peer-to-peer distribution fleet/bandwidth sweep", runExtP2P},
 	}
 }
 
@@ -309,6 +311,8 @@ func Result(id string, cfg Config) (any, error) {
 		return RunExtParallel(cfg)
 	case "extpush":
 		return RunExtPush(cfg)
+	case "extp2p":
+		return RunExtP2P(cfg)
 	default:
 		return nil, fmt.Errorf("experiments: %q: %w", id, ErrUnknownExperiment)
 	}

@@ -29,7 +29,7 @@ func TestRunDispatch(t *testing.T) {
 		t.Errorf("err = %v, want ErrUnknownExperiment", err)
 	}
 	ids := IDs()
-	if len(ids) != 13 || ids[0] != "inventory" || ids[12] != "extpush" {
+	if len(ids) != 14 || ids[0] != "inventory" || ids[13] != "extp2p" {
 		t.Errorf("ids = %v", ids)
 	}
 	for _, id := range ids {
@@ -441,6 +441,62 @@ func TestExtPushShape(t *testing.T) {
 	res.Print(&buf)
 	if !strings.Contains(buf.String(), "dedup") {
 		t.Error("print missing dedup column")
+	}
+}
+
+func TestExtP2PShape(t *testing.T) {
+	res, err := RunExtP2P(mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(extP2PSweep) || res.Versions == 0 {
+		t.Fatalf("shape = %d points, %d versions", len(res.Points), res.Versions)
+	}
+	for i := range res.Points {
+		p := &res.Points[i]
+		// The exchange never changes what a node receives, only where
+		// the bytes come from.
+		if !p.ParityOK {
+			t.Errorf("%d nodes @ %g Mbps: per-node received bytes differ between passes",
+				p.Nodes, p.WANMbps)
+		}
+		if p.Nodes == 1 {
+			// Single-node degeneration is exact: no peers to find, zero
+			// LAN traffic, byte-identical registry egress.
+			if p.LANBytes != 0 || p.PeerObjects != 0 {
+				t.Errorf("lone node moved %d LAN bytes / %d peer objects", p.LANBytes, p.PeerObjects)
+			}
+			if p.P2PEgress != p.BaselineEgress {
+				t.Errorf("lone node egress = %d with peers, %d without", p.P2PEgress, p.BaselineEgress)
+			}
+		} else {
+			if p.LANBytes == 0 || p.PeerObjects == 0 {
+				t.Errorf("%d nodes: no peer traffic", p.Nodes)
+			}
+			if p.P2PEgress >= p.BaselineEgress {
+				t.Errorf("%d nodes: peers did not reduce egress (%d vs %d)",
+					p.Nodes, p.P2PEgress, p.BaselineEgress)
+			}
+		}
+		// Baseline clients are independent and deterministic, so fleet
+		// egress is exactly linear in the fleet size.
+		if base := res.Points[0].BaselineEgress; p.BaselineEgress != base*int64(p.Nodes) {
+			t.Errorf("%d nodes baseline egress = %d, want %d x %d",
+				p.Nodes, p.BaselineEgress, p.Nodes, base)
+		}
+	}
+	// The acceptance point: 8 peers on a 20 Mbps uplink cut registry
+	// egress by at least half.
+	for i := range res.Points {
+		p := &res.Points[i]
+		if p.Nodes == 8 && p.WANMbps == 20 && p.EgressSaving() < 0.5 {
+			t.Errorf("8 nodes @ 20 Mbps saved %.1f%%, want >= 50%%", p.EgressSaving()*100)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "registry egress") {
+		t.Error("print missing egress column")
 	}
 }
 

@@ -39,19 +39,30 @@ func (s *Store) finishFlight(fp hashing.Fingerprint, f *flight) {
 	close(f.done)
 }
 
+// fetchSource reports which source satisfied a fetch: locally (cache
+// hit or a flight another goroutine led — no wire bytes spent by this
+// call), a cluster peer over the LAN, or the registry over the WAN.
+type fetchSource int
+
+const (
+	srcLocal fetchSource = iota
+	srcPeer
+	srcRegistry
+)
+
 // fetchOne obtains the Gear file for fp: level-1 cache, then an
-// in-progress flight, then a remote download it leads itself.
-// downloaded reports whether this call performed the remote transfer
-// (and therefore whether wire bytes were spent); joiners and cache hits
-// return downloaded=false. The caller is responsible for accounting.
-func (s *Store) fetchOne(fp hashing.Fingerprint) (c *vfs.Content, wire int64, downloaded bool, err error) {
+// in-progress flight, then a download it leads itself (peers before
+// registry). src reports which source this call spent wire bytes on;
+// joiners and cache hits return srcLocal. The caller is responsible
+// for accounting.
+func (s *Store) fetchOne(fp hashing.Fingerprint) (c *vfs.Content, wire int64, src fetchSource, err error) {
 	if c, ok := s.cache.Get(fp); ok {
-		return c, 0, false, nil
+		return c, 0, srcLocal, nil
 	}
 	f, leader := s.claimFlight(fp)
 	if !leader {
 		<-f.done
-		return f.content, 0, false, f.err
+		return f.content, 0, srcLocal, f.err
 	}
 	defer s.finishFlight(fp, f)
 	// Re-check after claiming: a previous leader may have completed
@@ -60,21 +71,24 @@ func (s *Store) fetchOne(fp hashing.Fingerprint) (c *vfs.Content, wire int64, do
 	if s.cache.Contains(fp) {
 		if c, ok := s.cache.Get(fp); ok {
 			f.content = c
-			return c, 0, false, nil
+			return c, 0, srcLocal, nil
 		}
 	}
-	data, wire, err := s.download(fp)
+	data, wire, fromPeer, err := s.download(fp)
 	if err != nil {
 		f.err = err
-		return nil, 0, false, err
+		return nil, 0, srcLocal, err
 	}
 	c, err = s.cache.Put(fp, data)
 	if err != nil {
 		f.err = fmt.Errorf("store: cache %s: %w", fp, err)
-		return nil, 0, false, f.err
+		return nil, 0, srcLocal, f.err
 	}
 	f.content = c
-	return c, wire, true, nil
+	if fromPeer {
+		return c, wire, srcPeer, nil
+	}
+	return c, wire, srcRegistry, nil
 }
 
 // StreamStat describes one worker's share of a fetch window.
@@ -88,9 +102,11 @@ type StreamStat struct {
 	Batched bool `json:"batched"`
 }
 
-// FetchWindow summarizes one FetchAll call: the concurrent streams that
-// shared the link. The deployment simulator converts this into netsim
-// fair-share streams.
+// FetchWindow summarizes one FetchAll call: the concurrent registry
+// streams that shared the WAN link. Peer-served transfers are not part
+// of the window — they ride the LAN and are reported through
+// OnPeerFetch instead. The deployment simulator converts the window
+// into netsim fair-share streams.
 type FetchWindow struct {
 	Streams []StreamStat `json:"streams"`
 }
@@ -152,6 +168,7 @@ func (s *Store) FetchAll(fps []hashing.Fingerprint) (FetchWindow, error) {
 			workers = 1
 		}
 		streams := make([]StreamStat, workers)
+		peers := make([]tally, workers)
 		workerErrs := make([]error, workers)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -161,19 +178,23 @@ func (s *Store) FetchAll(fps []hashing.Fingerprint) (FetchWindow, error) {
 			wg.Add(1)
 			go func(w int, shard []hashing.Fingerprint) {
 				defer wg.Done()
-				streams[w], workerErrs[w] = s.fetchShard(shard, claimedFlights)
+				streams[w], peers[w], workerErrs[w] = s.fetchShard(shard, claimedFlights)
 			}(w, claimed[lo:hi])
 		}
 		wg.Wait()
 		var window FetchWindow
+		var peerTotal tally
 		for w := 0; w < workers; w++ {
 			if streams[w].Objects > 0 {
 				window.Streams = append(window.Streams, streams[w])
 			}
+			peerTotal.objects += peers[w].objects
+			peerTotal.bytes += peers[w].bytes
 			if workerErrs[w] != nil {
 				errs = append(errs, workerErrs[w])
 			}
 		}
+		s.recordPeer(peerTotal.objects, peerTotal.bytes)
 		if n := window.Objects(); n > 0 {
 			s.remoteObjects.Add(int64(n))
 			s.remoteBytes.Add(window.Bytes())
@@ -202,27 +223,57 @@ func (s *Store) FetchAll(fps []hashing.Fingerprint) (FetchWindow, error) {
 	return FetchWindow{}, errors.Join(errs...)
 }
 
-// fetchShard downloads one worker's shard, preferring a single batch
-// round trip. Every claimed flight in the shard is completed exactly
-// once, whether the shard succeeds or fails.
-func (s *Store) fetchShard(shard []hashing.Fingerprint, flights map[hashing.Fingerprint]*flight) (StreamStat, error) {
+// fetchShard downloads one worker's shard: peers are tried first for
+// every object, then what remains goes to the registry, preferring a
+// single batch round trip. Every claimed flight in the shard is
+// completed exactly once, whether the shard succeeds or fails. The
+// returned StreamStat covers registry transfers (the WAN window); the
+// tally covers peer-served transfers.
+func (s *Store) fetchShard(shard []hashing.Fingerprint, flights map[hashing.Fingerprint]*flight) (StreamStat, tally, error) {
 	if len(shard) == 0 {
-		return StreamStat{}, nil
+		return StreamStat{}, tally{}, nil
+	}
+	var peer tally
+	var errs []error
+	rest := shard
+	if s.opts.Peers != nil {
+		rest = make([]hashing.Fingerprint, 0, len(shard))
+		for _, fp := range shard {
+			data, wire, ok := s.fetchFromPeer(fp)
+			if !ok {
+				rest = append(rest, fp)
+				continue
+			}
+			f := flights[fp]
+			c, perr := s.cache.Put(fp, data)
+			if perr != nil {
+				f.err = fmt.Errorf("store: cache %s: %w", fp, perr)
+				errs = append(errs, f.err)
+			} else {
+				f.content = c
+				peer.add(wire)
+			}
+			s.finishFlight(fp, f)
+		}
+	}
+	if len(rest) == 0 {
+		return StreamStat{}, peer, errors.Join(errs...)
 	}
 	if s.opts.Remote == nil {
 		err := fmt.Errorf("store: no remote registry: %w", gearregistry.ErrNotFound)
-		for _, fp := range shard {
+		for _, fp := range rest {
 			f := flights[fp]
 			f.err = err
 			s.finishFlight(fp, f)
 		}
-		return StreamStat{}, err
+		errs = append(errs, err)
+		return StreamStat{}, peer, errors.Join(errs...)
 	}
 
 	if bd, ok := s.opts.Remote.(gearregistry.BatchDownloader); ok {
-		payloads, wire, err := bd.DownloadBatch(shard)
+		payloads, wire, err := bd.DownloadBatch(rest)
 		if err == nil {
-			for i, fp := range shard {
+			for i, fp := range rest {
 				if verr := verify(fp, payloads[i]); verr != nil {
 					err = verr
 					break
@@ -230,34 +281,34 @@ func (s *Store) fetchShard(shard []hashing.Fingerprint, flights map[hashing.Fing
 			}
 		}
 		if err != nil {
-			// All-or-nothing: the whole shard's flights fail together.
+			// All-or-nothing: the whole remainder's flights fail together.
 			err = fmt.Errorf("store: batch download: %w", err)
-			for _, fp := range shard {
+			for _, fp := range rest {
 				f := flights[fp]
 				f.err = err
 				s.finishFlight(fp, f)
 			}
-			return StreamStat{}, err
+			errs = append(errs, err)
+			return StreamStat{}, peer, errors.Join(errs...)
 		}
-		for i, fp := range shard {
+		for i, fp := range rest {
 			f := flights[fp]
 			c, perr := s.cache.Put(fp, payloads[i])
 			if perr != nil {
 				f.err = fmt.Errorf("store: cache %s: %w", fp, perr)
-				err = errors.Join(err, f.err)
+				errs = append(errs, f.err)
 			} else {
 				f.content = c
 			}
 			s.finishFlight(fp, f)
 		}
-		return StreamStat{Objects: len(shard), Bytes: wire, Batched: true}, err
+		return StreamStat{Objects: len(rest), Bytes: wire, Batched: true}, peer, errors.Join(errs...)
 	}
 
 	var st StreamStat
-	var errs []error
-	for _, fp := range shard {
+	for _, fp := range rest {
 		f := flights[fp]
-		data, wire, err := s.download(fp)
+		data, wire, fromPeer, err := s.download(fp)
 		if err == nil {
 			var c *vfs.Content
 			c, err = s.cache.Put(fp, data)
@@ -265,8 +316,14 @@ func (s *Store) fetchShard(shard []hashing.Fingerprint, flights map[hashing.Fing
 				err = fmt.Errorf("store: cache %s: %w", fp, err)
 			} else {
 				f.content = c
-				st.Objects++
-				st.Bytes += wire
+				// A peer that announced between our probe above and this
+				// retry still counts as peer traffic.
+				if fromPeer {
+					peer.add(wire)
+				} else {
+					st.Objects++
+					st.Bytes += wire
+				}
 			}
 		}
 		f.err = err
@@ -275,7 +332,7 @@ func (s *Store) fetchShard(shard []hashing.Fingerprint, flights map[hashing.Fing
 		}
 		s.finishFlight(fp, f)
 	}
-	return st, errors.Join(errs...)
+	return st, peer, errors.Join(errs...)
 }
 
 // verify checks a payload against its content address; collision

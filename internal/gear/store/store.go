@@ -62,6 +62,24 @@ type Options struct {
 	// those transfers. The deployment simulator hooks netsim's
 	// fair-share model here.
 	OnFetchWindow func(FetchWindow)
+	// Peers, if set, is consulted on every miss before the registry:
+	// a cluster neighbour that already holds the file serves it over
+	// the cheap LAN instead of the registry's WAN. Peer payloads are
+	// fingerprint-verified exactly like registry downloads; a peer
+	// that serves corrupt bytes is simply ignored and the fetch falls
+	// back to the registry.
+	Peers PeerSource
+	// OnPeerFetch, if set, observes every peer-served fetch (object
+	// count and byte volume). The deployment simulator prices these on
+	// the LAN link, separate from registry WAN traffic.
+	OnPeerFetch func(objects int, bytes int64)
+}
+
+// PeerSource obtains Gear files from cluster peers. ok=false means no
+// peer could serve the file and the store should use the registry.
+// peer.Exchange is the production implementation.
+type PeerSource interface {
+	FetchPeer(fp hashing.Fingerprint) (data []byte, wireBytes int64, ok bool)
 }
 
 // DefaultFetchWorkers is the FetchAll concurrency used when Options
@@ -84,6 +102,8 @@ type Store struct {
 
 	remoteObjects atomic.Int64
 	remoteBytes   atomic.Int64
+	peerObjects   atomic.Int64
+	peerBytes     atomic.Int64
 }
 
 type imageState struct {
@@ -268,9 +288,9 @@ func (s *Store) Resolve(imageRef, path string, fp hashing.Fingerprint, size int6
 	return content, nil
 }
 
-// fetch obtains the Gear file for fp: level-1 cache first, then the
-// remote registry, deduplicating concurrent downloads of the same
-// fingerprint. Chunked files fetch missing chunks individually and
+// fetch obtains the Gear file for fp: level-1 cache first, then peers,
+// then the remote registry, deduplicating concurrent downloads of the
+// same fingerprint. Chunked files fetch missing chunks individually and
 // assemble.
 func (s *Store) fetch(fp hashing.Fingerprint, size int64, chunks []index.Chunk) (*vfs.Content, error) {
 	if len(chunks) > 0 {
@@ -278,55 +298,92 @@ func (s *Store) fetch(fp hashing.Fingerprint, size int64, chunks []index.Chunk) 
 			return c, nil
 		}
 		assembled := make([]byte, 0, size)
-		var fetched int
-		var fetchedBytes int64
+		var reg, peer tally
 		for _, ch := range chunks {
-			c, wire, downloaded, err := s.fetchOne(ch.Fingerprint)
+			c, wire, src, err := s.fetchOne(ch.Fingerprint)
 			if err != nil {
 				return nil, err
 			}
-			if downloaded {
-				fetched++
-				fetchedBytes += wire
+			switch src {
+			case srcRegistry:
+				reg.add(wire)
+			case srcPeer:
+				peer.add(wire)
 			}
 			assembled = append(assembled, c.Data()...)
 		}
-		s.recordRemote(fetched, fetchedBytes)
+		s.recordRemote(reg.objects, reg.bytes)
+		s.recordPeer(peer.objects, peer.bytes)
 		content, err := s.cache.Put(fp, assembled)
 		if err != nil {
 			return nil, fmt.Errorf("store: cache %s: %w", fp, err)
 		}
 		return content, nil
 	}
-	c, wire, downloaded, err := s.fetchOne(fp)
+	c, wire, src, err := s.fetchOne(fp)
 	if err != nil {
 		return nil, err
 	}
-	if downloaded {
+	switch src {
+	case srcRegistry:
 		s.recordRemote(1, wire)
+	case srcPeer:
+		s.recordPeer(1, wire)
 	}
 	return c, nil
+}
+
+// tally accumulates per-source transfer accounting.
+type tally struct {
+	objects int
+	bytes   int64
+}
+
+func (t *tally) add(wire int64) {
+	t.objects++
+	t.bytes += wire
 }
 
 // ErrCorruptDownload reports a fetched Gear file whose content does not
 // hash to its fingerprint — a corrupt or malicious registry response.
 var ErrCorruptDownload = errors.New("downloaded gear file fails fingerprint verification")
 
-func (s *Store) download(fp hashing.Fingerprint) ([]byte, int64, error) {
-	if s.opts.Remote == nil {
-		return nil, 0, fmt.Errorf("store: %s: no remote registry: %w", fp, gearregistry.ErrNotFound)
+// download obtains fp's bytes from the cheapest source that can deliver
+// them verifiably: a cluster peer first, the registry otherwise.
+// fromPeer reports which source served, so the caller accounts the
+// transfer on the right link.
+func (s *Store) download(fp hashing.Fingerprint) (data []byte, wire int64, fromPeer bool, err error) {
+	if data, wire, ok := s.fetchFromPeer(fp); ok {
+		return data, wire, true, nil
 	}
-	data, wire, err := s.opts.Remote.Download(fp)
+	if s.opts.Remote == nil {
+		return nil, 0, false, fmt.Errorf("store: %s: no remote registry: %w", fp, gearregistry.ErrNotFound)
+	}
+	data, wire, err = s.opts.Remote.Download(fp)
 	if err != nil {
-		return nil, 0, fmt.Errorf("store: download: %w", err)
+		return nil, 0, false, fmt.Errorf("store: download: %w", err)
 	}
 	// Content addressing makes end-to-end integrity free: verify before
 	// anything enters the cache or an index tree. Collision-fallback IDs
 	// ("<fp>-cN") cannot be verified by hashing and are accepted as-is.
 	if err := verify(fp, data); err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
-	return data, wire, nil
+	return data, wire, false, nil
+}
+
+// fetchFromPeer asks the peer source for fp and verifies the answer.
+// Corrupt peer payloads are treated as a miss: the registry fallback is
+// always correct, just more expensive.
+func (s *Store) fetchFromPeer(fp hashing.Fingerprint) ([]byte, int64, bool) {
+	if s.opts.Peers == nil {
+		return nil, 0, false
+	}
+	data, wire, ok := s.opts.Peers.FetchPeer(fp)
+	if !ok || verify(fp, data) != nil {
+		return nil, 0, false
+	}
+	return data, wire, true
 }
 
 func (s *Store) recordRemote(objects int, bytes int64) {
@@ -337,6 +394,17 @@ func (s *Store) recordRemote(objects int, bytes int64) {
 	s.remoteBytes.Add(bytes)
 	if s.opts.OnRemoteFetch != nil {
 		s.opts.OnRemoteFetch(objects, bytes)
+	}
+}
+
+func (s *Store) recordPeer(objects int, bytes int64) {
+	if objects == 0 {
+		return
+	}
+	s.peerObjects.Add(int64(objects))
+	s.peerBytes.Add(bytes)
+	if s.opts.OnPeerFetch != nil {
+		s.opts.OnPeerFetch(objects, bytes)
 	}
 }
 
@@ -365,8 +433,7 @@ func (s *Store) ResolveRange(imageRef string, fp hashing.Fingerprint, off, n int
 	}
 	out := make([]byte, 0, n)
 	var pos int64
-	var fetched int
-	var fetchedBytes int64
+	var reg, peer tally
 	for _, ch := range chunks {
 		chunkEnd := pos + ch.Size
 		if chunkEnd <= off {
@@ -376,13 +443,15 @@ func (s *Store) ResolveRange(imageRef string, fp hashing.Fingerprint, off, n int
 		if pos >= off+n {
 			break
 		}
-		c, wire, downloaded, err := s.fetchOne(ch.Fingerprint)
+		c, wire, src, err := s.fetchOne(ch.Fingerprint)
 		if err != nil {
 			return nil, err
 		}
-		if downloaded {
-			fetched++
-			fetchedBytes += wire
+		switch src {
+		case srcRegistry:
+			reg.add(wire)
+		case srcPeer:
+			peer.add(wire)
 		}
 		data := c.Data()
 		lo := int64(0)
@@ -396,7 +465,8 @@ func (s *Store) ResolveRange(imageRef string, fp hashing.Fingerprint, off, n int
 		out = append(out, data[lo:hi]...)
 		pos = chunkEnd
 	}
-	s.recordRemote(fetched, fetchedBytes)
+	s.recordRemote(reg.objects, reg.bytes)
+	s.recordPeer(peer.objects, peer.bytes)
 	return out, nil
 }
 
@@ -538,13 +608,21 @@ func (s *Store) Commit(containerID, newName, newTag string) (*index.Index, map[h
 // CacheStats exposes level-1 cache effectiveness.
 func (s *Store) CacheStats() cache.Stats { return s.cache.Stats() }
 
+// Cache exposes the level-1 cache itself, so peer distribution can
+// export it (peer.NewServer) and track its membership (cache.SetHooks).
+func (s *Store) Cache() *cache.Cache { return s.cache }
+
 // ClearCache empties level 1 (the paper's cold-cache runs).
 func (s *Store) ClearCache() { s.cache.Clear() }
 
-// Stats summarizes remote traffic attributable to this store.
+// Stats summarizes remote traffic attributable to this store. Remote*
+// count registry (WAN) transfers; Peer* count cluster-peer (LAN)
+// transfers.
 type Stats struct {
 	RemoteObjects int64 `json:"remoteObjects"`
 	RemoteBytes   int64 `json:"remoteBytes"`
+	PeerObjects   int64 `json:"peerObjects"`
+	PeerBytes     int64 `json:"peerBytes"`
 	Indexes       int   `json:"indexes"`
 	Containers    int   `json:"containers"`
 }
@@ -556,6 +634,8 @@ func (s *Store) Stats() Stats {
 	return Stats{
 		RemoteObjects: s.remoteObjects.Load(),
 		RemoteBytes:   s.remoteBytes.Load(),
+		PeerObjects:   s.peerObjects.Load(),
+		PeerBytes:     s.peerBytes.Load(),
 		Indexes:       len(s.indexes),
 		Containers:    len(s.containers),
 	}

@@ -1,0 +1,96 @@
+package netsim
+
+import "sync"
+
+// Topology models the cluster/WAN asymmetry that makes peer-to-peer
+// image distribution pay (the EdgePier setting): a fleet of nodes in
+// one cluster, where every node owns a cheap, fat LAN link to its
+// cluster peers and a separate, narrow WAN link toward the registry.
+// Registry egress is the sum of WAN traffic; peer exchange rides the
+// LAN links and never touches the WAN.
+//
+// Links stay per-node (each node has its own NIC); the asymmetry is in
+// the two LinkConfigs. Aggregated stats answer the fleet questions:
+// WANStats is what the registry served, LANStats is what the cluster
+// absorbed internally.
+type Topology struct {
+	wanCfg, lanCfg LinkConfig
+
+	mu    sync.Mutex
+	nodes map[string]*NodeLinks
+	order []string
+}
+
+// NodeLinks is one node's attachment to the topology.
+type NodeLinks struct {
+	// WAN carries registry traffic (index pulls, Gear file downloads
+	// that no peer could serve).
+	WAN *Link
+	// LAN carries peer-to-peer Gear file transfers within the cluster.
+	LAN *Link
+}
+
+// NewTopology returns an empty topology with the given WAN and LAN
+// link configurations.
+func NewTopology(wan, lan LinkConfig) (*Topology, error) {
+	if err := wan.Validate(); err != nil {
+		return nil, err
+	}
+	if err := lan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Topology{
+		wanCfg: wan,
+		lanCfg: lan,
+		nodes:  make(map[string]*NodeLinks),
+	}, nil
+}
+
+// Node returns the links of the named node, attaching it on first use.
+func (t *Topology) Node(id string) *NodeLinks {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n, ok := t.nodes[id]; ok {
+		return n
+	}
+	// Configs were validated in NewTopology; NewLink cannot fail.
+	wan, _ := NewLink(t.wanCfg)
+	lan, _ := NewLink(t.lanCfg)
+	n := &NodeLinks{WAN: wan, LAN: lan}
+	t.nodes[id] = n
+	t.order = append(t.order, id)
+	return n
+}
+
+// NodeIDs lists attached nodes in attachment order.
+func (t *Topology) NodeIDs() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, len(t.order))
+	copy(out, t.order)
+	return out
+}
+
+// WANStats sums the registry-side traffic over every node — the
+// fleet's total registry egress.
+func (t *Topology) WANStats() Stats {
+	return t.sum(func(n *NodeLinks) *Link { return n.WAN })
+}
+
+// LANStats sums the intra-cluster peer traffic over every node.
+func (t *Topology) LANStats() Stats {
+	return t.sum(func(n *NodeLinks) *Link { return n.LAN })
+}
+
+func (t *Topology) sum(pick func(*NodeLinks) *Link) Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total Stats
+	for _, id := range t.order {
+		s := pick(t.nodes[id]).Stats()
+		total.Bytes += s.Bytes
+		total.Requests += s.Requests
+		total.Elapsed += s.Elapsed
+	}
+	return total
+}

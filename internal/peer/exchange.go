@@ -1,0 +1,144 @@
+package peer
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/gear-image/gear/internal/hashing"
+)
+
+// Locator is the tracker-side view the fetch path needs: who, other
+// than me, holds this file? *Tracker and *TrackerClient both satisfy
+// it.
+type Locator interface {
+	Locate(fp hashing.Fingerprint, exclude string) []string
+}
+
+// FileServer is what a located holder must offer: the registry's
+// download verb. *Server and gearregistry HTTP clients both satisfy it.
+type FileServer interface {
+	Download(fp hashing.Fingerprint) (payload []byte, wireBytes int64, err error)
+}
+
+// Network resolves a holder id to its FileServer — the cluster's
+// dialing plane.
+type Network interface {
+	Peer(id string) (FileServer, bool)
+}
+
+// StaticNetwork is a fixed in-process Network, the deployment
+// simulator's cluster fabric. Safe for concurrent use.
+type StaticNetwork struct {
+	mu    sync.RWMutex
+	peers map[string]FileServer
+}
+
+// NewStaticNetwork returns an empty network.
+func NewStaticNetwork() *StaticNetwork {
+	return &StaticNetwork{peers: make(map[string]FileServer)}
+}
+
+// Add registers (or replaces) the server for id.
+func (n *StaticNetwork) Add(id string, s FileServer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[id] = s
+}
+
+// Peer implements Network.
+func (n *StaticNetwork) Peer(id string) (FileServer, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	s, ok := n.peers[id]
+	return s, ok
+}
+
+// Exchange is a node's fetch-side of peer distribution: it locates
+// holders through the tracker, downloads from the first that delivers
+// verifiable bytes, and reports a miss otherwise so the caller falls
+// back to the registry. It plugs into the store's fetch path as its
+// peer source. Safe for concurrent use.
+type Exchange struct {
+	self    string
+	tracker Locator
+	network Network
+
+	hits, misses     atomic.Int64
+	corrupt, errored atomic.Int64
+	objects, bytes   atomic.Int64
+}
+
+// NewExchange returns the exchange for the node named self.
+func NewExchange(self string, tracker Locator, network Network) *Exchange {
+	return &Exchange{self: self, tracker: tracker, network: network}
+}
+
+// FetchPeer tries to obtain fp from a cluster peer. It walks the
+// tracker's holder list (self excluded), skipping holders that error or
+// return bytes failing fingerprint verification — a corrupt peer costs
+// one wasted probe, never corrupt data. ok=false means no peer could
+// serve the file and the caller should use the registry.
+func (e *Exchange) FetchPeer(fp hashing.Fingerprint) (data []byte, wire int64, ok bool) {
+	for _, id := range e.tracker.Locate(fp, e.self) {
+		srv, found := e.network.Peer(id)
+		if !found {
+			continue
+		}
+		payload, w, err := srv.Download(fp)
+		if err != nil {
+			e.errored.Add(1)
+			continue
+		}
+		if err := verifyPeer(fp, payload); err != nil {
+			e.corrupt.Add(1)
+			continue
+		}
+		e.hits.Add(1)
+		e.objects.Add(1)
+		e.bytes.Add(w)
+		return payload, w, true
+	}
+	e.misses.Add(1)
+	return nil, 0, false
+}
+
+// verifyPeer checks a peer payload against its content address;
+// collision fallback IDs ("<fp>-cN") cannot be verified by hashing and
+// are accepted here — the store re-verifies everything it caches.
+func verifyPeer(fp hashing.Fingerprint, data []byte) error {
+	if len(fp) == 32 && hashing.FingerprintBytes(data) != fp {
+		return fmt.Errorf("peer: %s: %w", fp, ErrCorruptPeer)
+	}
+	return nil
+}
+
+// ErrCorruptPeer reports a peer whose bytes fail fingerprint
+// verification.
+var ErrCorruptPeer = fmt.Errorf("peer served bytes failing fingerprint verification")
+
+// ExchangeStats summarizes the node's peer-fetch outcomes.
+type ExchangeStats struct {
+	// Hits/Misses count FetchPeer calls that were / were not served by
+	// some peer.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Corrupt and Errored count individual holders skipped.
+	Corrupt int64 `json:"corrupt"`
+	Errored int64 `json:"errored"`
+	// Objects/Bytes are the successful transfers' totals.
+	Objects int64 `json:"objects"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// Stats returns a snapshot.
+func (e *Exchange) Stats() ExchangeStats {
+	return ExchangeStats{
+		Hits:    e.hits.Load(),
+		Misses:  e.misses.Load(),
+		Corrupt: e.corrupt.Load(),
+		Errored: e.errored.Load(),
+		Objects: e.objects.Load(),
+		Bytes:   e.bytes.Load(),
+	}
+}

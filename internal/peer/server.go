@@ -1,0 +1,176 @@
+package peer
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/gear-image/gear/internal/cache"
+	"github.com/gear-image/gear/internal/gearregistry"
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/tarstream"
+)
+
+// DefaultMaxConcurrent bounds how many downloads a peer serves at once
+// when ServerOptions leaves MaxConcurrent zero. Serving neighbours must
+// not starve the node's own workload, so the bound is deliberately
+// small (the bounded-transfer-path lesson from parallel image pulling).
+const DefaultMaxConcurrent = 4
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// MaxConcurrent bounds concurrent serves; excess requests wait.
+	// 0 selects DefaultMaxConcurrent.
+	MaxConcurrent int
+	// Compress serves gzip wire framing, exactly like a compressing
+	// Gear Registry: gzip is deterministic here, so a file served by a
+	// peer costs the same wire bytes as the registry serving it — what
+	// keeps per-node received bytes identical with and without peers.
+	Compress bool
+}
+
+// Server exports a node's level-1 cache to its cluster over the Gear
+// Registry's own query/download/batch verb set. Reads go through
+// cache.Peek, so serving neighbours never distorts the owner's
+// replacement decisions or hit-ratio accounting. Safe for concurrent
+// use.
+type Server struct {
+	id    string
+	cache *cache.Cache
+	opts  ServerOptions
+	sem   chan struct{}
+
+	objectsServed atomic.Int64
+	bytesServed   atomic.Int64
+}
+
+// NewServer exports c, owned by the node named id.
+func NewServer(id string, c *cache.Cache, opts ServerOptions) *Server {
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = DefaultMaxConcurrent
+	}
+	return &Server{
+		id:    id,
+		cache: c,
+		opts:  opts,
+		sem:   make(chan struct{}, opts.MaxConcurrent),
+	}
+}
+
+// ID returns the owning node's id.
+func (s *Server) ID() string { return s.id }
+
+// Query reports whether the node currently holds fp.
+func (s *Server) Query(fp hashing.Fingerprint) (bool, error) {
+	if err := fp.Validate(); err != nil {
+		return false, fmt.Errorf("peer server %s: query: %w", s.id, err)
+	}
+	return s.cache.Contains(fp), nil
+}
+
+// Download serves fp from the cache, returning the uncompressed payload
+// and the wire bytes it cost (the compressed length when Compress is
+// set). A file the cache no longer holds returns
+// gearregistry.ErrNotFound — eviction between locate and download is a
+// normal race, and callers fall back to another holder or the registry.
+func (s *Server) Download(fp hashing.Fingerprint) ([]byte, int64, error) {
+	s.acquire()
+	defer s.release()
+	data, wire, err := s.serveLocked(fp)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.objectsServed.Add(1)
+	s.bytesServed.Add(wire)
+	return data, wire, nil
+}
+
+// DownloadBatch serves several files in one logical round trip,
+// all-or-nothing like the registry's batch verb: if any file is absent
+// the whole batch fails (and counts nothing as served) and the caller
+// re-plans.
+func (s *Server) DownloadBatch(fps []hashing.Fingerprint) ([][]byte, int64, error) {
+	s.acquire()
+	defer s.release()
+	payloads := make([][]byte, len(fps))
+	var wire int64
+	for i, fp := range fps {
+		data, w, err := s.serveLocked(fp)
+		if err != nil {
+			return nil, 0, err
+		}
+		payloads[i] = data
+		wire += w
+	}
+	s.objectsServed.Add(int64(len(fps)))
+	s.bytesServed.Add(wire)
+	return payloads, wire, nil
+}
+
+// serveLocked looks up one object; the caller holds a serve slot and
+// accounts served traffic itself.
+func (s *Server) serveLocked(fp hashing.Fingerprint) ([]byte, int64, error) {
+	if err := fp.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("peer server %s: %w", s.id, err)
+	}
+	content, ok := s.cache.Peek(fp)
+	if !ok {
+		return nil, 0, fmt.Errorf("peer server %s: %s: %w", s.id, fp, gearregistry.ErrNotFound)
+	}
+	data := content.Data()
+	wire := int64(len(data))
+	if s.opts.Compress {
+		z, err := tarstream.Gzip(data)
+		if err != nil {
+			return nil, 0, fmt.Errorf("peer server %s: %s: %w", s.id, fp, err)
+		}
+		wire = int64(len(z))
+	}
+	return data, wire, nil
+}
+
+// downloadWire returns the bytes exactly as they would cross the wire
+// plus whether they are gzip-framed; the HTTP handler serves this so
+// compression survives transport. Accounting matches Download.
+func (s *Server) downloadWire(fp hashing.Fingerprint) ([]byte, bool, error) {
+	if err := fp.Validate(); err != nil {
+		return nil, false, fmt.Errorf("peer server %s: download: %w", s.id, err)
+	}
+	s.acquire()
+	defer s.release()
+	content, ok := s.cache.Peek(fp)
+	if !ok {
+		return nil, false, fmt.Errorf("peer server %s: %s: %w", s.id, fp, gearregistry.ErrNotFound)
+	}
+	data := content.Data()
+	if s.opts.Compress {
+		z, err := tarstream.Gzip(data)
+		if err != nil {
+			return nil, false, fmt.Errorf("peer server %s: %s: %w", s.id, fp, err)
+		}
+		s.objectsServed.Add(1)
+		s.bytesServed.Add(int64(len(z)))
+		return z, true, nil
+	}
+	s.objectsServed.Add(1)
+	s.bytesServed.Add(int64(len(data)))
+	return data, false, nil
+}
+
+func (s *Server) acquire() { s.sem <- struct{}{} }
+func (s *Server) release() { <-s.sem }
+
+// ServerStats summarizes what the node has served to its cluster.
+type ServerStats struct {
+	ObjectsServed int64 `json:"objectsServed"`
+	BytesServed   int64 `json:"bytesServed"`
+	MaxConcurrent int   `json:"maxConcurrent"`
+}
+
+// Stats returns a snapshot.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		ObjectsServed: s.objectsServed.Load(),
+		BytesServed:   s.bytesServed.Load(),
+		MaxConcurrent: s.opts.MaxConcurrent,
+	}
+}
