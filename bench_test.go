@@ -47,6 +47,7 @@ func BenchmarkFig10Versions(b *testing.B)  { benchExperiment(b, "fig10") }
 func BenchmarkFig11Services(b *testing.B)  { benchExperiment(b, "fig11") }
 func BenchmarkExtLoadFleet(b *testing.B)   { benchExperiment(b, "extload") }
 func BenchmarkExtP2P(b *testing.B)         { benchExperiment(b, "extp2p") }
+func BenchmarkExtPrefetch(b *testing.B)    { benchExperiment(b, "extprefetch") }
 
 // --- Core-path micro benchmarks ---
 

@@ -11,6 +11,7 @@
 //	gearctl deploy -docker URL -gear URL -image gear/nginx:v01 -mode gear -mbps 100
 //	gearctl gc     -docker URL -gear URL
 //	gearctl peers  -tracker URL
+//	gearctl profile -library URL [-dump name:tag | -delete name:tag]
 //
 // The deploy subcommand's -mode selects the Docker baseline ("docker",
 // full image pull) or Gear ("gear", lazy index pull). Bandwidth is the
@@ -33,6 +34,7 @@ import (
 	"github.com/gear-image/gear/internal/hashing"
 	"github.com/gear-image/gear/internal/netsim"
 	"github.com/gear-image/gear/internal/peer"
+	"github.com/gear-image/gear/internal/prefetch"
 	"github.com/gear-image/gear/internal/registry"
 )
 
@@ -60,8 +62,10 @@ func run(args []string) error {
 		return cmdGC(args[1:])
 	case "peers":
 		return cmdPeers(args[1:])
+	case "profile":
+		return cmdProfile(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want seed, list, index, deploy, gc, or peers)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want seed, list, index, deploy, gc, peers, or profile)", args[0])
 	}
 }
 
@@ -250,6 +254,57 @@ func cmdPeers(args []string) error {
 	fmt.Printf("served registry: %d files, %d B\n", st.RegistryObjects, st.RegistryBytes)
 	if total > 0 {
 		fmt.Printf("peer share: %.1f%% of %d B total\n", 100*float64(st.PeerBytes)/float64(total), total)
+	}
+	return nil
+}
+
+// cmdProfile inspects a daemon's persisted startup profiles: which
+// images have a recorded access trace, how big the traces are, and the
+// exact fetch order a redeploy will replay. With no action flag it
+// lists; -dump prints one profile's entries; -delete prunes one.
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	var (
+		libraryURL = fs.String("library", "http://localhost:7003", "profile library URL")
+		dumpRef    = fs.String("dump", "", "print this image's startup profile (name:tag)")
+		deleteRef  = fs.String("delete", "", "delete this image's startup profile (name:tag)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dumpRef != "" && *deleteRef != "" {
+		return fmt.Errorf("profile: -dump and -delete are mutually exclusive")
+	}
+	client := prefetch.NewLibraryClient(*libraryURL, nil)
+	switch {
+	case *dumpRef != "":
+		p, err := client.Dump(*dumpRef)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d entries, %d B in first-access order\n",
+			p.ImageRef, len(p.Entries), p.TotalBytes())
+		for i, e := range p.Entries {
+			fmt.Printf("%4d %s %d\n", i, e.Fingerprint, e.Size)
+		}
+	case *deleteRef != "":
+		if err := client.Delete(*deleteRef); err != nil {
+			return err
+		}
+		fmt.Printf("deleted profile %s\n", *deleteRef)
+	default:
+		infos, err := client.List()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("library %s: %d profiles\n", *libraryURL, len(infos))
+		for _, info := range infos {
+			if info.Entries < 0 {
+				fmt.Printf("%s corrupt (%d B)\n", info.Ref, info.Bytes)
+				continue
+			}
+			fmt.Printf("%s %d entries %d B\n", info.Ref, info.Entries, info.Bytes)
+		}
 	}
 	return nil
 }

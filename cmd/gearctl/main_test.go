@@ -8,6 +8,7 @@ import (
 	"github.com/gear-image/gear/internal/gearregistry"
 	"github.com/gear-image/gear/internal/hashing"
 	"github.com/gear-image/gear/internal/peer"
+	"github.com/gear-image/gear/internal/prefetch"
 	"github.com/gear-image/gear/internal/registry"
 )
 
@@ -94,5 +95,44 @@ func TestPeersSubcommand(t *testing.T) {
 	srv.Close()
 	if err := run([]string{"peers", "-tracker", srv.URL}); err == nil {
 		t.Error("peers against a dead tracker succeeded")
+	}
+}
+
+// TestProfileSubcommand drives gearctl profile (list, dump, delete)
+// against a live HTTP profile library.
+func TestProfileSubcommand(t *testing.T) {
+	lib := prefetch.NewLibrary()
+	if err := lib.Put(&prefetch.Profile{
+		ImageRef: "gear/nginx:v01",
+		Entries: []prefetch.Entry{
+			{Fingerprint: hashing.FingerprintBytes([]byte("a")), Size: 100},
+			{Fingerprint: hashing.FingerprintBytes([]byte("b")), Size: 200},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(prefetch.NewLibraryHandler(lib))
+	defer srv.Close()
+
+	steps := [][]string{
+		{"profile", "-library", srv.URL},
+		{"profile", "-library", srv.URL, "-dump", "gear/nginx:v01"},
+		{"profile", "-library", srv.URL, "-delete", "gear/nginx:v01"},
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("gearctl %s: %v", strings.Join(args, " "), err)
+		}
+	}
+	if lib.Len() != 0 {
+		t.Errorf("library holds %d profiles after delete", lib.Len())
+	}
+	// Dumping the deleted profile fails cleanly, as does mixing actions.
+	if err := run([]string{"profile", "-library", srv.URL, "-dump", "gear/nginx:v01"}); err == nil {
+		t.Error("dump of a deleted profile succeeded")
+	}
+	if err := run([]string{"profile", "-library", srv.URL,
+		"-dump", "a:b", "-delete", "a:b"}); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("mixed actions err = %v", err)
 	}
 }

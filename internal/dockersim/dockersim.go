@@ -28,6 +28,7 @@ import (
 	"github.com/gear-image/gear/internal/hashing"
 	"github.com/gear-image/gear/internal/imagefmt"
 	"github.com/gear-image/gear/internal/netsim"
+	"github.com/gear-image/gear/internal/prefetch"
 	"github.com/gear-image/gear/internal/registry"
 	"github.com/gear-image/gear/internal/slacker"
 	"github.com/gear-image/gear/internal/vfs"
@@ -117,6 +118,15 @@ type Options struct {
 	// the paper's serial lazy-fault path and its exact request-by-request
 	// accounting.
 	FetchWorkers int
+	// Profiles, if set, enables profile-guided startup prefetch for Gear
+	// deploys: each deploy records its access trace (persisted after the
+	// run), and a deploy of an image with a persisted profile replays it
+	// before the run phase, so the run's faults hit the warmed cache.
+	// Nil keeps the exact pre-profile behavior.
+	Profiles *prefetch.Library
+	// PrefetchInflight bounds the profile replay's in-flight objects
+	// (see store.Options.PrefetchInflight).
+	PrefetchInflight int
 	// Trace records a per-access event timeline on every deployment
 	// (path, bytes moved, cost), at some memory cost per deploy.
 	Trace bool
@@ -176,7 +186,23 @@ type Deployment struct {
 	Ref         string
 	ContainerID string
 	Pull        PhaseStats
-	Run         PhaseStats
+	// Prefetch is the startup-profile replay between pull and run (Gear
+	// deploys with Options.Profiles only; zero otherwise). Its traffic
+	// is background-class: the same bytes the run phase would otherwise
+	// stall on, moved before the container needs them.
+	Prefetch PhaseStats
+	Run      PhaseStats
+	// DemandStall is the portion of the run phase spent blocked on the
+	// network — the per-access link time of faults that missed the local
+	// cache (plus any pre-fault window). DemandMisses/StallBytes count
+	// those faults and their content volume; PrefetchHits/PrefetchWasted
+	// report how much of the replay the run actually consumed (Gear
+	// deploys only).
+	DemandStall    time.Duration
+	DemandMisses   int64
+	StallBytes     int64
+	PrefetchHits   int64
+	PrefetchWasted int64
 	// Events is the run-phase access timeline (only with Options.Trace).
 	Events []AccessEvent
 
@@ -192,8 +218,8 @@ type Deployment struct {
 	closed bool
 }
 
-// Total returns pull+run time.
-func (d *Deployment) Total() time.Duration { return d.Pull.Time + d.Run.Time }
+// Total returns pull+prefetch+run time.
+func (d *Deployment) Total() time.Duration { return d.Pull.Time + d.Prefetch.Time + d.Run.Time }
 
 // Daemon deploys containers. It is safe for concurrent use: distinct
 // containers can deploy in parallel (image pulls serialize on the local
@@ -253,11 +279,13 @@ func NewDaemon(docker registry.Store, gear gearregistry.Store, opts Options) (*D
 	}
 	var err error
 	d.gearStore, err = store.New(store.Options{
-		CacheCapacity: opts.CacheCapacity,
-		CachePolicy:   opts.CachePolicy,
-		Remote:        gear,
-		Peers:         opts.Peers,
-		FetchWorkers:  max(opts.FetchWorkers, 1),
+		CacheCapacity:    opts.CacheCapacity,
+		CachePolicy:      opts.CachePolicy,
+		Remote:           gear,
+		Peers:            opts.Peers,
+		FetchWorkers:     max(opts.FetchWorkers, 1),
+		Profiles:         opts.Profiles,
+		PrefetchInflight: opts.PrefetchInflight,
 		OnRemoteFetch: func(objects int, bytes int64) {
 			d.link.TransferBatch(objects, bytes+int64(objects)*d.opts.GearRequestBytes)
 		},
@@ -482,6 +510,27 @@ func (d *Daemon) DeployGear(name, tag string, access []string, compute time.Dura
 	}
 	dep.view = view
 
+	storeBefore := d.gearStore.Stats()
+
+	// Startup-profile replay: with a profile library configured and a
+	// persisted profile for this image, warm the level-1 cache with the
+	// recorded access set before the container starts reading. The
+	// virtual clock makes a truly concurrent replay nondeterministic, so
+	// the simulator runs it as its own phase — the bytes move on the
+	// same link either way; what changes is that the run phase no longer
+	// stalls on them. Without a profile (or without a library) this
+	// phase is exactly zero and the deploy behaves as before.
+	if d.opts.Profiles != nil {
+		pre, err := d.netDelta(func() error {
+			_, err := d.gearStore.PrefetchProfile(ref)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dockersim: gear prefetch %s: %w", ref, err)
+		}
+		dep.Prefetch = pre
+	}
+
 	run, err := d.netDelta(func() error {
 		// With the concurrent fetch engine on, pre-fault the access set
 		// through the bounded worker pool; the lazy reads below then hit
@@ -524,6 +573,19 @@ func (d *Daemon) DeployGear(name, tag string, access []string, compute time.Dura
 	dep.Run.Time += run.Time + compute
 	dep.Run.Bytes = run.Bytes
 	dep.Run.Requests = run.Requests
+	// Everything the run phase spent on the link was a container blocked
+	// on a demand transfer: the run's network time IS the demand stall.
+	dep.DemandStall = run.Time
+	storeAfter := d.gearStore.Stats()
+	dep.DemandMisses = storeAfter.DemandMisses - storeBefore.DemandMisses
+	dep.StallBytes = storeAfter.StallBytes - storeBefore.StallBytes
+	dep.PrefetchHits = storeAfter.PrefetchHits - storeBefore.PrefetchHits
+	dep.PrefetchWasted = storeAfter.PrefetchWasted // gauge, not a counter
+	// Persist this deploy's access trace so the next deploy of the image
+	// can replay it. SaveProfile keeps the richer of old and new traces.
+	if _, err := d.gearStore.SaveProfile(ref); err != nil {
+		return nil, fmt.Errorf("dockersim: gear profile %s: %w", ref, err)
+	}
 	// Teardown releases the inode cache of the files this container
 	// touched — required files only, never the whole image (§V-F).
 	dep.inodes = uniqueCount(access)

@@ -9,6 +9,7 @@ import (
 	"github.com/gear-image/gear/internal/gear/convert"
 	"github.com/gear-image/gear/internal/gearregistry"
 	"github.com/gear-image/gear/internal/netsim"
+	"github.com/gear-image/gear/internal/prefetch"
 	"github.com/gear-image/gear/internal/registry"
 	"github.com/gear-image/gear/internal/slacker"
 )
@@ -470,5 +471,90 @@ func TestTraceRecordsAccessTimeline(t *testing.T) {
 	}
 	if dep2.Events != nil {
 		t.Error("events recorded without Trace")
+	}
+}
+
+func TestGearProfileGuidedRedeploy(t *testing.T) {
+	r := buildRig(t, "nginx", 1)
+	lib := prefetch.NewLibrary()
+	newDaemon := func(lib *prefetch.Library) *Daemon {
+		d, err := NewDaemon(r.docker, r.gear, Options{
+			Link:     netsim.DefaultLAN().WithBandwidth(20.0 / 1000),
+			Profiles: lib,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	// Cold deploy on host A: no profile yet, so no prefetch phase; the
+	// run stalls on every fault, and the trace is persisted.
+	cold, err := newDaemon(lib).DeployGear("gear/nginx", "v01", r.access(t, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Prefetch != (PhaseStats{}) {
+		t.Errorf("cold deploy has a prefetch phase: %+v", cold.Prefetch)
+	}
+	if cold.DemandStall <= 0 || cold.DemandMisses == 0 {
+		t.Errorf("cold deploy: stall=%v misses=%d, want both positive", cold.DemandStall, cold.DemandMisses)
+	}
+	if lib.Len() != 1 {
+		t.Fatalf("profile library holds %d profiles after cold deploy, want 1", lib.Len())
+	}
+
+	// Warm redeploy on host B (fresh daemon, shared profile library):
+	// the replay moves the bytes in the prefetch phase and the run never
+	// touches the network.
+	warm, err := newDaemon(lib).DeployGear("gear/nginx", "v01", r.access(t, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Prefetch.Bytes == 0 || warm.Prefetch.Time <= 0 {
+		t.Errorf("warm deploy prefetch = %+v, want traffic", warm.Prefetch)
+	}
+	if warm.DemandStall != 0 || warm.DemandMisses != 0 || warm.Run.Bytes != 0 {
+		t.Errorf("warm deploy stalled: stall=%v misses=%d runBytes=%d",
+			warm.DemandStall, warm.DemandMisses, warm.Run.Bytes)
+	}
+	if warm.PrefetchHits == 0 || warm.PrefetchWasted != 0 {
+		t.Errorf("warm deploy: hits=%d wasted=%d, want all replayed objects consumed",
+			warm.PrefetchHits, warm.PrefetchWasted)
+	}
+
+	// The replay moves exactly the bytes the cold run faulted on: total
+	// transfer is identical, it just happens before the container needs it.
+	coldTotal := cold.Pull.Bytes + cold.Run.Bytes
+	warmTotal := warm.Pull.Bytes + warm.Prefetch.Bytes + warm.Run.Bytes
+	if warmTotal != coldTotal {
+		t.Errorf("warm total bytes = %d, cold = %d; prefetch must not inflate traffic", warmTotal, coldTotal)
+	}
+}
+
+func TestGearNoProfileMatchesBaselineExactly(t *testing.T) {
+	r := buildRig(t, "redis", 1)
+	deploy := func(lib *prefetch.Library) *Deployment {
+		d, err := NewDaemon(r.docker, r.gear, Options{
+			Link:     netsim.DefaultLAN().WithBandwidth(20.0 / 1000),
+			Profiles: lib,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dep, err := d.DeployGear("gear/redis", "v01", r.access(t, 0), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dep
+	}
+	base := deploy(nil)                     // prefetch disabled entirely
+	guided := deploy(prefetch.NewLibrary()) // enabled, but no profile exists yet
+	if guided.Prefetch != (PhaseStats{}) {
+		t.Errorf("empty library produced a prefetch phase: %+v", guided.Prefetch)
+	}
+	if base.Pull != guided.Pull || base.Run != guided.Run || base.Total() != guided.Total() {
+		t.Errorf("no-profile deploy diverged from baseline:\nbase   pull=%+v run=%+v\nguided pull=%+v run=%+v",
+			base.Pull, base.Run, guided.Pull, guided.Run)
 	}
 }

@@ -20,6 +20,7 @@
 //	extparallel — extension: concurrent fetch engine worker sweep
 //	extpush — extension: concurrent push engine worker sweep
 //	extp2p — extension: peer-to-peer distribution fleet/bandwidth sweep
+//	extprefetch — extension: profile-guided startup prefetch coverage/bandwidth sweep
 package experiments
 
 import (
@@ -248,6 +249,7 @@ func All() []Runner {
 		{"extparallel", "Extension: concurrent fetch engine worker sweep", runExtParallel},
 		{"extpush", "Extension: concurrent push engine worker sweep", runExtPush},
 		{"extp2p", "Extension: peer-to-peer distribution fleet/bandwidth sweep", runExtP2P},
+		{"extprefetch", "Extension: profile-guided startup prefetch coverage/bandwidth sweep", runExtPrefetch},
 	}
 }
 
@@ -313,6 +315,8 @@ func Result(id string, cfg Config) (any, error) {
 		return RunExtPush(cfg)
 	case "extp2p":
 		return RunExtP2P(cfg)
+	case "extprefetch":
+		return RunExtPrefetch(cfg)
 	default:
 		return nil, fmt.Errorf("experiments: %q: %w", id, ErrUnknownExperiment)
 	}

@@ -29,7 +29,7 @@ func TestRunDispatch(t *testing.T) {
 		t.Errorf("err = %v, want ErrUnknownExperiment", err)
 	}
 	ids := IDs()
-	if len(ids) != 14 || ids[0] != "inventory" || ids[13] != "extp2p" {
+	if len(ids) != 15 || ids[0] != "inventory" || ids[14] != "extprefetch" {
 		t.Errorf("ids = %v", ids)
 	}
 	for _, id := range ids {
@@ -537,5 +537,72 @@ func TestRunAllMini(t *testing.T) {
 		if !strings.Contains(out, "=== "+id) {
 			t.Errorf("report missing section %s", id)
 		}
+	}
+}
+
+func TestExtPrefetchShape(t *testing.T) {
+	res, err := RunExtPrefetch(mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(extPrefetchSweep) || res.ProfileEntries == 0 {
+		t.Fatalf("shape = %d points, %d profile entries", len(res.Points), res.ProfileEntries)
+	}
+	for i := range res.Points {
+		p := &res.Points[i]
+		// The replay moves recorded objects early; it never adds WAN
+		// traffic the lazy baseline would not have pulled.
+		if p.GuidedBytes != p.BaselineBytes {
+			t.Errorf("coverage %g @ %g Mbps: guided moved %d bytes, baseline %d",
+				p.Coverage, p.WANMbps, p.GuidedBytes, p.BaselineBytes)
+		}
+		if p.Coverage == 0 {
+			// Empty-profile degeneration is exact: nothing prefetched,
+			// stall and misses identical to the baseline.
+			if p.PrefetchBytes != 0 || p.PrefetchHits != 0 {
+				t.Errorf("empty profile prefetched %d bytes, %d hits",
+					p.PrefetchBytes, p.PrefetchHits)
+			}
+			if p.GuidedStall != p.BaselineStall || p.GuidedMisses != p.BaselineMisses {
+				t.Errorf("empty profile changed stall %v->%v, misses %d->%d",
+					p.BaselineStall, p.GuidedStall, p.BaselineMisses, p.GuidedMisses)
+			}
+		} else {
+			if p.PrefetchBytes == 0 || p.PrefetchHits == 0 {
+				t.Errorf("coverage %g: no prefetch traffic or hits", p.Coverage)
+			}
+			if p.GuidedStall >= p.BaselineStall {
+				t.Errorf("coverage %g @ %g Mbps: stall not reduced (%v vs %v)",
+					p.Coverage, p.WANMbps, p.GuidedStall, p.BaselineStall)
+			}
+			if p.GuidedMisses >= p.BaselineMisses {
+				t.Errorf("coverage %g: misses not reduced (%d vs %d)",
+					p.Coverage, p.GuidedMisses, p.BaselineMisses)
+			}
+		}
+		if p.Coverage == 1 {
+			// The whole startup trace is warm: the run phase never
+			// touches the registry.
+			if p.GuidedMisses != 0 || p.GuidedStall != 0 {
+				t.Errorf("full coverage left %d misses, %v stall", p.GuidedMisses, p.GuidedStall)
+			}
+			if p.PrefetchWasted != 0 {
+				t.Errorf("full coverage wasted %d prefetched objects", p.PrefetchWasted)
+			}
+		}
+	}
+	// The acceptance point: a warm profile at the paper's 20 Mbps edge
+	// link removes at least 40% of the demand stall.
+	for i := range res.Points {
+		p := &res.Points[i]
+		if p.Coverage == 1 && p.WANMbps == 20 && p.StallReduction() < 0.4 {
+			t.Errorf("full profile @ 20 Mbps reduced stall %.1f%%, want >= 40%%",
+				p.StallReduction()*100)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "less demand stall") {
+		t.Error("print missing stall-reduction summary")
 	}
 }

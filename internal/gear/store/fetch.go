@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/gear-image/gear/internal/gearregistry"
 	"github.com/gear-image/gear/internal/hashing"
@@ -54,14 +55,29 @@ const (
 // in-progress flight, then a download it leads itself (peers before
 // registry). src reports which source this call spent wire bytes on;
 // joiners and cache hits return srcLocal. The caller is responsible
-// for accounting.
+// for transfer accounting; fetchOne itself accounts demand stall —
+// every call is a foreground read, so time spent past the cache lookup
+// is a container blocked on the network. Registering the demand with
+// the scheduler pauses further prefetch admission until the miss is
+// served; a fingerprint the replay is already moving is joined via its
+// flight, never fetched twice.
 func (s *Store) fetchOne(fp hashing.Fingerprint) (c *vfs.Content, wire int64, src fetchSource, err error) {
 	if c, ok := s.cache.Get(fp); ok {
+		s.noteDemandHit(fp)
 		return c, 0, srcLocal, nil
 	}
+	s.sched.beginDemand()
+	start := time.Now()
+	defer func() {
+		s.stallNanos.Add(time.Since(start).Nanoseconds())
+		s.sched.endDemand()
+	}()
 	f, leader := s.claimFlight(fp)
 	if !leader {
 		<-f.done
+		if f.err == nil && f.content != nil {
+			s.noteDemandMiss(fp, int64(len(f.content.Data())))
+		}
 		return f.content, 0, srcLocal, f.err
 	}
 	defer s.finishFlight(fp, f)
@@ -71,6 +87,7 @@ func (s *Store) fetchOne(fp hashing.Fingerprint) (c *vfs.Content, wire int64, sr
 	if s.cache.Contains(fp) {
 		if c, ok := s.cache.Get(fp); ok {
 			f.content = c
+			s.noteDemandHit(fp)
 			return c, 0, srcLocal, nil
 		}
 	}
@@ -85,6 +102,7 @@ func (s *Store) fetchOne(fp hashing.Fingerprint) (c *vfs.Content, wire int64, sr
 		return nil, 0, srcLocal, f.err
 	}
 	f.content = c
+	s.noteDemandMiss(fp, int64(len(data)))
 	if fromPeer {
 		return c, wire, srcPeer, nil
 	}
@@ -109,6 +127,10 @@ type StreamStat struct {
 // into netsim fair-share streams.
 type FetchWindow struct {
 	Streams []StreamStat `json:"streams"`
+	// Prefetch reports that the window was issued by a startup-profile
+	// replay rather than a demand fetch, so observers can price or rank
+	// it as background traffic.
+	Prefetch bool `json:"prefetch,omitempty"`
 }
 
 // Objects returns the total object count across streams.
@@ -139,6 +161,18 @@ func (w FetchWindow) Bytes() int64 {
 // accounting hooks (OnFetchWindow, or OnRemoteFetch as a fallback) fire
 // once for the whole window.
 func (s *Store) FetchAll(fps []hashing.Fingerprint) (FetchWindow, error) {
+	return s.fetchAll(fps, s.opts.FetchWorkers, classDemand)
+}
+
+// fetchAll is FetchAll with the worker count and fetch class explicit.
+// Demand-class calls register with the scheduler for their duration
+// (pausing prefetch admission); prefetch-class calls tag the window and
+// mark what they admit for hit/waste accounting.
+func (s *Store) fetchAll(fps []hashing.Fingerprint, maxWorkers int, class fetchClass) (FetchWindow, error) {
+	if class == classDemand {
+		s.sched.beginDemand()
+		defer s.sched.endDemand()
+	}
 	// Deduplicate, drop what is already local, and claim or join flights.
 	seen := make(map[hashing.Fingerprint]bool, len(fps))
 	var claimed []hashing.Fingerprint
@@ -163,7 +197,7 @@ func (s *Store) FetchAll(fps []hashing.Fingerprint) (FetchWindow, error) {
 
 	var errs []error
 	if len(claimed) > 0 {
-		workers := min(s.opts.FetchWorkers, len(claimed))
+		workers := min(maxWorkers, len(claimed))
 		if workers < 1 {
 			workers = 1
 		}
@@ -178,11 +212,11 @@ func (s *Store) FetchAll(fps []hashing.Fingerprint) (FetchWindow, error) {
 			wg.Add(1)
 			go func(w int, shard []hashing.Fingerprint) {
 				defer wg.Done()
-				streams[w], peers[w], workerErrs[w] = s.fetchShard(shard, claimedFlights)
+				streams[w], peers[w], workerErrs[w] = s.fetchShard(shard, claimedFlights, class)
 			}(w, claimed[lo:hi])
 		}
 		wg.Wait()
-		var window FetchWindow
+		window := FetchWindow{Prefetch: class == classPrefetch}
 		var peerTotal tally
 		for w := 0; w < workers; w++ {
 			if streams[w].Objects > 0 {
@@ -198,6 +232,10 @@ func (s *Store) FetchAll(fps []hashing.Fingerprint) (FetchWindow, error) {
 		if n := window.Objects(); n > 0 {
 			s.remoteObjects.Add(int64(n))
 			s.remoteBytes.Add(window.Bytes())
+			if class == classPrefetch {
+				s.prefetchObjects.Add(int64(n))
+				s.prefetchBytes.Add(window.Bytes())
+			}
 			switch {
 			case s.opts.OnFetchWindow != nil:
 				s.opts.OnFetchWindow(window)
@@ -228,10 +266,16 @@ func (s *Store) FetchAll(fps []hashing.Fingerprint) (FetchWindow, error) {
 // single batch round trip. Every claimed flight in the shard is
 // completed exactly once, whether the shard succeeds or fails. The
 // returned StreamStat covers registry transfers (the WAN window); the
-// tally covers peer-served transfers.
-func (s *Store) fetchShard(shard []hashing.Fingerprint, flights map[hashing.Fingerprint]*flight) (StreamStat, tally, error) {
+// tally covers peer-served transfers. Prefetch-class shards tag every
+// object they admit so later demand reads score as prefetch hits.
+func (s *Store) fetchShard(shard []hashing.Fingerprint, flights map[hashing.Fingerprint]*flight, class fetchClass) (StreamStat, tally, error) {
 	if len(shard) == 0 {
 		return StreamStat{}, tally{}, nil
+	}
+	admitted := func(fp hashing.Fingerprint) {
+		if class == classPrefetch {
+			s.markPrefetched(fp)
+		}
 	}
 	var peer tally
 	var errs []error
@@ -252,6 +296,7 @@ func (s *Store) fetchShard(shard []hashing.Fingerprint, flights map[hashing.Fing
 			} else {
 				f.content = c
 				peer.add(wire)
+				admitted(fp)
 			}
 			s.finishFlight(fp, f)
 		}
@@ -299,6 +344,7 @@ func (s *Store) fetchShard(shard []hashing.Fingerprint, flights map[hashing.Fing
 				errs = append(errs, f.err)
 			} else {
 				f.content = c
+				admitted(fp)
 			}
 			s.finishFlight(fp, f)
 		}
@@ -316,6 +362,7 @@ func (s *Store) fetchShard(shard []hashing.Fingerprint, flights map[hashing.Fing
 				err = fmt.Errorf("store: cache %s: %w", fp, err)
 			} else {
 				f.content = c
+				admitted(fp)
 				// A peer that announced between our probe above and this
 				// retry still counts as peer traffic.
 				if fromPeer {

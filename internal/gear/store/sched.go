@@ -1,0 +1,304 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/prefetch"
+)
+
+// Two-class fetch scheduling. Every transfer the store issues belongs
+// to one of two classes:
+//
+//	demand   — a container is blocked on the bytes right now (a viewer
+//	           fault, a ranged read, an explicit FetchAll);
+//	prefetch — a background profile replay warming the level-1 cache.
+//
+// Demand has strict priority: prefetch admissions wait until no demand
+// transfer is active, and the number of in-flight prefetch objects
+// never exceeds the configured budget, so background replay can never
+// starve a foreground miss of link bandwidth or worker slots. An
+// in-flight prefetch transfer is not aborted when demand arrives (the
+// bytes are already moving and will be wanted anyway); preemption
+// happens at admission granularity. The singleflight table is shared
+// by both classes, so a fingerprint being prefetched is never fetched
+// a second time by a demand miss — the miss joins the prefetch flight
+// (and its wait is accounted as demand stall).
+type fetchClass int
+
+const (
+	classDemand fetchClass = iota
+	classPrefetch
+)
+
+// DefaultPrefetchInflight is the prefetch budget used when Options
+// leaves PrefetchInflight zero.
+const DefaultPrefetchInflight = 4
+
+// scheduler is the two-class admission gate. It is cheap enough to sit
+// on every miss: demand transfers touch one mutex twice.
+type scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	demand int // active demand transfers
+	inflt  int // admitted prefetch objects
+	budget int
+}
+
+func newScheduler(budget int) *scheduler {
+	s := &scheduler{budget: budget}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// beginDemand registers a foreground transfer. Prefetch admission
+// pauses until every registered demand ends.
+func (s *scheduler) beginDemand() {
+	s.mu.Lock()
+	s.demand++
+	s.mu.Unlock()
+}
+
+// endDemand retires a foreground transfer, waking prefetch waiters
+// when the last one drains.
+func (s *scheduler) endDemand() {
+	s.mu.Lock()
+	s.demand--
+	if s.demand == 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// acquirePrefetch admits n prefetch objects, blocking while any demand
+// transfer is active or while the admission would exceed the inflight
+// budget. n must not exceed the budget.
+func (s *scheduler) acquirePrefetch(n int) {
+	s.mu.Lock()
+	for s.demand > 0 || s.inflt+n > s.budget {
+		s.cond.Wait()
+	}
+	s.inflt += n
+	s.mu.Unlock()
+}
+
+// releasePrefetch retires n admitted prefetch objects.
+func (s *scheduler) releasePrefetch(n int) {
+	s.mu.Lock()
+	s.inflt -= n
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// recorder returns (creating if needed) the access recorder for ref.
+// Recording is enabled by configuring a profile library.
+func (s *Store) recorder(ref string) *prefetch.Recorder {
+	if s.opts.Profiles == nil {
+		return nil
+	}
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	r, ok := s.recorders[ref]
+	if !ok {
+		r = prefetch.NewRecorder()
+		s.recorders[ref] = r
+	}
+	return r
+}
+
+// record notes a first-class read access for ref's startup profile.
+func (s *Store) record(ref string, fp hashing.Fingerprint, size int64) {
+	if r := s.recorder(ref); r != nil {
+		r.Record(fp, size)
+	}
+}
+
+// SaveProfile persists ref's recorded access trace into the configured
+// profile library. It refuses to replace a persisted profile with a
+// shorter trace (a warm redeploy that exits early must not clobber the
+// richer profile that warmed it), and reports whether it saved.
+func (s *Store) SaveProfile(ref string) (bool, error) {
+	if s.opts.Profiles == nil {
+		return false, nil
+	}
+	s.recMu.Lock()
+	r := s.recorders[ref]
+	s.recMu.Unlock()
+	if r == nil || r.Len() == 0 {
+		return false, nil
+	}
+	// A corrupt or version-skewed stored profile decodes with an error
+	// and is treated as absent: the fresh trace replaces it.
+	if existing, err := s.opts.Profiles.Get(ref); err == nil && len(existing.Entries) >= r.Len() {
+		return false, nil
+	}
+	if err := s.opts.Profiles.Put(r.Snapshot(ref)); err != nil {
+		return false, fmt.Errorf("store: save profile %s: %w", ref, err)
+	}
+	return true, nil
+}
+
+// PrefetchResult summarizes one startup-profile replay.
+type PrefetchResult struct {
+	// Found reports that a usable (present, decodable, right-version)
+	// profile existed. False means the deploy ran exactly as without
+	// prefetch.
+	Found bool `json:"found"`
+	// Entries is the profile's recorded access count.
+	Entries int `json:"entries"`
+	// Requested is how many raw Gear objects (files, or chunks of
+	// chunked files) the replay submitted to the fetch engine — entries
+	// already cached at admission time are skipped.
+	Requested int `json:"requested"`
+	// Objects/Bytes are the registry (WAN) transfers the replay itself
+	// performed; objects another flight was already fetching are not
+	// counted here.
+	Objects int   `json:"objects"`
+	Bytes   int64 `json:"bytes"`
+	// Windows is the number of admission groups issued (each at most
+	// the inflight budget wide).
+	Windows int `json:"windows"`
+}
+
+// PrefetchProfile replays ref's persisted startup profile through the
+// fetch engine under the prefetch class: objects are admitted in
+// first-access order, at most PrefetchInflight at a time, only while
+// no demand transfer is active. A missing, corrupt, or version-skewed
+// profile is not an error — the result reports Found=false and the
+// deploy degrades to plain lazy faulting. The image's index must be
+// installed (chunked files replay as their chunks).
+func (s *Store) PrefetchProfile(ref string) (PrefetchResult, error) {
+	var res PrefetchResult
+	if s.opts.Profiles == nil {
+		return res, nil
+	}
+	p, err := s.opts.Profiles.Get(ref)
+	if err != nil {
+		return res, nil // absent/corrupt/skewed profile: no prefetch
+	}
+	s.mu.Lock()
+	st, ok := s.indexes[ref]
+	s.mu.Unlock()
+	if !ok {
+		return res, fmt.Errorf("store: prefetch %s: %w", ref, ErrNoIndex)
+	}
+	res.Found = true
+	res.Entries = len(p.Entries)
+
+	// Translate profile entries into raw transfer objects, preserving
+	// access order and deduplicating chunks shared between files.
+	seen := make(map[hashing.Fingerprint]bool, len(p.Entries))
+	var objects []hashing.Fingerprint
+	add := func(fp hashing.Fingerprint) {
+		if !seen[fp] {
+			seen[fp] = true
+			objects = append(objects, fp)
+		}
+	}
+	for _, e := range p.Entries {
+		if chunks := st.chunks[e.Fingerprint]; len(chunks) > 0 {
+			for _, ch := range chunks {
+				add(ch.Fingerprint)
+			}
+			continue
+		}
+		add(e.Fingerprint)
+	}
+
+	budget := s.opts.PrefetchInflight
+	var errs []error
+	for lo := 0; lo < len(objects); {
+		// Build the next admission group: up to budget objects that are
+		// not already local.
+		group := make([]hashing.Fingerprint, 0, budget)
+		for lo < len(objects) && len(group) < budget {
+			if !s.cache.Contains(objects[lo]) {
+				group = append(group, objects[lo])
+			}
+			lo++
+		}
+		if len(group) == 0 {
+			continue
+		}
+		res.Requested += len(group)
+		res.Windows++
+		s.sched.acquirePrefetch(len(group))
+		w, err := s.fetchAll(group, len(group), classPrefetch)
+		s.sched.releasePrefetch(len(group))
+		if err != nil {
+			errs = append(errs, err)
+		}
+		res.Objects += w.Objects()
+		res.Bytes += w.Bytes()
+	}
+	return res, errors.Join(errs...)
+}
+
+// PrefetchHandle tracks a background profile replay started with
+// StartPrefetch.
+type PrefetchHandle struct {
+	done chan struct{}
+	res  PrefetchResult
+	err  error
+}
+
+// Wait blocks until the replay finishes and returns its result.
+func (h *PrefetchHandle) Wait() (PrefetchResult, error) {
+	<-h.done
+	return h.res, h.err
+}
+
+// StartPrefetch runs PrefetchProfile in the background — the
+// deployment shape the profile is for: the container starts faulting
+// immediately while the replay warms the cache behind it, yielding to
+// every demand miss.
+func (s *Store) StartPrefetch(ref string) *PrefetchHandle {
+	h := &PrefetchHandle{done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		h.res, h.err = s.PrefetchProfile(ref)
+	}()
+	return h
+}
+
+// markPrefetched tags fp as admitted to the cache by a prefetch
+// replay; the tag is consumed by the first demand hit (PrefetchHits)
+// or remains as waste (PrefetchWasted).
+func (s *Store) markPrefetched(fp hashing.Fingerprint) {
+	s.prefMu.Lock()
+	s.prefetched[fp] = true
+	s.prefMu.Unlock()
+}
+
+// noteDemandHit updates prefetch-effectiveness accounting for a demand
+// read served from the level-1 cache.
+func (s *Store) noteDemandHit(fp hashing.Fingerprint) {
+	s.prefMu.Lock()
+	if s.prefetched[fp] {
+		delete(s.prefetched, fp)
+		s.prefetchHits.Add(1)
+	}
+	s.prefMu.Unlock()
+}
+
+// noteDemandMiss updates stall accounting for a demand read that had
+// to wait for contentBytes to arrive (led or joined). A miss on a
+// fingerprint the replay was still fetching clears its prefetch tag
+// without scoring a hit: the prefetch did not arrive in time.
+func (s *Store) noteDemandMiss(fp hashing.Fingerprint, contentBytes int64) {
+	s.demandMisses.Add(1)
+	s.stallBytes.Add(contentBytes)
+	s.prefMu.Lock()
+	delete(s.prefetched, fp)
+	s.prefMu.Unlock()
+}
+
+// prefetchWasted counts objects admitted by prefetch that no demand
+// read has consumed yet.
+func (s *Store) prefetchWasted() int64 {
+	s.prefMu.Lock()
+	defer s.prefMu.Unlock()
+	return int64(len(s.prefetched))
+}

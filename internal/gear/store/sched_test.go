@@ -1,0 +1,513 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gear-image/gear/internal/gear/index"
+	"github.com/gear-image/gear/internal/gearregistry"
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/imagefmt"
+	"github.com/gear-image/gear/internal/prefetch"
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// prefetchFixture builds an image with five "startup" files plus one
+// off-profile file, publishes it to a registry, and returns the index,
+// the per-path fingerprints, and the registry.
+func prefetchFixture(t *testing.T) (*index.Index, map[string]hashing.Fingerprint, *gearregistry.Registry) {
+	t.Helper()
+	root := vfs.New()
+	contents := map[string][]byte{"/d": []byte("demand-only file, not in any profile")}
+	for i := 0; i < 5; i++ {
+		contents[fmt.Sprintf("/p%d", i)] = bytes.Repeat([]byte{byte('a' + i)}, 512)
+	}
+	fps := make(map[string]hashing.Fingerprint, len(contents))
+	for p, data := range contents {
+		if err := root.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fps[p] = hashing.FingerprintBytes(data)
+	}
+	ix, pool, err := index.Build("web", "v1", imagefmt.Config{}, root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := gearregistry.New(gearregistry.Options{})
+	for fp, data := range pool {
+		if err := reg.Upload(fp, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix, fps, reg
+}
+
+// startupProfile persists the p-files' access order into a library.
+func startupProfile(t *testing.T, fps map[string]hashing.Fingerprint) *prefetch.Library {
+	t.Helper()
+	lib := prefetch.NewLibrary()
+	p := &prefetch.Profile{ImageRef: "web:v1"}
+	for i := 0; i < 5; i++ {
+		p.Entries = append(p.Entries, prefetch.Entry{
+			Fingerprint: fps[fmt.Sprintf("/p%d", i)],
+			Size:        512,
+		})
+	}
+	if err := lib.Put(p); err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+// blockingRemote wraps a registry so the test controls exactly when
+// each download finishes. It deliberately does not implement
+// BatchDownloader: every object is one Download call, so concurrency
+// is observable per object.
+type blockingRemote struct {
+	backing gearregistry.Store
+	startCh chan hashing.Fingerprint // signals every download start
+	gates   map[hashing.Fingerprint]chan struct{}
+
+	mu          sync.Mutex
+	completed   []hashing.Fingerprint
+	prefetchSet map[hashing.Fingerprint]bool
+	cur, max    int // in-flight prefetch-class downloads
+}
+
+func newBlockingRemote(backing gearregistry.Store, prefetchSet map[hashing.Fingerprint]bool) *blockingRemote {
+	return &blockingRemote{
+		backing:     backing,
+		startCh:     make(chan hashing.Fingerprint, 64),
+		gates:       make(map[hashing.Fingerprint]chan struct{}),
+		prefetchSet: prefetchSet,
+	}
+}
+
+func (b *blockingRemote) gate(fp hashing.Fingerprint) chan struct{} {
+	ch := make(chan struct{})
+	b.gates[fp] = ch
+	return ch
+}
+
+func (b *blockingRemote) Query(fp hashing.Fingerprint) (bool, error) {
+	return b.backing.Query(fp)
+}
+
+func (b *blockingRemote) Upload(fp hashing.Fingerprint, data []byte) error {
+	return b.backing.Upload(fp, data)
+}
+
+func (b *blockingRemote) Download(fp hashing.Fingerprint) ([]byte, int64, error) {
+	b.mu.Lock()
+	if b.prefetchSet[fp] {
+		b.cur++
+		if b.cur > b.max {
+			b.max = b.cur
+		}
+	}
+	gate := b.gates[fp]
+	b.mu.Unlock()
+	b.startCh <- fp
+	if gate != nil {
+		<-gate
+	}
+	data, wire, err := b.backing.Download(fp)
+	b.mu.Lock()
+	if b.prefetchSet[fp] {
+		b.cur--
+	}
+	b.completed = append(b.completed, fp)
+	b.mu.Unlock()
+	return data, wire, err
+}
+
+func (b *blockingRemote) waitStarts(t *testing.T, n int) []hashing.Fingerprint {
+	t.Helper()
+	var got []hashing.Fingerprint
+	for len(got) < n {
+		select {
+		case fp := <-b.startCh:
+			got = append(got, fp)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for %d download starts (got %d)", n, len(got))
+		}
+	}
+	return got
+}
+
+func (b *blockingRemote) snapshot() (completed []hashing.Fingerprint, maxPrefetch int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]hashing.Fingerprint(nil), b.completed...), b.max
+}
+
+// TestSchedulerDemandPreemptsPrefetch drives a background profile
+// replay against a registry the test gates, and checks the two-class
+// contract: a demand miss arriving mid-replay starts immediately and
+// completes before any queued prefetch object starts, and the replay
+// never holds more than its inflight budget.
+func TestSchedulerDemandPreemptsPrefetch(t *testing.T) {
+	ix, fps, reg := prefetchFixture(t)
+	lib := startupProfile(t, fps)
+
+	prefetchSet := make(map[hashing.Fingerprint]bool)
+	for i := 0; i < 5; i++ {
+		prefetchSet[fps[fmt.Sprintf("/p%d", i)]] = true
+	}
+	remote := newBlockingRemote(reg, prefetchSet)
+	// Gate the first prefetch group and the demand object; later groups
+	// run ungated.
+	gateP0 := remote.gate(fps["/p0"])
+	gateP1 := remote.gate(fps["/p1"])
+	gateD := remote.gate(fps["/d"])
+
+	s, err := New(Options{Remote: remote, Profiles: lib, PrefetchInflight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.CreateContainer("c1", "web:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h := s.StartPrefetch("web:v1")
+	// The first admission group (budget 2) is in flight, gated.
+	remote.waitStarts(t, 2)
+
+	// A demand miss starts immediately even with the budget saturated.
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := v.ReadFile("/d")
+		readDone <- err
+	}()
+	if got := remote.waitStarts(t, 1); got[0] != fps["/d"] {
+		t.Fatalf("third download start = %s, want demand object %s", got[0], fps["/d"])
+	}
+
+	// Retire prefetch group 1. The demand transfer is still active, so
+	// group 2 must stay queued: no new download may start.
+	close(gateP0)
+	close(gateP1)
+	select {
+	case fp := <-remote.startCh:
+		t.Fatalf("download of %s started while a demand miss was active", fp)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Release the demand object; the replay resumes only after it is
+	// fully served.
+	close(gateD)
+	if err := <-readDone; err != nil {
+		t.Fatal(err)
+	}
+	remote.waitStarts(t, 3) // group 2 (p2, p3) and group 3 (p4)
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	completed, maxPrefetch := remote.snapshot()
+	if maxPrefetch > 2 {
+		t.Errorf("prefetch held %d objects in flight, budget is 2", maxPrefetch)
+	}
+	// The demand object finished before any post-preemption prefetch
+	// object started, hence before any of them completed.
+	demandAt, p2At := -1, -1
+	for i, fp := range completed {
+		if fp == fps["/d"] {
+			demandAt = i
+		}
+		if fp == fps["/p2"] {
+			p2At = i
+		}
+	}
+	if demandAt == -1 || p2At == -1 || demandAt > p2At {
+		t.Errorf("completion order %v: demand at %d, p2 at %d", completed, demandAt, p2At)
+	}
+
+	st := s.Stats()
+	if st.DemandMisses != 1 {
+		t.Errorf("demand misses = %d, want 1 (the /d fault)", st.DemandMisses)
+	}
+	if st.PrefetchObjects != 5 {
+		t.Errorf("prefetch objects = %d, want 5", st.PrefetchObjects)
+	}
+	if st.PrefetchHits != 0 || st.PrefetchWasted != 5 {
+		t.Errorf("before any profile read: hits=%d wasted=%d, want 0/5", st.PrefetchHits, st.PrefetchWasted)
+	}
+
+	// Demand reads of replayed files are cache hits and consume the
+	// prefetched tags.
+	for i := 0; i < 5; i++ {
+		if _, err := v.ReadFile(fmt.Sprintf("/p%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = s.Stats()
+	if st.DemandMisses != 1 {
+		t.Errorf("profile reads caused demand misses: %d", st.DemandMisses)
+	}
+	if st.PrefetchHits != 5 || st.PrefetchWasted != 0 {
+		t.Errorf("after profile reads: hits=%d wasted=%d, want 5/0", st.PrefetchHits, st.PrefetchWasted)
+	}
+}
+
+// TestPrefetchProfileWarmRedeploy records a profile from a cold deploy,
+// replays it on a fresh store, and checks the second deploy faults
+// without a single demand miss — while total registry traffic stays
+// identical to the cold run.
+func TestPrefetchProfileWarmRedeploy(t *testing.T) {
+	ix, fps, reg := prefetchFixture(t)
+	lib := prefetch.NewLibrary()
+
+	cold, err := New(Options{Remote: reg, Profiles: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.AddIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cold.CreateContainer("c1", "web:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := v.ReadFile(fmt.Sprintf("/p%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if saved, err := cold.SaveProfile("web:v1"); err != nil || !saved {
+		t.Fatalf("SaveProfile = %v, %v; want save", saved, err)
+	}
+	coldStats := cold.Stats()
+	if coldStats.DemandMisses != 5 {
+		t.Fatalf("cold demand misses = %d, want 5", coldStats.DemandMisses)
+	}
+
+	// The persisted profile preserves first-access order.
+	p, err := lib.Get("web:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range p.Entries {
+		if want := fps[fmt.Sprintf("/p%d", i)]; e.Fingerprint != want {
+			t.Fatalf("profile entry %d = %s, want %s", i, e.Fingerprint, want)
+		}
+	}
+
+	warm, err := New(Options{Remote: reg, Profiles: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.AddIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	res, err := warm.PrefetchProfile("web:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Objects != 5 {
+		t.Fatalf("replay = %+v, want Found with 5 objects", res)
+	}
+	v2, err := warm.CreateContainer("c1", "web:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := v2.ReadFile(fmt.Sprintf("/p%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warmStats := warm.Stats()
+	if warmStats.DemandMisses != 0 || warmStats.StallBytes != 0 {
+		t.Errorf("warm deploy stalled: misses=%d bytes=%d", warmStats.DemandMisses, warmStats.StallBytes)
+	}
+	if warmStats.PrefetchHits != 5 {
+		t.Errorf("prefetch hits = %d, want 5", warmStats.PrefetchHits)
+	}
+	if warmStats.RemoteBytes != coldStats.RemoteBytes {
+		t.Errorf("warm remote bytes = %d, cold = %d; prefetch must not inflate traffic",
+			warmStats.RemoteBytes, coldStats.RemoteBytes)
+	}
+}
+
+// TestPrefetchProfileAbsentOrBroken: a missing, corrupt, or
+// version-skewed profile silently degrades to a plain lazy deploy.
+func TestPrefetchProfileAbsentOrBroken(t *testing.T) {
+	ix, _, reg := prefetchFixture(t)
+	lib := prefetch.NewLibrary()
+	s, err := New(Options{Remote: reg, Profiles: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := s.PrefetchProfile("web:v1")
+	if err != nil || res.Found {
+		t.Fatalf("absent profile: %+v, %v; want not found, nil error", res, err)
+	}
+
+	lib.PutRaw("web:v1", []byte("GPF1 this is not a profile"))
+	res, err = s.PrefetchProfile("web:v1")
+	if err != nil || res.Found {
+		t.Fatalf("corrupt profile: %+v, %v; want not found, nil error", res, err)
+	}
+
+	// Version skew: valid profile with a bumped version byte.
+	good := &prefetch.Profile{ImageRef: "web:v1", Entries: []prefetch.Entry{
+		{Fingerprint: hashing.FingerprintBytes([]byte("x")), Size: 1},
+	}}
+	data, err := prefetch.Encode(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[3] = '9'
+	lib.PutRaw("web:v1", data)
+	res, err = s.PrefetchProfile("web:v1")
+	if err != nil || res.Found {
+		t.Fatalf("version-skewed profile: %+v, %v; want not found, nil error", res, err)
+	}
+
+	if st := s.Stats(); st.PrefetchObjects != 0 || st.RemoteObjects != 0 {
+		t.Errorf("degraded replays moved bytes: %+v", st)
+	}
+}
+
+// TestSaveProfileKeepsRicherTrace: a shorter rerun trace (warm deploys
+// fault less) must not clobber the profile that made it fast.
+func TestSaveProfileKeepsRicherTrace(t *testing.T) {
+	ix, fps, reg := prefetchFixture(t)
+	lib := startupProfile(t, fps) // 5 entries persisted
+
+	s, err := New(Options{Remote: reg, Profiles: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.CreateContainer("c1", "web:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ReadFile("/p0"); err != nil {
+		t.Fatal(err)
+	}
+	if saved, err := s.SaveProfile("web:v1"); err != nil || saved {
+		t.Fatalf("SaveProfile with 1-entry trace = %v, %v; want no save", saved, err)
+	}
+	p, err := lib.Get("web:v1")
+	if err != nil || len(p.Entries) != 5 {
+		t.Fatalf("persisted profile shrank: %+v, %v", p, err)
+	}
+
+	// A richer trace (6 accesses: all five p-files plus /d) does replace it.
+	for i := 1; i < 5; i++ {
+		if _, err := v.ReadFile(fmt.Sprintf("/p%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := v.ReadFile("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if saved, err := s.SaveProfile("web:v1"); err != nil || !saved {
+		t.Fatalf("SaveProfile with richer trace = %v, %v; want save", saved, err)
+	}
+	p, err = lib.Get("web:v1")
+	if err != nil || len(p.Entries) != 6 {
+		t.Fatalf("richer trace not persisted: %+v, %v", p, err)
+	}
+}
+
+// TestEagerPrefetchDoesNotRecord: the whole-image Prefetch walk is not
+// a startup access pattern and must leave the profile recorder empty.
+func TestEagerPrefetchDoesNotRecord(t *testing.T) {
+	ix, _, reg := prefetchFixture(t)
+	lib := prefetch.NewLibrary()
+	s, err := New(Options{Remote: reg, Profiles: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Prefetch("web:v1"); err != nil {
+		t.Fatal(err)
+	}
+	if saved, err := s.SaveProfile("web:v1"); err != nil || saved {
+		t.Fatalf("SaveProfile after eager walk = %v, %v; want empty trace", saved, err)
+	}
+}
+
+// TestViewerStallAgreesWithStore: the viewer's per-container stall
+// counter and the store's demand-stall accounting describe the same
+// events. Cold, every fault is a demand miss and the viewer's stall
+// envelope contains the store's (the store span sits inside the
+// resolver call). After a profile replay, faults still happen but hit
+// the warmed cache: the store records zero misses and zero stall.
+func TestViewerStallAgreesWithStore(t *testing.T) {
+	ix, fps, reg := prefetchFixture(t)
+	lib := startupProfile(t, fps)
+
+	cold, err := New(Options{Remote: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.AddIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cold.CreateContainer("c1", "web:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := v.ReadFile(fmt.Sprintf("/p%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vs, ss := v.Stats(), cold.Stats()
+	if vs.Faults != ss.DemandMisses {
+		t.Errorf("cold: viewer faults = %d, store demand misses = %d", vs.Faults, ss.DemandMisses)
+	}
+	if ss.StallTime <= 0 {
+		t.Errorf("cold: store stall time = %v, want > 0", ss.StallTime)
+	}
+	if vs.StallTime < ss.StallTime {
+		t.Errorf("cold: viewer stall %v < store stall %v; the viewer envelope must contain the store span",
+			vs.StallTime, ss.StallTime)
+	}
+
+	warm, err := New(Options{Remote: reg, Profiles: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.AddIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.PrefetchProfile("web:v1"); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := warm.CreateContainer("c1", "web:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := v2.ReadFile(fmt.Sprintf("/p%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vs2, ss2 := v2.Stats(), warm.Stats()
+	if vs2.Faults != 5 {
+		t.Errorf("warm: viewer faults = %d, want 5 (placeholders still fault)", vs2.Faults)
+	}
+	if ss2.DemandMisses != 0 || ss2.StallTime != 0 {
+		t.Errorf("warm: store misses=%d stall=%v, want 0/0", ss2.DemandMisses, ss2.StallTime)
+	}
+}

@@ -24,12 +24,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/gear-image/gear/internal/cache"
 	"github.com/gear-image/gear/internal/gear/index"
 	"github.com/gear-image/gear/internal/gear/viewer"
 	"github.com/gear-image/gear/internal/gearregistry"
 	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/prefetch"
 	"github.com/gear-image/gear/internal/vfs"
 )
 
@@ -73,6 +75,17 @@ type Options struct {
 	// count and byte volume). The deployment simulator prices these on
 	// the LAN link, separate from registry WAN traffic.
 	OnPeerFetch func(objects int, bytes int64)
+	// Profiles, if set, enables profile-guided startup prefetch: the
+	// store records each image's first-access order (fingerprint, size,
+	// sequence) as containers fault, SaveProfile persists it here, and
+	// PrefetchProfile replays it on the next deploy. Nil disables both
+	// recording and replay — the store behaves exactly as before.
+	Profiles *prefetch.Library
+	// PrefetchInflight bounds how many profile-replay objects may be in
+	// flight at once (the prefetch budget). Demand misses always have
+	// strict priority regardless of this value. 0 selects
+	// DefaultPrefetchInflight.
+	PrefetchInflight int
 }
 
 // PeerSource obtains Gear files from cluster peers. ok=false means no
@@ -100,10 +113,31 @@ type Store struct {
 	flightMu sync.Mutex
 	flights  map[hashing.Fingerprint]*flight
 
+	// sched is the two-class admission gate giving demand misses strict
+	// priority over profile-replay prefetch.
+	sched *scheduler
+
+	// recMu guards recorders, the per-image startup-profile recorders
+	// (populated only when opts.Profiles is set).
+	recMu     sync.Mutex
+	recorders map[string]*prefetch.Recorder
+
+	// prefMu guards prefetched, the set of fingerprints the replay
+	// admitted that no demand read has consumed yet.
+	prefMu     sync.Mutex
+	prefetched map[hashing.Fingerprint]bool
+
 	remoteObjects atomic.Int64
 	remoteBytes   atomic.Int64
 	peerObjects   atomic.Int64
 	peerBytes     atomic.Int64
+
+	demandMisses    atomic.Int64
+	stallBytes      atomic.Int64
+	stallNanos      atomic.Int64
+	prefetchObjects atomic.Int64
+	prefetchBytes   atomic.Int64
+	prefetchHits    atomic.Int64
 }
 
 type imageState struct {
@@ -127,6 +161,9 @@ func New(opts Options) (*Store, error) {
 	if opts.FetchWorkers <= 0 {
 		opts.FetchWorkers = DefaultFetchWorkers
 	}
+	if opts.PrefetchInflight <= 0 {
+		opts.PrefetchInflight = DefaultPrefetchInflight
+	}
 	c, err := cache.New(opts.CacheCapacity, opts.CachePolicy)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -137,6 +174,9 @@ func New(opts Options) (*Store, error) {
 		indexes:    make(map[string]*imageState),
 		containers: make(map[string]*containerState),
 		flights:    make(map[hashing.Fingerprint]*flight),
+		sched:      newScheduler(opts.PrefetchInflight),
+		recorders:  make(map[string]*prefetch.Recorder),
+		prefetched: make(map[hashing.Fingerprint]bool),
 	}, nil
 }
 
@@ -252,8 +292,19 @@ func (s *Store) RemoveContainer(id string) error {
 
 // Resolve implements viewer.Resolver: cache lookup, then remote
 // download, then hard link over the placeholder in the image's shared
-// index tree.
+// index tree. Faults resolved here are first-class accesses and feed
+// the image's startup profile when a profile library is configured.
 func (s *Store) Resolve(imageRef, path string, fp hashing.Fingerprint, size int64) (*vfs.Content, error) {
+	return s.resolve(imageRef, path, fp, size, true)
+}
+
+// resolve is Resolve with recording controllable: the eager Prefetch
+// walk passes record=false so a whole-image sweep does not overwrite
+// the access order real container starts exhibit.
+func (s *Store) resolve(imageRef, path string, fp hashing.Fingerprint, size int64, record bool) (*vfs.Content, error) {
+	if record {
+		s.record(imageRef, fp, size)
+	}
 	s.mu.Lock()
 	st := s.indexes[imageRef]
 	// The index may have been removed while containers still run; the
@@ -295,6 +346,7 @@ func (s *Store) Resolve(imageRef, path string, fp hashing.Fingerprint, size int6
 func (s *Store) fetch(fp hashing.Fingerprint, size int64, chunks []index.Chunk) (*vfs.Content, error) {
 	if len(chunks) > 0 {
 		if c, ok := s.cache.Get(fp); ok {
+			s.noteDemandHit(fp)
 			return c, nil
 		}
 		assembled := make([]byte, 0, size)
@@ -427,8 +479,16 @@ func (s *Store) ResolveRange(imageRef string, fp hashing.Fingerprint, off, n int
 	if len(chunks) == 0 {
 		return nil, ErrNotChunked
 	}
+	// Ranged reads are first-class accesses too; the profile records the
+	// file, and its replay pulls the chunks.
+	var total int64
+	for _, ch := range chunks {
+		total += ch.Size
+	}
+	s.record(imageRef, fp, total)
 	// Whole file already assembled? Serve from cache.
 	if c, ok := s.cache.Get(fp); ok {
+		s.noteDemandHit(fp)
 		return sliceRange(c.Data(), off, n), nil
 	}
 	out := make([]byte, 0, n)
@@ -523,7 +583,9 @@ func (s *Store) Prefetch(ref string) error {
 		if err != nil || e.Type != vfs.TypeRegular {
 			return
 		}
-		if _, rerr := s.Resolve(ref, p, e.Fingerprint, e.Size); rerr != nil {
+		// record=false: an eager whole-image walk is not a startup access
+		// pattern and must not pollute the image's profile.
+		if _, rerr := s.resolve(ref, p, e.Fingerprint, e.Size, false); rerr != nil {
 			err = rerr
 		}
 	})
@@ -617,7 +679,9 @@ func (s *Store) ClearCache() { s.cache.Clear() }
 
 // Stats summarizes remote traffic attributable to this store. Remote*
 // count registry (WAN) transfers; Peer* count cluster-peer (LAN)
-// transfers.
+// transfers. Demand*/Stall* account foreground faults that had to wait
+// for the network; Prefetch* account the profile replay and how much of
+// it demand reads actually consumed.
 type Stats struct {
 	RemoteObjects int64 `json:"remoteObjects"`
 	RemoteBytes   int64 `json:"remoteBytes"`
@@ -625,6 +689,23 @@ type Stats struct {
 	PeerBytes     int64 `json:"peerBytes"`
 	Indexes       int   `json:"indexes"`
 	Containers    int   `json:"containers"`
+
+	// DemandMisses counts lazy faults that blocked on a transfer (led or
+	// joined); StallBytes is the content volume those faults waited for,
+	// and StallTime the cumulative wall-clock time demand reads spent
+	// blocked in the fetch path.
+	DemandMisses int64         `json:"demandMisses"`
+	StallBytes   int64         `json:"stallBytes"`
+	StallTime    time.Duration `json:"stallTime"`
+	// PrefetchObjects/PrefetchBytes are the registry transfers performed
+	// under the prefetch class. PrefetchHits counts demand reads served
+	// from the cache because a replay put the object there first;
+	// PrefetchWasted is the gauge of replayed objects no demand read has
+	// consumed (yet).
+	PrefetchObjects int64 `json:"prefetchObjects"`
+	PrefetchBytes   int64 `json:"prefetchBytes"`
+	PrefetchHits    int64 `json:"prefetchHits"`
+	PrefetchWasted  int64 `json:"prefetchWasted"`
 }
 
 // Stats returns a snapshot.
@@ -632,11 +713,18 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		RemoteObjects: s.remoteObjects.Load(),
-		RemoteBytes:   s.remoteBytes.Load(),
-		PeerObjects:   s.peerObjects.Load(),
-		PeerBytes:     s.peerBytes.Load(),
-		Indexes:       len(s.indexes),
-		Containers:    len(s.containers),
+		RemoteObjects:   s.remoteObjects.Load(),
+		RemoteBytes:     s.remoteBytes.Load(),
+		PeerObjects:     s.peerObjects.Load(),
+		PeerBytes:       s.peerBytes.Load(),
+		Indexes:         len(s.indexes),
+		Containers:      len(s.containers),
+		DemandMisses:    s.demandMisses.Load(),
+		StallBytes:      s.stallBytes.Load(),
+		StallTime:       time.Duration(s.stallNanos.Load()),
+		PrefetchObjects: s.prefetchObjects.Load(),
+		PrefetchBytes:   s.prefetchBytes.Load(),
+		PrefetchHits:    s.prefetchHits.Load(),
+		PrefetchWasted:  s.prefetchWasted(),
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io/fs"
 	"sync"
+	"time"
 
 	"github.com/gear-image/gear/internal/gear/index"
 	"github.com/gear-image/gear/internal/hashing"
@@ -48,9 +49,13 @@ type Viewer struct {
 	closed bool
 
 	// reads counts total regular-file reads; faults counts reads that
-	// had to pause on a placeholder (the lazy-fetch events of Fig 8/9).
+	// had to pause on a placeholder (the lazy-fetch events of Fig 8/9);
+	// stall accumulates the wall-clock time those pauses spent inside
+	// the resolver — the per-container view of the store's demand-stall
+	// accounting.
 	reads  int64
 	faults int64
+	stall  time.Duration
 }
 
 // New mounts a viewer over the shared index tree (level 2) with a fresh
@@ -110,7 +115,9 @@ func (v *Viewer) ReadFile(p string) ([]byte, error) {
 	}
 	// Pause: ask the helper to make the file readable, then resume.
 	v.faults++
+	start := time.Now()
 	content, err := v.resolver.Resolve(v.imageRef, vfs.Clean(p), fp, size)
+	v.stall += time.Since(start)
 	if err != nil {
 		return nil, fmt.Errorf("viewer %s: fault %s: %w", v.imageRef, vfs.Clean(p), err)
 	}
@@ -154,8 +161,13 @@ func (v *Viewer) ReadAt(p string, off, n int64) ([]byte, error) {
 	if ok {
 		v.faults++
 		v.mu.Unlock()
+		start := time.Now()
 		out, err := rr.ResolveRange(v.imageRef, fp, off, n)
+		elapsed := time.Since(start)
 		if err == nil {
+			v.mu.Lock()
+			v.stall += elapsed
+			v.mu.Unlock()
 			return out, nil
 		}
 		// Not chunked (or range unsupported): fall through to a full
@@ -358,15 +370,20 @@ func (v *Viewer) Close() {
 	v.closed = true
 }
 
-// Stats reports read/fault counters.
+// Stats reports read/fault counters. StallTime is the cumulative
+// wall-clock time this container's reads spent paused in the resolver;
+// faults served from the level-1 cache (e.g. after a profile-guided
+// prefetch) contribute almost nothing, so it tracks the store's
+// demand-stall accounting from the container's side.
 type Stats struct {
-	Reads  int64 `json:"reads"`
-	Faults int64 `json:"faults"`
+	Reads     int64         `json:"reads"`
+	Faults    int64         `json:"faults"`
+	StallTime time.Duration `json:"stallTime"`
 }
 
 // Stats returns a snapshot of the viewer's counters.
 func (v *Viewer) Stats() Stats {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	return Stats{Reads: v.reads, Faults: v.faults}
+	return Stats{Reads: v.reads, Faults: v.faults, StallTime: v.stall}
 }

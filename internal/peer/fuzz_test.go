@@ -18,13 +18,13 @@ func FuzzTrackerHTTP(f *testing.F) {
 
 	f.Add("node0\n" + string(known) + "\n")
 	f.Add("node0\n" + string(known) + "\n" + string(known) + "\n") // duplicates
-	f.Add("-\n" + string(known) + "\n")                           // locate's no-exclude marker
-	f.Add("node0\n")                                              // no fingerprints
-	f.Add("\n" + string(known) + "\n")                            // empty holder
-	f.Add("two words\n" + string(known) + "\n")                   // holder with space
-	f.Add("with,comma\n" + string(known) + "\n")                  // holder with comma
-	f.Add("node0\nzzzz\n")                                        // malformed fingerprint
-	f.Add("node0\nd41d8cd98f00b204e9800998ecf8427e-c2\n")         // collision id form
+	f.Add("-\n" + string(known) + "\n")                            // locate's no-exclude marker
+	f.Add("node0\n")                                               // no fingerprints
+	f.Add("\n" + string(known) + "\n")                             // empty holder
+	f.Add("two words\n" + string(known) + "\n")                    // holder with space
+	f.Add("with,comma\n" + string(known) + "\n")                   // holder with comma
+	f.Add("node0\nzzzz\n")                                         // malformed fingerprint
+	f.Add("node0\nd41d8cd98f00b204e9800998ecf8427e-c2\n")          // collision id form
 	f.Add("")
 	f.Add("\n\n\n")
 	f.Add(string(known) + " node0,node1\n") // response-shaped input

@@ -1,0 +1,56 @@
+package prefetch
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/gear-image/gear/internal/hashing"
+)
+
+// FuzzDecodeProfile: the startup-profile decoder must never panic on
+// arbitrary bytes, and everything it accepts must satisfy the profile
+// invariants and survive a re-encode/re-decode round trip unchanged —
+// what the store relies on when it persists a replayed profile back.
+func FuzzDecodeProfile(f *testing.F) {
+	valid := &Profile{ImageRef: "gear/nginx:v01", Entries: []Entry{
+		{Fingerprint: hashing.FingerprintBytes([]byte("a")), Size: 10},
+		{Fingerprint: hashing.FingerprintBytes([]byte("b")), Size: 0},
+		{Fingerprint: hashing.Fingerprint("d41d8cd98f00b204e9800998ecf8427e-c2"), Size: 7},
+	}}
+	if data, err := Encode(valid); err == nil {
+		f.Add(data)
+		f.Add(data[:len(data)-1])            // truncated
+		f.Add(append(data, 0))               // trailing byte
+		skew := append([]byte(nil), data...) // version skew
+		skew[3] = '9'
+		f.Add(skew)
+	}
+	if data, err := Encode(&Profile{ImageRef: ""}); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte("GPF1"))
+	f.Add([]byte("GPF"))
+	f.Add([]byte{})
+	f.Add([]byte("GPF1\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01")) // huge varint count
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted profile fails validation: %v", err)
+		}
+		re, err := Encode(p)
+		if err != nil {
+			t.Fatalf("accepted profile does not re-encode: %v", err)
+		}
+		back, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded profile does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(back, p) {
+			t.Fatal("decode(encode(p)) != p")
+		}
+	})
+}

@@ -1,0 +1,258 @@
+package prefetch
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/gear-image/gear/internal/hashing"
+)
+
+// HTTP wire protocol, styled after the peer tracker's handlers
+// (newline-framed text bodies, status codes as verdicts):
+//
+//	GET  /profile/list          -> one "<ref> <entries> <bytes>" line
+//	                               per persisted profile
+//	GET  /profile/dump/{ref}    -> "<ref> <entries> <bytes>" header line,
+//	                               then one "<fingerprint> <size>" line
+//	                               per entry in first-access order
+//	POST /profile/delete/{ref}  -> "ok"
+//
+// Image references contain ':' and '/', so {ref} is the remainder of
+// the path, not a single segment. Refs with whitespace cannot ride the
+// line framing and are rejected at both ends.
+
+// LibraryHandler adapts a Library to HTTP so gearctl (and fleet
+// tooling) can inspect and prune a daemon's persisted profiles.
+type LibraryHandler struct {
+	lib *Library
+}
+
+var _ http.Handler = (*LibraryHandler)(nil)
+
+// NewLibraryHandler wraps lib.
+func NewLibraryHandler(lib *Library) *LibraryHandler { return &LibraryHandler{lib: lib} }
+
+// ServeHTTP implements http.Handler.
+func (h *LibraryHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/profile/list":
+		h.serveList(w, r)
+	case strings.HasPrefix(r.URL.Path, "/profile/dump/"):
+		h.serveDump(w, r, strings.TrimPrefix(r.URL.Path, "/profile/dump/"))
+	case strings.HasPrefix(r.URL.Path, "/profile/delete/"):
+		h.serveDelete(w, r, strings.TrimPrefix(r.URL.Path, "/profile/delete/"))
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (h *LibraryHandler) serveList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	for _, info := range h.lib.List() {
+		if validateRef(info.Ref) != nil {
+			continue // unframeable ref cannot ride the wire
+		}
+		fmt.Fprintf(w, "%s %d %d\n", info.Ref, info.Entries, info.Bytes)
+	}
+}
+
+func (h *LibraryHandler) serveDump(w http.ResponseWriter, r *http.Request, ref string) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	if err := validateRef(ref); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	p, err := h.lib.Get(ref)
+	if err != nil {
+		status := http.StatusNotFound
+		if !errors.Is(err, ErrNoProfile) {
+			// Present but undecodable: the honest verdict is 500, not 404.
+			status = http.StatusInternalServerError
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintf(w, "%s %d %d\n", p.ImageRef, len(p.Entries), p.TotalBytes())
+	for _, e := range p.Entries {
+		fmt.Fprintf(w, "%s %d\n", e.Fingerprint, e.Size)
+	}
+}
+
+func (h *LibraryHandler) serveDelete(w http.ResponseWriter, r *http.Request, ref string) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	if err := validateRef(ref); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !h.lib.Delete(ref) {
+		http.Error(w, fmt.Sprintf("prefetch: %s: %v", ref, ErrNoProfile), http.StatusNotFound)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// validateRef rejects image references the line framing cannot carry.
+func validateRef(ref string) error {
+	if ref == "" {
+		return errors.New("prefetch: empty image reference")
+	}
+	if strings.ContainsAny(ref, " \t\n\r") {
+		return fmt.Errorf("prefetch: image reference %q contains whitespace", ref)
+	}
+	return nil
+}
+
+// LibraryClient talks to a remote profile library over HTTP — the
+// gearctl profile subcommand's transport.
+type LibraryClient struct {
+	base string
+	http *http.Client
+}
+
+// NewLibraryClient returns a client for the library served at baseURL.
+// If hc is nil, http.DefaultClient is used.
+func NewLibraryClient(baseURL string, hc *http.Client) *LibraryClient {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &LibraryClient{base: strings.TrimSuffix(baseURL, "/"), http: hc}
+}
+
+// List fetches the profile listing.
+func (c *LibraryClient) List() ([]Info, error) {
+	out, err := c.get("/profile/list")
+	if err != nil {
+		return nil, err
+	}
+	var infos []Info
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		info, err := parseListLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("prefetch client: list: %w", err)
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
+}
+
+// Dump fetches ref's full profile (entries in first-access order).
+func (c *LibraryClient) Dump(ref string) (*Profile, error) {
+	if err := validateRef(ref); err != nil {
+		return nil, err
+	}
+	out, err := c.get("/profile/dump/" + ref)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(string(out), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) == "" {
+		return nil, fmt.Errorf("prefetch client: dump %s: empty response", ref)
+	}
+	header, err := parseListLine(strings.TrimSpace(lines[0]))
+	if err != nil {
+		return nil, fmt.Errorf("prefetch client: dump %s: %w", ref, err)
+	}
+	p := &Profile{ImageRef: header.Ref}
+	for _, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("prefetch client: dump %s: malformed entry %q", ref, line)
+		}
+		fp := hashing.Fingerprint(fields[0])
+		if err := fp.Validate(); err != nil {
+			return nil, fmt.Errorf("prefetch client: dump %s: %w", ref, err)
+		}
+		size, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || size < 0 {
+			return nil, fmt.Errorf("prefetch client: dump %s: bad size %q", ref, fields[1])
+		}
+		p.Entries = append(p.Entries, Entry{Fingerprint: fp, Size: size})
+	}
+	if len(p.Entries) != header.Entries {
+		return nil, fmt.Errorf("prefetch client: dump %s: %d entries, header says %d",
+			ref, len(p.Entries), header.Entries)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("prefetch client: dump %s: %w", ref, err)
+	}
+	return p, nil
+}
+
+// Delete removes ref's profile from the remote library.
+func (c *LibraryClient) Delete(ref string) error {
+	if err := validateRef(ref); err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+"/profile/delete/"+ref, "text/plain", strings.NewReader(""))
+	if err != nil {
+		return fmt.Errorf("prefetch client: delete: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("prefetch client: delete: %s: %s", resp.Status, strings.TrimSpace(string(out)))
+	}
+	return nil
+}
+
+func (c *LibraryClient) get(path string) ([]byte, error) {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return nil, fmt.Errorf("prefetch client: %s: %w", path, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("prefetch client: %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("prefetch client: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(out)))
+	}
+	return out, nil
+}
+
+// parseListLine decodes one "<ref> <entries> <bytes>" listing line.
+func parseListLine(line string) (Info, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return Info{}, fmt.Errorf("malformed listing line %q", line)
+	}
+	if err := validateRef(fields[0]); err != nil {
+		return Info{}, err
+	}
+	entries, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Info{}, fmt.Errorf("listing line %q: bad entry count: %w", line, err)
+	}
+	bytes, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil || bytes < 0 {
+		return Info{}, fmt.Errorf("listing line %q: bad byte count", line)
+	}
+	return Info{Ref: fields[0], Entries: entries, Bytes: bytes}, nil
+}

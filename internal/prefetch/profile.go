@@ -1,0 +1,312 @@
+// Package prefetch implements profile-guided startup prefetch for Gear
+// deployments. The paper's lazy deployment (§III-D) pulls only the
+// files a container touches, but every *first* touch is a blocking
+// demand miss over the WAN. Seekable OCI's prioritized lazy loading
+// shows that the access order of one run predicts the next: this
+// package records the ordered, deduplicated access trace of a deploy
+// as a versioned **startup profile**, persists it alongside the
+// level-2 index, and lets the next deploy of the same image replay the
+// profile through a background prefetcher so files are already in the
+// shared level-1 cache when the container asks for them.
+//
+// The package has three pieces:
+//
+//	Profile  — the persisted artifact: (fingerprint, size) entries in
+//	           first-access order, with a versioned binary codec;
+//	Recorder — collects a deploy's first accesses in order;
+//	Library  — stores encoded profiles keyed by image reference, with
+//	           an HTTP surface (list/dump/delete) styled after the
+//	           peer tracker's handlers.
+//
+// The store-side scheduler that replays profiles under demand priority
+// lives in internal/gear/store; this package is policy-free data.
+package prefetch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/gear-image/gear/internal/hashing"
+)
+
+// Errors returned by the profile codec.
+var (
+	// ErrCorrupt reports a profile that fails structural validation:
+	// bad magic, truncation, trailing bytes, invalid fingerprints, or
+	// duplicated entries. Callers fall back to no-prefetch.
+	ErrCorrupt = errors.New("corrupt startup profile")
+	// ErrVersion reports a profile written by a different codec
+	// version. Callers fall back to no-prefetch rather than guess.
+	ErrVersion = errors.New("unsupported startup profile version")
+)
+
+// Entry is one first-accessed file of a startup profile. Its position
+// in Profile.Entries is the first-access sequence number.
+type Entry struct {
+	// Fingerprint identifies the Gear file (or collision-fallback id).
+	Fingerprint hashing.Fingerprint `json:"fingerprint"`
+	// Size is the file's content size in bytes, used to budget and to
+	// report profile coverage without fetching anything.
+	Size int64 `json:"size"`
+}
+
+// Profile is the recorded startup access trace of one image: every
+// distinct Gear file the deploy touched, in first-access order.
+type Profile struct {
+	// ImageRef is the image the profile describes ("name:tag").
+	ImageRef string `json:"imageRef"`
+	// Entries is the deduplicated access order.
+	Entries []Entry `json:"entries"`
+}
+
+// TotalBytes is the byte volume the profile covers.
+func (p *Profile) TotalBytes() int64 {
+	var n int64
+	for _, e := range p.Entries {
+		n += e.Size
+	}
+	return n
+}
+
+// Truncate returns a copy of the profile keeping only the first frac
+// (0..1) of its entries — the head of the access order, which is what
+// a partially recorded run would have captured. Used by the coverage
+// sweep of the extprefetch experiment.
+func (p *Profile) Truncate(frac float64) *Profile {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(float64(len(p.Entries)) * frac)
+	out := &Profile{ImageRef: p.ImageRef, Entries: make([]Entry, n)}
+	copy(out.Entries, p.Entries[:n])
+	return out
+}
+
+// Validate checks the profile's invariants: valid, deduplicated
+// fingerprints and non-negative sizes.
+func (p *Profile) Validate() error {
+	seen := make(map[hashing.Fingerprint]bool, len(p.Entries))
+	for i, e := range p.Entries {
+		if err := e.Fingerprint.Validate(); err != nil {
+			return fmt.Errorf("prefetch: entry %d: %w", i, err)
+		}
+		if e.Size < 0 {
+			return fmt.Errorf("prefetch: entry %d: negative size %d: %w", i, e.Size, ErrCorrupt)
+		}
+		if seen[e.Fingerprint] {
+			return fmt.Errorf("prefetch: entry %d: duplicate fingerprint %s: %w", i, e.Fingerprint, ErrCorrupt)
+		}
+		seen[e.Fingerprint] = true
+	}
+	return nil
+}
+
+// Versioned binary codec. Profiles ride next to the level-2 index and
+// are pure overhead on top of it, so they use the index codec's compact
+// conventions: raw 16-byte MD5 fingerprints and varints.
+//
+// Layout:
+//
+//	magic "GPF" + version byte '1'
+//	string imageRef
+//	uvarint nentries
+//	nentries × (fingerprint, uvarint size)
+//	fingerprint: byte tag 0 + 16 raw bytes (plain MD5), or
+//	             byte tag 1 + string     (collision-fallback IDs)
+//	string: uvarint len + bytes
+var (
+	profileMagic   = []byte("GPF")
+	profileVersion = byte('1')
+)
+
+// Encode renders the profile in the versioned binary form.
+func Encode(p *Profile) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Write(profileMagic)
+	buf.WriteByte(profileVersion)
+	writeString(&buf, p.ImageRef)
+	writeUvarint(&buf, uint64(len(p.Entries)))
+	for _, e := range p.Entries {
+		if err := writeFingerprint(&buf, e.Fingerprint); err != nil {
+			return nil, err
+		}
+		writeUvarint(&buf, uint64(e.Size))
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses and validates an encoded profile. A wrong-version
+// profile returns ErrVersion; anything structurally wrong returns
+// ErrCorrupt. Both mean "deploy without prefetch".
+func Decode(data []byte) (*Profile, error) {
+	r := bytes.NewReader(data)
+	magic := make([]byte, len(profileMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, profileMagic) {
+		return nil, fmt.Errorf("prefetch: decode: bad magic: %w", ErrCorrupt)
+	}
+	version, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("prefetch: decode: missing version: %w", ErrCorrupt)
+	}
+	if version != profileVersion {
+		return nil, fmt.Errorf("prefetch: decode: version %q, built for %q: %w",
+			version, profileVersion, ErrVersion)
+	}
+	ref, err := readString(r)
+	if err != nil {
+		return nil, fmt.Errorf("prefetch: decode ref: %w: %w", ErrCorrupt, err)
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("prefetch: decode count: %w: %w", ErrCorrupt, err)
+	}
+	// Every entry costs at least 2 encoded bytes; reject counts the
+	// remaining payload cannot possibly hold before allocating.
+	if n > uint64(r.Len()) {
+		return nil, fmt.Errorf("prefetch: decode: %d entries in %d bytes: %w", n, r.Len(), ErrCorrupt)
+	}
+	p := &Profile{ImageRef: ref, Entries: make([]Entry, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		fp, err := readFingerprint(r)
+		if err != nil {
+			return nil, fmt.Errorf("prefetch: decode entry %d: %w: %w", i, ErrCorrupt, err)
+		}
+		size, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("prefetch: decode entry %d size: %w: %w", i, ErrCorrupt, err)
+		}
+		p.Entries = append(p.Entries, Entry{Fingerprint: fp, Size: int64(size)})
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("prefetch: decode: %d trailing bytes: %w", r.Len(), ErrCorrupt)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	writeUvarint(buf, uint64(len(s)))
+	buf.WriteString(s)
+}
+
+func readString(r *bytes.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.Len()) {
+		return "", fmt.Errorf("string length %d exceeds %d remaining bytes", n, r.Len())
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func writeFingerprint(buf *bytes.Buffer, fp hashing.Fingerprint) error {
+	if len(fp) == 32 {
+		raw, err := hex.DecodeString(string(fp))
+		if err == nil && len(raw) == 16 {
+			buf.WriteByte(0)
+			buf.Write(raw)
+			return nil
+		}
+	}
+	if err := fp.Validate(); err != nil {
+		return err
+	}
+	buf.WriteByte(1)
+	writeString(buf, string(fp))
+	return nil
+}
+
+func readFingerprint(r *bytes.Reader) (hashing.Fingerprint, error) {
+	tag, err := r.ReadByte()
+	if err != nil {
+		return "", err
+	}
+	switch tag {
+	case 0:
+		raw := make([]byte, 16)
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return "", err
+		}
+		return hashing.Fingerprint(hex.EncodeToString(raw)), nil
+	case 1:
+		s, err := readString(r)
+		if err != nil {
+			return "", err
+		}
+		fp := hashing.Fingerprint(s)
+		if err := fp.Validate(); err != nil {
+			return "", err
+		}
+		return fp, nil
+	default:
+		return "", fmt.Errorf("unknown fingerprint tag %d", tag)
+	}
+}
+
+// Recorder collects one image's access trace: the first access of each
+// distinct fingerprint, in order. It is safe for concurrent use — the
+// store's resolver calls it from every faulting read.
+type Recorder struct {
+	mu      sync.Mutex
+	seen    map[hashing.Fingerprint]bool
+	entries []Entry
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{seen: make(map[hashing.Fingerprint]bool)}
+}
+
+// Record notes an access. Repeat accesses of the same fingerprint and
+// invalid fingerprints are ignored.
+func (r *Recorder) Record(fp hashing.Fingerprint, size int64) {
+	if !fp.Valid() || size < 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen[fp] {
+		return
+	}
+	r.seen[fp] = true
+	r.entries = append(r.entries, Entry{Fingerprint: fp, Size: size})
+}
+
+// Len returns the number of distinct fingerprints recorded.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// Snapshot returns the trace recorded so far as a Profile for ref.
+func (r *Recorder) Snapshot(ref string) *Profile {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := &Profile{ImageRef: ref, Entries: make([]Entry, len(r.entries))}
+	copy(p.Entries, r.entries)
+	return p
+}
