@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/gear-image/gear/internal/experiments"
+	"github.com/gear-image/gear/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func run() error {
 		seed     = flag.Int64("seed", 0, "override corpus seed")
 		versions = flag.Int("versions", 0, "cap versions per series (0 = all)")
 		series   = flag.Int("series-per-category", 0, "cap series per category (0 = all)")
+		metrics  = flag.String("metrics", "", "write the run's unified telemetry snapshot (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -57,6 +59,22 @@ func run() error {
 	}
 	if *series > 0 {
 		cfg.SeriesPerCategory = *series
+	}
+	if *metrics != "" {
+		// One registry across the whole run: every daemon the experiments
+		// build publishes into it, and the snapshot lands in one artifact.
+		cfg.Telemetry = telemetry.NewRegistry()
+		defer func() {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchreport: metrics:", err)
+				return
+			}
+			defer f.Close()
+			if err := telemetry.EncodeSnapshot(f, cfg.Telemetry.Snapshot()); err != nil {
+				fmt.Fprintln(os.Stderr, "benchreport: metrics:", err)
+			}
+		}()
 	}
 
 	if *jsonOut {

@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"github.com/gear-image/gear/internal/registry"
+	"github.com/gear-image/gear/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func run() error {
 		fmt.Fprintf(w, "manifests=%d blobs=%d blobBytes=%d manifestBytes=%d dedupHits=%d\n",
 			s.Manifests, s.Blobs, s.BlobBytes, s.ManifestBytes, s.DedupHits)
 	})
+	mux.Handle("/metrics", telemetry.Handler(reg))
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"github.com/gear-image/gear/internal/gearregistry"
+	"github.com/gear-image/gear/internal/telemetry"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func run() error {
 		fmt.Fprintf(w, "objects=%d storedBytes=%d logicalBytes=%d dedupHits=%d\n",
 			s.Objects, s.StoredBytes, s.LogicalBytes, s.DedupHits)
 	})
+	mux.Handle("/metrics", telemetry.Handler(reg))
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -12,6 +12,7 @@
 //	gearctl gc     -docker URL -gear URL
 //	gearctl peers  -tracker URL
 //	gearctl profile -library URL [-dump name:tag | -delete name:tag]
+//	gearctl stats  -url URL [-path /metrics] [-json] [-diff FILE] [-save FILE]
 //
 // The deploy subcommand's -mode selects the Docker baseline ("docker",
 // full image pull) or Gear ("gear", lazy index pull). Bandwidth is the
@@ -21,6 +22,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -36,6 +39,7 @@ import (
 	"github.com/gear-image/gear/internal/peer"
 	"github.com/gear-image/gear/internal/prefetch"
 	"github.com/gear-image/gear/internal/registry"
+	"github.com/gear-image/gear/internal/telemetry"
 )
 
 func main() {
@@ -64,8 +68,10 @@ func run(args []string) error {
 		return cmdPeers(args[1:])
 	case "profile":
 		return cmdProfile(args[1:])
+	case "stats":
+		return cmdStats(args[1:], os.Stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want seed, list, index, deploy, gc, peers, or profile)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want seed, list, index, deploy, gc, peers, profile, or stats)", args[0])
 	}
 }
 
@@ -306,6 +312,71 @@ func cmdProfile(args []string) error {
 			fmt.Printf("%s %d entries %d B\n", info.Ref, info.Entries, info.Bytes)
 		}
 	}
+	return nil
+}
+
+// cmdStats fetches a server's unified telemetry snapshot (any endpoint
+// serving telemetry.Handler: a gear-registry's or docker-registry's
+// /metrics, a tracker's /peer/metrics, a library's /profile/metrics),
+// optionally diffs it against a previously saved snapshot, and renders
+// it as text or JSON. -save persists the raw (undiffed) snapshot so a
+// later invocation can -diff against it.
+func cmdStats(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	var (
+		url      = fs.String("url", "http://localhost:7001", "server base URL")
+		path     = fs.String("path", "/metrics", "metrics endpoint path")
+		jsonOut  = fs.Bool("json", false, "emit the snapshot as JSON instead of text")
+		diffFile = fs.String("diff", "", "subtract the snapshot saved in this file before printing")
+		saveFile = fs.String("save", "", "write the raw snapshot (JSON) to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := http.Get(strings.TrimSuffix(*url, "/") + *path)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stats: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	snap, err := telemetry.DecodeSnapshot(body)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if *saveFile != "" {
+		f, err := os.Create(*saveFile)
+		if err != nil {
+			return fmt.Errorf("stats: save: %w", err)
+		}
+		err = telemetry.EncodeSnapshot(f, snap)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("stats: save: %w", err)
+		}
+	}
+	if *diffFile != "" {
+		prev, err := os.ReadFile(*diffFile)
+		if err != nil {
+			return fmt.Errorf("stats: diff: %w", err)
+		}
+		prevSnap, err := telemetry.DecodeSnapshot(prev)
+		if err != nil {
+			return fmt.Errorf("stats: diff: %w", err)
+		}
+		snap = snap.Diff(prevSnap)
+	}
+	if *jsonOut {
+		return telemetry.EncodeSnapshot(out, snap)
+	}
+	telemetry.WriteText(out, snap)
 	return nil
 }
 

@@ -1,7 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -10,7 +16,10 @@ import (
 	"github.com/gear-image/gear/internal/peer"
 	"github.com/gear-image/gear/internal/prefetch"
 	"github.com/gear-image/gear/internal/registry"
+	"github.com/gear-image/gear/internal/telemetry"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestSplitRef(t *testing.T) {
 	tests := []struct {
@@ -134,5 +143,100 @@ func TestProfileSubcommand(t *testing.T) {
 	if err := run([]string{"profile", "-library", srv.URL,
 		"-dump", "a:b", "-delete", "a:b"}); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
 		t.Errorf("mixed actions err = %v", err)
+	}
+}
+
+// statsRegistry builds a deterministic fixture resembling a daemon's
+// registry, for golden-file rendering of the stats subcommand.
+func statsRegistry() *telemetry.Registry {
+	reg := telemetry.NewRegistry()
+	reg.Counter("store.remote.objects").Add(40)
+	reg.Counter("store.remote.bytes").Add(1_048_576)
+	reg.Counter("store.prefetch.hits").Add(25)
+	reg.Counter("cache.hits").Add(90)
+	reg.Counter("cache.misses").Add(40)
+	reg.Gauge("cache.bytes").Set(524_288)
+	reg.Gauge("store.indexes").Set(2)
+	h := reg.Histogram("store.demand.stall", telemetry.DefaultLatencyBounds)
+	h.Observe(100_000)
+	h.Observe(40_000_000)
+	return reg
+}
+
+func checkStatsGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (rerun with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestStatsSubcommand drives gearctl stats against a live /metrics
+// endpoint: golden text and JSON rendering, plus the -save / -diff
+// round trip used for before/after deltas.
+func TestStatsSubcommand(t *testing.T) {
+	reg := statsRegistry()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Handler(reg))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var text bytes.Buffer
+	if err := cmdStats([]string{"-url", srv.URL}, &text); err != nil {
+		t.Fatalf("gearctl stats: %v", err)
+	}
+	checkStatsGolden(t, "stats.txt", text.Bytes())
+
+	var js bytes.Buffer
+	if err := cmdStats([]string{"-url", srv.URL, "-json"}, &js); err != nil {
+		t.Fatalf("gearctl stats -json: %v", err)
+	}
+	checkStatsGolden(t, "stats.json", js.Bytes())
+
+	// Save a baseline, publish more traffic, and diff: only the delta
+	// shows for counters while gauges keep their current values.
+	saved := filepath.Join(t.TempDir(), "before.json")
+	if err := cmdStats([]string{"-url", srv.URL, "-save", saved}, io.Discard); err != nil {
+		t.Fatalf("gearctl stats -save: %v", err)
+	}
+	reg.Counter("store.remote.objects").Add(5)
+	reg.Gauge("cache.bytes").Set(600_000)
+	var diff bytes.Buffer
+	if err := cmdStats([]string{"-url", srv.URL, "-json", "-diff", saved}, &diff); err != nil {
+		t.Fatalf("gearctl stats -diff: %v", err)
+	}
+	snap, err := telemetry.DecodeSnapshot(diff.Bytes())
+	if err != nil {
+		t.Fatalf("decode diff output: %v", err)
+	}
+	if got := snap.Counter("store.remote.objects"); got != 5 {
+		t.Errorf("diffed counter = %d, want 5", got)
+	}
+	if got := snap.Counter("cache.hits"); got != 0 {
+		t.Errorf("unchanged counter diff = %d, want 0", got)
+	}
+	if got := snap.Gauge("cache.bytes"); got != 600_000 {
+		t.Errorf("gauge after diff = %d, want current value 600000", got)
+	}
+
+	// Error paths: dead server, and a diff file that does not exist.
+	srv.Close()
+	if err := cmdStats([]string{"-url", srv.URL}, io.Discard); err == nil {
+		t.Error("stats against a dead server succeeded")
+	}
+	if err := cmdStats([]string{"-url", srv.URL, "-diff", "/nonexistent"}, io.Discard); err == nil {
+		t.Error("stats with a missing diff file succeeded")
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"net/http"
 
 	"github.com/gear-image/gear/internal/cache"
+	"github.com/gear-image/gear/internal/clientopt"
 	"github.com/gear-image/gear/internal/corpus"
 	"github.com/gear-image/gear/internal/dedup"
 	"github.com/gear-image/gear/internal/dockersim"
@@ -50,8 +51,11 @@ import (
 	"github.com/gear-image/gear/internal/hashing"
 	"github.com/gear-image/gear/internal/imagefmt"
 	"github.com/gear-image/gear/internal/netsim"
+	"github.com/gear-image/gear/internal/peer"
+	"github.com/gear-image/gear/internal/prefetch"
 	"github.com/gear-image/gear/internal/registry"
 	"github.com/gear-image/gear/internal/slacker"
+	"github.com/gear-image/gear/internal/telemetry"
 	"github.com/gear-image/gear/internal/vfs"
 )
 
@@ -299,6 +303,88 @@ const (
 // NewDedupAnalyzer returns an analyzer using chunkSize for the chunk row.
 func NewDedupAnalyzer(chunkSize int64) (*DedupAnalyzer, error) {
 	return dedup.NewAnalyzer(chunkSize)
+}
+
+// Observability. Every long-lived component (Daemon, FileStore,
+// Registry, Tracker, profile Library) publishes typed metrics into a
+// MetricsRegistry and answers StatsSnapshot() with the same unified,
+// JSON-marshalable shape — the payload MetricsHandler serves on
+// /metrics and `gearctl stats` diffs and pretty-prints. The legacy
+// per-package Stats accessors remain as views over the same handles,
+// so their counters reconcile exactly with the snapshot.
+type (
+	// MetricsRegistry is a process- or component-scoped set of named
+	// counters, gauges, and latency histograms with atomic hot paths.
+	MetricsRegistry = telemetry.Registry
+	// StatsSnapshot is the unified point-in-time view of a
+	// MetricsRegistry: JSON-marshalable, diffable, and validatable.
+	StatsSnapshot = telemetry.Snapshot
+	// TraceSpan is one structured fetch-path trace event (deploy phase,
+	// fetch window, or blocking fault) from a Daemon's trace ring or
+	// Deployment.Trace.
+	TraceSpan = telemetry.Span
+	// TraceRing is a bounded in-memory span buffer.
+	TraceRing = telemetry.TraceRing
+	// ClientOptions is the shared HTTP client configuration (retries,
+	// backoff, timeout) accepted by every *WithOptions constructor.
+	ClientOptions = clientopt.Options
+	// Tracker maps Gear-file fingerprints to the cluster nodes holding
+	// them (peer-to-peer distribution).
+	Tracker = peer.Tracker
+	// TrackerClient speaks to a remote Tracker over HTTP.
+	TrackerClient = peer.TrackerClient
+	// ProfileLibrary persists startup profiles for prefetch-guided
+	// deploys.
+	ProfileLibrary = prefetch.Library
+)
+
+// NewMetricsRegistry returns an empty metrics registry, typically
+// passed to DaemonOptions.Telemetry, FileStoreOptions.Telemetry, or
+// ExperimentConfig.Telemetry so several components share one snapshot.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// MetricsHandler serves src's snapshot as indented JSON on GET — the
+// /metrics endpoint every bundled server mounts.
+func MetricsHandler(src telemetry.Snapshotter) http.Handler { return telemetry.Handler(src) }
+
+// NewTracker returns an empty peer tracker publishing into a private
+// metrics registry.
+func NewTracker() *Tracker { return peer.NewTracker() }
+
+// TrackerHandler serves a Tracker over HTTP (including /peer/metrics).
+func TrackerHandler(t *Tracker) http.Handler { return peer.NewTrackerHandler(t) }
+
+// NewTrackerClient returns a client for the tracker at baseURL.
+func NewTrackerClient(baseURL string, hc *http.Client) *TrackerClient {
+	return peer.NewTrackerClient(baseURL, hc)
+}
+
+// NewTrackerClientWithOptions is NewTrackerClient with the shared
+// retry/backoff/timeout client configuration.
+func NewTrackerClientWithOptions(baseURL string, o ClientOptions) *TrackerClient {
+	return peer.NewTrackerClientWithOptions(baseURL, o)
+}
+
+// NewFileStoreClientWithOptions is NewFileStoreClient with the shared
+// retry/backoff/timeout client configuration; with Retries > 0 the
+// returned store transparently retries transient failures.
+func NewFileStoreClientWithOptions(baseURL string, o ClientOptions) (GearStore, error) {
+	return gearregistry.NewClientWithOptions(baseURL, o)
+}
+
+// NewProfileLibrary returns an empty startup-profile library.
+func NewProfileLibrary() *ProfileLibrary { return prefetch.NewLibrary() }
+
+// ProfileLibraryHandler serves a ProfileLibrary over HTTP (including
+// /profile/metrics).
+func ProfileLibraryHandler(lib *ProfileLibrary) http.Handler {
+	return prefetch.NewLibraryHandler(lib)
+}
+
+// NewProfileLibraryClient returns a client for the library at baseURL
+// with the shared retry/backoff/timeout client configuration.
+func NewProfileLibraryClient(baseURL string, o ClientOptions) *prefetch.LibraryClient {
+	return prefetch.NewLibraryClientWithOptions(baseURL, o)
 }
 
 // Experiments.

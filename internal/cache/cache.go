@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/telemetry"
 	"github.com/gear-image/gear/internal/vfs"
 )
 
@@ -77,27 +78,46 @@ type Cache struct {
 	policy   Policy
 	entries  map[hashing.Fingerprint]*entry
 	order    *list.List // front = next eviction candidate
-	used     int64
 	hooks    Hooks
 
-	hits, misses, evictions int64
+	// Telemetry handles are the counters' storage — Stats is a view
+	// over them, so a shared registry sees cache traffic live. The
+	// byte gauge (occupancy) is only mutated under mu.
+	objects   *telemetry.Gauge
+	bytes     *telemetry.Gauge
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	evictions *telemetry.Counter
 }
 
 // New returns a cache with the given byte capacity (0 = unlimited) and
-// replacement policy.
+// replacement policy, publishing into a private telemetry registry.
 func New(capacity int64, policy Policy) (*Cache, error) {
+	return NewTelemetered(capacity, policy, nil)
+}
+
+// NewTelemetered is New publishing cache.* metrics into reg (nil gets
+// live unregistered handles, making telemetry impossible to forget).
+func NewTelemetered(capacity int64, policy Policy, reg *telemetry.Registry) (*Cache, error) {
 	if policy != FIFO && policy != LRU {
 		return nil, fmt.Errorf("cache: policy %d: %w", policy, ErrBadPolicy)
 	}
 	if capacity < 0 {
 		return nil, fmt.Errorf("cache: negative capacity: %w", ErrTooLarge)
 	}
-	return &Cache{
-		capacity: capacity,
-		policy:   policy,
-		entries:  make(map[hashing.Fingerprint]*entry),
-		order:    list.New(),
-	}, nil
+	c := &Cache{
+		capacity:  capacity,
+		policy:    policy,
+		entries:   make(map[hashing.Fingerprint]*entry),
+		order:     list.New(),
+		objects:   reg.Gauge("cache.objects"),
+		bytes:     reg.Gauge("cache.bytes"),
+		hits:      reg.Counter("cache.hits"),
+		misses:    reg.Counter("cache.misses"),
+		evictions: reg.Counter("cache.evictions"),
+	}
+	reg.Gauge("cache.capacity").Set(capacity)
+	return c, nil
 }
 
 // SetHooks installs membership hooks. Install them before the cache
@@ -116,10 +136,10 @@ func (c *Cache) Get(fp hashing.Fingerprint) (*vfs.Content, bool) {
 	defer c.mu.Unlock()
 	e, ok := c.entries[fp]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return nil, false
 	}
-	c.hits++
+	c.hits.Inc()
 	if c.policy == LRU {
 		c.order.MoveToBack(e.elem)
 	}
@@ -177,7 +197,8 @@ func (c *Cache) Put(fp hashing.Fingerprint, data []byte) (*vfs.Content, error) {
 	e := &entry{fp: fp, content: content}
 	e.elem = c.order.PushBack(e)
 	c.entries[fp] = e
-	c.used += size
+	c.objects.Add(1)
+	c.bytes.Add(size)
 	hooks := c.hooks
 	c.mu.Unlock()
 	fireEvicts(hooks, evicted)
@@ -196,7 +217,7 @@ func (c *Cache) makeRoom(size int64) []*entry {
 	}
 	var evicted []*entry
 	elem := c.order.Front()
-	for c.used+size > c.capacity && elem != nil {
+	for c.bytes.Value()+size > c.capacity && elem != nil {
 		next := elem.Next()
 		e, ok := elem.Value.(*entry)
 		if !ok {
@@ -216,8 +237,9 @@ func (c *Cache) makeRoom(size int64) []*entry {
 func (c *Cache) removeLocked(e *entry) {
 	c.order.Remove(e.elem)
 	delete(c.entries, e.fp)
-	c.used -= e.content.Size()
-	c.evictions++
+	c.objects.Add(-1)
+	c.bytes.Add(-e.content.Size())
+	c.evictions.Inc()
 }
 
 // fireEvicts delivers OnEvict for every removed entry, outside the lock.
@@ -241,7 +263,7 @@ func (c *Cache) Drop(fp hashing.Fingerprint) bool {
 		return false
 	}
 	c.removeLocked(e)
-	c.evictions-- // explicit drops are not policy evictions
+	c.evictions.Add(-1) // explicit drops are not policy evictions
 	hooks := c.hooks
 	c.mu.Unlock()
 	fireEvicts(hooks, []*entry{e})
@@ -253,18 +275,22 @@ func (c *Cache) Drop(fp hashing.Fingerprint) bool {
 func (c *Cache) Clear() {
 	c.mu.Lock()
 	evicted := make([]*entry, 0, len(c.entries))
+	var freed int64
 	for _, e := range c.entries {
 		evicted = append(evicted, e)
+		freed += e.content.Size()
 	}
 	c.entries = make(map[hashing.Fingerprint]*entry)
 	c.order.Init()
-	c.used = 0
+	c.objects.Add(-int64(len(evicted)))
+	c.bytes.Add(-freed)
 	hooks := c.hooks
 	c.mu.Unlock()
 	fireEvicts(hooks, evicted)
 }
 
-// Stats is a snapshot of cache effectiveness.
+// Stats is a snapshot of cache effectiveness: a view over the cache's
+// telemetry handles (cache.* metrics), kept for existing callers.
 type Stats struct {
 	Objects   int   `json:"objects"`
 	UsedBytes int64 `json:"usedBytes"`
@@ -289,10 +315,10 @@ func (c *Cache) Stats() Stats {
 	defer c.mu.Unlock()
 	return Stats{
 		Objects:   len(c.entries),
-		UsedBytes: c.used,
+		UsedBytes: c.bytes.Value(),
 		Capacity:  c.capacity,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
 	}
 }

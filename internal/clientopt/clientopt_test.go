@@ -1,0 +1,67 @@
+package clientopt
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZeroValueMeansSingleAttempt(t *testing.T) {
+	var o Options
+	if got := o.Attempts(); got != 1 {
+		t.Fatalf("zero options attempts = %d, want 1", got)
+	}
+	if hc := o.HTTPClient(); hc != nil {
+		t.Fatalf("zero options client = %v, want nil (caller default)", hc)
+	}
+	// Sleeps must all be immediate.
+	start := time.Now()
+	o.Sleep(0)
+	o.Sleep(1)
+	o.Sleep(100)
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("zero-backoff sleep blocked")
+	}
+}
+
+func TestAttempts(t *testing.T) {
+	cases := []struct {
+		retries int
+		want    int
+	}{
+		{-5, 1}, {0, 1}, {1, 2}, {3, 4},
+	}
+	for _, c := range cases {
+		o := Options{Retries: c.retries}
+		if got := o.Attempts(); got != c.want {
+			t.Errorf("Retries=%d: attempts = %d, want %d", c.retries, got, c.want)
+		}
+	}
+}
+
+func TestHTTPClientTimeout(t *testing.T) {
+	o := Options{Timeout: 3 * time.Second}
+	hc := o.HTTPClient()
+	if hc == nil || hc.Timeout != 3*time.Second {
+		t.Fatalf("client = %+v, want timeout 3s", hc)
+	}
+}
+
+func TestSleepBackoffDoubles(t *testing.T) {
+	o := Options{Backoff: time.Millisecond}
+	// Retry 3 should sleep Backoff << 2 = 4ms; just bound it loosely.
+	start := time.Now()
+	o.Sleep(3)
+	if d := time.Since(start); d < 4*time.Millisecond {
+		t.Fatalf("retry 3 slept %v, want >= 4ms", d)
+	}
+}
+
+func TestSleepCapped(t *testing.T) {
+	o := Options{Backoff: time.Microsecond}
+	// A huge retry index must not shift into absurd durations.
+	start := time.Now()
+	o.Sleep(1 << 20)
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("capped sleep took %v", d)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"github.com/gear-image/gear/internal/prefetch"
 	"github.com/gear-image/gear/internal/registry"
 	"github.com/gear-image/gear/internal/slacker"
+	"github.com/gear-image/gear/internal/telemetry"
 	"github.com/gear-image/gear/internal/vfs"
 )
 
@@ -130,6 +131,14 @@ type Options struct {
 	// Trace records a per-access event timeline on every deployment
 	// (path, bytes moved, cost), at some memory cost per deploy.
 	Trace bool
+	// Telemetry, if set, is the per-daemon metrics registry every
+	// component (store, cache, scheduler, peer exchange) publishes into.
+	// Nil creates a private registry, so Daemon.StatsSnapshot always
+	// works.
+	Telemetry *telemetry.Registry
+	// TraceCapacity bounds the daemon's fetch-path span ring. 0 selects
+	// telemetry.DefaultTraceCapacity.
+	TraceCapacity int
 }
 
 // withDefaults fills zero fields.
@@ -205,6 +214,8 @@ type Deployment struct {
 	PrefetchWasted int64
 	// Events is the run-phase access timeline (only with Options.Trace).
 	Events []AccessEvent
+	// spans are the deployment's phase-attribution records; see Trace.
+	spans []telemetry.Span
 
 	daemon *Daemon
 	// docker-mode state
@@ -220,6 +231,18 @@ type Deployment struct {
 
 // Total returns pull+prefetch+run time.
 func (d *Deployment) Total() time.Duration { return d.Pull.Time + d.Prefetch.Time + d.Run.Time }
+
+// Trace returns the deployment's phase-attribution spans: one span per
+// deploy phase that moved traffic (op "deploy.pull", "deploy.prefetch",
+// "deploy.run"), whose Bytes are exactly the WAN bytes netsim charged
+// that phase — summing them reconciles a deployment against the link's
+// own counters. The same spans are also recorded into the daemon's
+// TraceRing alongside per-fault spans from the store.
+func (d *Deployment) Trace() []telemetry.Span {
+	out := make([]telemetry.Span, len(d.spans))
+	copy(out, d.spans)
+	return out
+}
 
 // Daemon deploys containers. It is safe for concurrent use: distinct
 // containers can deploy in parallel (image pulls serialize on the local
@@ -249,6 +272,15 @@ type Daemon struct {
 	slackerSrv    *slacker.Server
 	slackerClient *slacker.Client
 
+	// tele is the per-daemon metrics registry every component publishes
+	// into; ring is the fetch-path span buffer shared with the store.
+	tele *telemetry.Registry
+	ring *telemetry.TraceRing
+
+	// net gauges mirror the links' counters on demand (StatsSnapshot).
+	wanBytes, wanRequests, wanElapsed *telemetry.Gauge
+	lanBytes, lanRequests, lanElapsed *telemetry.Gauge
+
 	nextID atomic.Int64
 }
 
@@ -269,13 +301,25 @@ func NewDaemon(docker registry.Store, gear gearregistry.Store, opts Options) (*D
 		}
 		peerLink = link
 	}
+	tele := opts.Telemetry
+	if tele == nil {
+		tele = telemetry.NewRegistry()
+	}
 	d := &Daemon{
-		opts:     opts,
-		docker:   docker,
-		gear:     gear,
-		link:     link,
-		peerLink: peerLink,
-		layers:   make(map[hashing.Digest]*imagefmt.Layer),
+		opts:        opts,
+		docker:      docker,
+		gear:        gear,
+		link:        link,
+		peerLink:    peerLink,
+		layers:      make(map[hashing.Digest]*imagefmt.Layer),
+		tele:        tele,
+		ring:        telemetry.NewTraceRing(opts.TraceCapacity),
+		wanBytes:    tele.Gauge("net.wan.bytes"),
+		wanRequests: tele.Gauge("net.wan.requests"),
+		wanElapsed:  tele.Gauge("net.wan.elapsed.ns"),
+		lanBytes:    tele.Gauge("net.lan.bytes"),
+		lanRequests: tele.Gauge("net.lan.requests"),
+		lanElapsed:  tele.Gauge("net.lan.elapsed.ns"),
 	}
 	var err error
 	d.gearStore, err = store.New(store.Options{
@@ -286,6 +330,8 @@ func NewDaemon(docker registry.Store, gear gearregistry.Store, opts Options) (*D
 		FetchWorkers:     max(opts.FetchWorkers, 1),
 		Profiles:         opts.Profiles,
 		PrefetchInflight: opts.PrefetchInflight,
+		Telemetry:        tele,
+		Trace:            d.ring,
 		OnRemoteFetch: func(objects int, bytes int64) {
 			d.link.TransferBatch(objects, bytes+int64(objects)*d.opts.GearRequestBytes)
 		},
@@ -327,6 +373,52 @@ func (d *Daemon) ConfigureSlacker(srv *slacker.Server) {
 // GearStore exposes the daemon's three-level Gear storage (cache stats,
 // commits).
 func (d *Daemon) GearStore() *store.Store { return d.gearStore }
+
+// Telemetry returns the per-daemon metrics registry every component
+// publishes into.
+func (d *Daemon) Telemetry() *telemetry.Registry { return d.tele }
+
+// TraceRing returns the daemon's fetch-path span buffer: per-fault
+// spans from the store plus the per-phase spans deploys record.
+func (d *Daemon) TraceRing() *telemetry.TraceRing { return d.ring }
+
+// StatsSnapshot returns the unified telemetry snapshot for this daemon.
+// The net.wan.*/net.lan.* gauges are refreshed from the links' own
+// counters at snapshot time, so the snapshot is a complete picture
+// without the links publishing on their hot path.
+func (d *Daemon) StatsSnapshot() telemetry.Snapshot {
+	wan := d.link.Stats()
+	d.wanBytes.Set(wan.Bytes)
+	d.wanRequests.Set(wan.Requests)
+	d.wanElapsed.Set(int64(wan.Elapsed))
+	if d.peerLink != d.link {
+		lan := d.peerLink.Stats()
+		d.lanBytes.Set(lan.Bytes)
+		d.lanRequests.Set(lan.Requests)
+		d.lanElapsed.Set(int64(lan.Elapsed))
+	}
+	return d.tele.Snapshot()
+}
+
+// Snapshot implements telemetry.Snapshotter.
+func (d *Daemon) Snapshot() telemetry.Snapshot { return d.StatsSnapshot() }
+
+// recordPhase attributes one deploy phase's traffic to dep: the span is
+// kept on the deployment (Deployment.Trace) and recorded into the
+// daemon's ring next to the store's per-fault spans.
+func (d *Daemon) recordPhase(dep *Deployment, op, class string, ps PhaseStats) {
+	span := telemetry.Span{
+		Op:       op,
+		Ref:      dep.Ref,
+		Class:    class,
+		Source:   telemetry.SourceRegistry,
+		Objects:  int(ps.Requests),
+		Bytes:    ps.Bytes,
+		Transfer: ps.Time,
+	}
+	d.ring.Record(span)
+	dep.spans = append(dep.spans, span)
+}
 
 // Link exposes the daemon's network link counters (the WAN link when a
 // topology is attached).
@@ -426,6 +518,7 @@ func (d *Daemon) DeployDocker(name, tag string, access []string, compute time.Du
 	// Unpacking newly downloaded layers is part of Docker's pull phase.
 	pull.Time += time.Duration(float64(unpacked) / d.opts.UnpackBPS * float64(time.Second))
 	dep.Pull = pull
+	d.recordPhase(dep, "deploy.pull", telemetry.ClassDemand, pull)
 
 	// Run phase: every access is local (the whole image is here).
 	var runTime time.Duration
@@ -442,6 +535,7 @@ func (d *Daemon) DeployDocker(name, tag string, access []string, compute time.Du
 	}
 	runTime += compute
 	dep.Run = PhaseStats{Time: runTime}
+	d.recordPhase(dep, "deploy.run", telemetry.ClassDemand, PhaseStats{Time: runTime})
 	dep.inodes = dep.root.Stats().Files // everything was unpacked
 	return dep, nil
 }
@@ -503,6 +597,7 @@ func (d *Daemon) DeployGear(name, tag string, access []string, compute time.Dura
 	}
 	pull.Time += time.Duration(float64(unpacked) / d.opts.UnpackBPS * float64(time.Second))
 	dep.Pull = pull
+	d.recordPhase(dep, "deploy.pull", telemetry.ClassDemand, pull)
 
 	view, err := d.gearStore.CreateContainer(dep.ContainerID, ref)
 	if err != nil {
@@ -529,6 +624,7 @@ func (d *Daemon) DeployGear(name, tag string, access []string, compute time.Dura
 			return nil, fmt.Errorf("dockersim: gear prefetch %s: %w", ref, err)
 		}
 		dep.Prefetch = pre
+		d.recordPhase(dep, "deploy.prefetch", telemetry.ClassPrefetch, pre)
 	}
 
 	run, err := d.netDelta(func() error {
@@ -573,6 +669,7 @@ func (d *Daemon) DeployGear(name, tag string, access []string, compute time.Dura
 	dep.Run.Time += run.Time + compute
 	dep.Run.Bytes = run.Bytes
 	dep.Run.Requests = run.Requests
+	d.recordPhase(dep, "deploy.run", telemetry.ClassDemand, run)
 	// Everything the run phase spent on the link was a container blocked
 	// on a demand transfer: the run's network time IS the demand stall.
 	dep.DemandStall = run.Time
@@ -618,6 +715,7 @@ func (d *Daemon) DeploySlacker(name, tag string, access []string, compute time.D
 		return nil, fmt.Errorf("dockersim: deploy slacker %s: %w", ref, err)
 	}
 	dep.Pull = pull
+	d.recordPhase(dep, "deploy.pull", telemetry.ClassDemand, pull)
 
 	run, err := d.netDelta(func() error {
 		var localTime time.Duration
@@ -649,6 +747,7 @@ func (d *Daemon) DeploySlacker(name, tag string, access []string, compute time.D
 	dep.Run.Time += run.Time + compute
 	dep.Run.Bytes = run.Bytes
 	dep.Run.Requests = run.Requests
+	d.recordPhase(dep, "deploy.run", telemetry.ClassDemand, run)
 	dep.inodes = len(access)
 	return dep, nil
 }

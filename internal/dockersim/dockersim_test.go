@@ -474,6 +474,103 @@ func TestTraceRecordsAccessTimeline(t *testing.T) {
 	}
 }
 
+// TestTraceSpansAccountForAllWANBytes: every deploy mode attributes
+// 100% of the WAN bytes netsim reports to phase spans — Trace() is a
+// complete accounting, not a sample. The warm Gear deploy additionally
+// splits the traffic into demand (pull) and prefetch classes.
+func TestTraceSpansAccountForAllWANBytes(t *testing.T) {
+	r := buildRig(t, "nginx", 1)
+	lib := prefetch.NewLibrary()
+	newDaemon := func() *Daemon {
+		d, err := NewDaemon(r.docker, r.gear, Options{
+			Link:     netsim.DefaultLAN().WithBandwidth(20.0 / 1000),
+			Profiles: lib,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.ConfigureSlacker(r.slackSrv)
+		return d
+	}
+	spanBytes := func(dep *Deployment) int64 {
+		var sum int64
+		for _, sp := range dep.Trace() {
+			sum += sp.Bytes
+		}
+		return sum
+	}
+
+	deploys := []struct {
+		mode   string
+		deploy func(d *Daemon) (*Deployment, error)
+	}{
+		{"docker", func(d *Daemon) (*Deployment, error) {
+			return d.DeployDocker("nginx", "v01", r.access(t, 0), 0)
+		}},
+		{"gear-cold", func(d *Daemon) (*Deployment, error) {
+			return d.DeployGear("gear/nginx", "v01", r.access(t, 0), 0)
+		}},
+		{"gear-warm", func(d *Daemon) (*Deployment, error) {
+			return d.DeployGear("gear/nginx", "v01", r.access(t, 0), 0)
+		}},
+		{"slacker", func(d *Daemon) (*Deployment, error) {
+			return d.DeploySlacker("nginx", "v01", r.access(t, 0), 0)
+		}},
+	}
+	for _, tc := range deploys {
+		d := newDaemon()
+		dep, err := tc.deploy(d)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.mode, err)
+		}
+		wan := d.Link().Stats()
+		if wan.Bytes == 0 {
+			t.Fatalf("%s: deploy moved no WAN bytes", tc.mode)
+		}
+		if got := spanBytes(dep); got != wan.Bytes {
+			t.Errorf("%s: trace spans carry %d bytes, netsim WAN link reports %d",
+				tc.mode, got, wan.Bytes)
+		}
+		// The daemon ring holds the same spans (plus the store's per-fetch
+		// spans for Gear modes), so the phase spans must appear there too.
+		var ringPhase int
+		for _, sp := range d.TraceRing().Snapshot() {
+			if sp.Op == "deploy.pull" || sp.Op == "deploy.prefetch" || sp.Op == "deploy.run" {
+				ringPhase++
+			}
+		}
+		if ringPhase != len(dep.Trace()) {
+			t.Errorf("%s: ring holds %d phase spans, deployment holds %d",
+				tc.mode, ringPhase, len(dep.Trace()))
+		}
+	}
+
+	// The warm Gear deploy above replayed a profile: its trace must carry
+	// a prefetch-class span, and classes must cover the byte total.
+	d := newDaemon()
+	warm, err := d.DeployGear("gear/nginx", "v01", r.access(t, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var demand, prefetched int64
+	for _, sp := range warm.Trace() {
+		switch sp.Class {
+		case "prefetch":
+			prefetched += sp.Bytes
+		case "demand":
+			demand += sp.Bytes
+		default:
+			t.Errorf("span %s has unknown class %q", sp.Op, sp.Class)
+		}
+	}
+	if prefetched == 0 {
+		t.Error("warm deploy trace has no prefetch-class bytes")
+	}
+	if wan := d.Link().Stats(); demand+prefetched != wan.Bytes {
+		t.Errorf("class split %d+%d != WAN bytes %d", demand, prefetched, wan.Bytes)
+	}
+}
+
 func TestGearProfileGuidedRedeploy(t *testing.T) {
 	r := buildRig(t, "nginx", 1)
 	lib := prefetch.NewLibrary()

@@ -36,6 +36,7 @@ import (
 	"github.com/gear-image/gear/internal/netsim"
 	"github.com/gear-image/gear/internal/registry"
 	"github.com/gear-image/gear/internal/slacker"
+	"github.com/gear-image/gear/internal/telemetry"
 )
 
 // ErrUnknownExperiment reports an unrecognized experiment id.
@@ -63,6 +64,11 @@ type Config struct {
 	// scaled like ChunkSize (the paper's 4 KB against ~73 KB average
 	// files ≈ 512 B against our ~7 KB files).
 	SlackerBlockSize int64
+	// Telemetry, if set, is the metrics registry every daemon the run
+	// builds publishes into, so a whole sweep lands in one snapshot
+	// (cmd/benchreport -metrics). Nil keeps per-daemon private
+	// registries.
+	Telemetry *telemetry.Registry
 }
 
 // Default is the full calibrated configuration used by cmd/benchreport.
@@ -199,6 +205,7 @@ func (c Config) newDaemon(r *rig, mbps float64) (*dockersim.Daemon, error) {
 		Link:                c.link(mbps),
 		GearRequestBytes:    int64(900 * c.Scale),
 		SlackerRequestBytes: int64(120 * c.Scale),
+		Telemetry:           c.Telemetry,
 	})
 	if err != nil {
 		return nil, err

@@ -109,6 +109,7 @@ func RunExtPrefetch(cfg Config) (*ExtPrefetchResult, error) {
 			GearRequestBytes:    int64(900 * cfg.Scale),
 			SlackerRequestBytes: int64(120 * cfg.Scale),
 			Profiles:            lib,
+			Telemetry:           cfg.Telemetry,
 		})
 		if err != nil {
 			return nil, err

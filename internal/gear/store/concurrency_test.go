@@ -11,6 +11,7 @@ import (
 	"github.com/gear-image/gear/internal/gearregistry"
 	"github.com/gear-image/gear/internal/hashing"
 	"github.com/gear-image/gear/internal/imagefmt"
+	"github.com/gear-image/gear/internal/telemetry"
 	"github.com/gear-image/gear/internal/vfs"
 )
 
@@ -335,6 +336,122 @@ func TestConcurrentContainerLifecycle(t *testing.T) {
 	wg.Wait()
 	if st := s.Stats(); st.Containers != 0 {
 		t.Errorf("containers left = %d, want 0", st.Containers)
+	}
+}
+
+// TestSnapshotDuringConcurrentFetchAll: readers hammering the shared
+// telemetry registry's Snapshot() — and the legacy Stats() view — while
+// FetchAll and demand faults publish concurrently must stay race-clean
+// (run under -race), every mid-flight snapshot must validate, and after
+// quiesce the unified snapshot must reconcile exactly with the legacy
+// per-package accessor.
+func TestSnapshotDuringConcurrentFetchAll(t *testing.T) {
+	const files = 32
+	ix, reg := bigFixture(t, files)
+	tele := telemetry.NewRegistry()
+	s, err := New(Options{Remote: reg, FetchWorkers: 4, Telemetry: tele})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.CreateContainer("c", "big:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var paths []string
+	var fps []hashing.Fingerprint
+	walkEntries(ix.Root, "", func(p string, e *index.Entry) {
+		if e.Type == vfs.TypeRegular {
+			paths = append(paths, p)
+			fps = append(fps, e.Fingerprint)
+		}
+	})
+
+	done := make(chan struct{})
+	var snapshots atomic.Int64
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := tele.Snapshot()
+				if err := snap.Validate(); err != nil {
+					t.Errorf("mid-flight snapshot invalid: %v", err)
+					return
+				}
+				_ = s.Stats() // the legacy view must also be safe to copy
+				snapshots.Add(1)
+			}
+		}()
+	}
+
+	var writers sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			if _, err := s.FetchAll(fps); err != nil {
+				errs <- err
+			}
+		}()
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for _, p := range paths {
+				if _, err := v.ReadFile(p); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(done)
+	readers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if snapshots.Load() == 0 {
+		t.Fatal("snapshot readers never ran")
+	}
+
+	// After quiesce: the unified snapshot and the legacy Stats view read
+	// the same handles, so they must agree to the last byte.
+	snap := tele.Snapshot()
+	st := s.Stats()
+	checks := []struct {
+		metric string
+		got    int64
+		want   int64
+	}{
+		{"store.remote.objects", snap.Counter("store.remote.objects"), st.RemoteObjects},
+		{"store.remote.bytes", snap.Counter("store.remote.bytes"), st.RemoteBytes},
+		{"store.peer.objects", snap.Counter("store.peer.objects"), st.PeerObjects},
+		{"store.demand.misses", snap.Counter("store.demand.misses"), st.DemandMisses},
+		{"store.demand.stall.bytes", snap.Counter("store.demand.stall.bytes"), st.StallBytes},
+		{"store.prefetch.objects", snap.Counter("store.prefetch.objects"), st.PrefetchObjects},
+		{"store.prefetch.hits", snap.Counter("store.prefetch.hits"), st.PrefetchHits},
+		{"store.indexes", snap.Gauge("store.indexes"), int64(st.Indexes)},
+		{"store.containers", snap.Gauge("store.containers"), int64(st.Containers)},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s: snapshot %d != legacy view %d", c.metric, c.got, c.want)
+		}
+	}
+	if st.RemoteObjects != files {
+		t.Errorf("remote objects = %d, want %d", st.RemoteObjects, files)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"github.com/gear-image/gear/internal/gearregistry"
 	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/telemetry"
 	"github.com/gear-image/gear/internal/vfs"
 )
 
@@ -69,7 +70,9 @@ func (s *Store) fetchOne(fp hashing.Fingerprint) (c *vfs.Content, wire int64, sr
 	s.sched.beginDemand()
 	start := time.Now()
 	defer func() {
-		s.stallNanos.Add(time.Since(start).Nanoseconds())
+		stall := time.Since(start)
+		s.m.stallNanos.Add(stall.Nanoseconds())
+		s.m.stall.ObserveDuration(stall)
 		s.sched.endDemand()
 	}()
 	f, leader := s.claimFlight(fp)
@@ -77,6 +80,11 @@ func (s *Store) fetchOne(fp hashing.Fingerprint) (c *vfs.Content, wire int64, sr
 		<-f.done
 		if f.err == nil && f.content != nil {
 			s.noteDemandMiss(fp, int64(len(f.content.Data())))
+			s.opts.Trace.Record(telemetry.Span{
+				Op: "fault", Ref: refPrefix(fp), Class: telemetry.ClassDemand,
+				Source: telemetry.SourceCache, Objects: 1,
+				QueueWait: time.Since(start),
+			})
 		}
 		return f.content, 0, srcLocal, f.err
 	}
@@ -103,10 +111,28 @@ func (s *Store) fetchOne(fp hashing.Fingerprint) (c *vfs.Content, wire int64, sr
 	}
 	f.content = c
 	s.noteDemandMiss(fp, int64(len(data)))
+	source := telemetry.SourceRegistry
+	if fromPeer {
+		source = telemetry.SourcePeer
+	}
+	s.opts.Trace.Record(telemetry.Span{
+		Op: "fault", Ref: refPrefix(fp), Class: telemetry.ClassDemand,
+		Source: source, Objects: 1, Bytes: wire,
+		Transfer: time.Since(start),
+	})
 	if fromPeer {
 		return c, wire, srcPeer, nil
 	}
 	return c, wire, srcRegistry, nil
+}
+
+// refPrefix abbreviates a fingerprint for trace spans.
+func refPrefix(fp hashing.Fingerprint) string {
+	const n = 12
+	if len(fp) <= n {
+		return string(fp)
+	}
+	return string(fp[:n])
 }
 
 // StreamStat describes one worker's share of a fetch window.
@@ -229,13 +255,27 @@ func (s *Store) fetchAll(fps []hashing.Fingerprint, maxWorkers int, class fetchC
 			}
 		}
 		s.recordPeer(peerTotal.objects, peerTotal.bytes)
+		spanClass := telemetry.ClassDemand
+		if class == classPrefetch {
+			spanClass = telemetry.ClassPrefetch
+		}
+		if peerTotal.objects > 0 {
+			s.opts.Trace.Record(telemetry.Span{
+				Op: "fetch", Class: spanClass, Source: telemetry.SourcePeer,
+				Objects: peerTotal.objects, Bytes: peerTotal.bytes,
+			})
+		}
 		if n := window.Objects(); n > 0 {
-			s.remoteObjects.Add(int64(n))
-			s.remoteBytes.Add(window.Bytes())
+			s.m.remoteObjects.Add(int64(n))
+			s.m.remoteBytes.Add(window.Bytes())
 			if class == classPrefetch {
-				s.prefetchObjects.Add(int64(n))
-				s.prefetchBytes.Add(window.Bytes())
+				s.m.prefetchObjects.Add(int64(n))
+				s.m.prefetchBytes.Add(window.Bytes())
 			}
+			s.opts.Trace.Record(telemetry.Span{
+				Op: "fetch", Class: spanClass, Source: telemetry.SourceRegistry,
+				Objects: n, Bytes: window.Bytes(),
+			})
 			switch {
 			case s.opts.OnFetchWindow != nil:
 				s.opts.OnFetchWindow(window)

@@ -268,7 +268,10 @@ func (s *Store) StartPrefetch(ref string) *PrefetchHandle {
 // or remains as waste (PrefetchWasted).
 func (s *Store) markPrefetched(fp hashing.Fingerprint) {
 	s.prefMu.Lock()
-	s.prefetched[fp] = true
+	if !s.prefetched[fp] {
+		s.prefetched[fp] = true
+		s.m.prefetchWasted.Add(1)
+	}
 	s.prefMu.Unlock()
 }
 
@@ -278,7 +281,8 @@ func (s *Store) noteDemandHit(fp hashing.Fingerprint) {
 	s.prefMu.Lock()
 	if s.prefetched[fp] {
 		delete(s.prefetched, fp)
-		s.prefetchHits.Add(1)
+		s.m.prefetchWasted.Add(-1)
+		s.m.prefetchHits.Add(1)
 	}
 	s.prefMu.Unlock()
 }
@@ -288,17 +292,12 @@ func (s *Store) noteDemandHit(fp hashing.Fingerprint) {
 // fingerprint the replay was still fetching clears its prefetch tag
 // without scoring a hit: the prefetch did not arrive in time.
 func (s *Store) noteDemandMiss(fp hashing.Fingerprint, contentBytes int64) {
-	s.demandMisses.Add(1)
-	s.stallBytes.Add(contentBytes)
+	s.m.demandMisses.Add(1)
+	s.m.stallBytes.Add(contentBytes)
 	s.prefMu.Lock()
-	delete(s.prefetched, fp)
+	if s.prefetched[fp] {
+		delete(s.prefetched, fp)
+		s.m.prefetchWasted.Add(-1)
+	}
 	s.prefMu.Unlock()
-}
-
-// prefetchWasted counts objects admitted by prefetch that no demand
-// read has consumed yet.
-func (s *Store) prefetchWasted() int64 {
-	s.prefMu.Lock()
-	defer s.prefMu.Unlock()
-	return int64(len(s.prefetched))
 }

@@ -23,7 +23,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/gear-image/gear/internal/cache"
@@ -32,6 +31,7 @@ import (
 	"github.com/gear-image/gear/internal/gearregistry"
 	"github.com/gear-image/gear/internal/hashing"
 	"github.com/gear-image/gear/internal/prefetch"
+	"github.com/gear-image/gear/internal/telemetry"
 	"github.com/gear-image/gear/internal/vfs"
 )
 
@@ -86,6 +86,14 @@ type Options struct {
 	// strict priority regardless of this value. 0 selects
 	// DefaultPrefetchInflight.
 	PrefetchInflight int
+	// Telemetry, if set, is the registry the store (and its level-1
+	// cache) publishes store.*/cache.* metrics into — typically the
+	// per-daemon registry. Nil gets private, live handles, so the
+	// legacy Stats views work either way.
+	Telemetry *telemetry.Registry
+	// Trace, if set, receives a structured span per fetch window and
+	// per blocking fault the store leads. Nil disables tracing.
+	Trace *telemetry.TraceRing
 }
 
 // PeerSource obtains Gear files from cluster peers. ok=false means no
@@ -123,21 +131,52 @@ type Store struct {
 	recorders map[string]*prefetch.Recorder
 
 	// prefMu guards prefetched, the set of fingerprints the replay
-	// admitted that no demand read has consumed yet.
+	// admitted that no demand read has consumed yet. The
+	// store.prefetch.wasted gauge mirrors len(prefetched) and is only
+	// mutated under prefMu.
 	prefMu     sync.Mutex
 	prefetched map[hashing.Fingerprint]bool
 
-	remoteObjects atomic.Int64
-	remoteBytes   atomic.Int64
-	peerObjects   atomic.Int64
-	peerBytes     atomic.Int64
+	// m holds the store.* telemetry handles. They are the counters'
+	// only storage — the legacy Stats struct is a view over them.
+	m storeMetrics
+}
 
-	demandMisses    atomic.Int64
-	stallBytes      atomic.Int64
-	stallNanos      atomic.Int64
-	prefetchObjects atomic.Int64
-	prefetchBytes   atomic.Int64
-	prefetchHits    atomic.Int64
+// storeMetrics are the store's telemetry handles, resolved once at New
+// so hot paths pay a single atomic op per publish.
+type storeMetrics struct {
+	remoteObjects, remoteBytes *telemetry.Counter
+	peerObjects, peerBytes     *telemetry.Counter
+
+	demandMisses *telemetry.Counter
+	stallBytes   *telemetry.Counter
+	stallNanos   *telemetry.Counter
+	stall        *telemetry.Histogram
+
+	prefetchObjects, prefetchBytes *telemetry.Counter
+	prefetchHits                   *telemetry.Counter
+	prefetchWasted                 *telemetry.Gauge
+
+	indexes, containers *telemetry.Gauge
+}
+
+func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
+	return storeMetrics{
+		remoteObjects:   reg.Counter("store.remote.objects"),
+		remoteBytes:     reg.Counter("store.remote.bytes"),
+		peerObjects:     reg.Counter("store.peer.objects"),
+		peerBytes:       reg.Counter("store.peer.bytes"),
+		demandMisses:    reg.Counter("store.demand.misses"),
+		stallBytes:      reg.Counter("store.demand.stall.bytes"),
+		stallNanos:      reg.Counter("store.demand.stall.ns"),
+		stall:           reg.Histogram("store.demand.stall", telemetry.DefaultLatencyBounds),
+		prefetchObjects: reg.Counter("store.prefetch.objects"),
+		prefetchBytes:   reg.Counter("store.prefetch.bytes"),
+		prefetchHits:    reg.Counter("store.prefetch.hits"),
+		prefetchWasted:  reg.Gauge("store.prefetch.wasted"),
+		indexes:         reg.Gauge("store.indexes"),
+		containers:      reg.Gauge("store.containers"),
+	}
 }
 
 type imageState struct {
@@ -164,7 +203,7 @@ func New(opts Options) (*Store, error) {
 	if opts.PrefetchInflight <= 0 {
 		opts.PrefetchInflight = DefaultPrefetchInflight
 	}
-	c, err := cache.New(opts.CacheCapacity, opts.CachePolicy)
+	c, err := cache.NewTelemetered(opts.CacheCapacity, opts.CachePolicy, opts.Telemetry)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -177,6 +216,7 @@ func New(opts Options) (*Store, error) {
 		sched:      newScheduler(opts.PrefetchInflight),
 		recorders:  make(map[string]*prefetch.Recorder),
 		prefetched: make(map[hashing.Fingerprint]bool),
+		m:          newStoreMetrics(opts.Telemetry),
 	}, nil
 }
 
@@ -197,6 +237,7 @@ func (s *Store) AddIndex(ix *index.Index) error {
 		return fmt.Errorf("store: %s: %w", ref, ErrIndexExists)
 	}
 	s.indexes[ref] = &imageState{ix: ix, tree: tree, chunks: ix.ChunkMap()}
+	s.m.indexes.Add(1)
 	return nil
 }
 
@@ -235,6 +276,7 @@ func (s *Store) RemoveIndex(ref string) error {
 		return fmt.Errorf("store: %s: %w", ref, ErrNoIndex)
 	}
 	delete(s.indexes, ref)
+	s.m.indexes.Add(-1)
 	for _, c := range s.containers {
 		if c.imageRef == ref {
 			return nil // live containers keep the tree (and its pins)
@@ -258,6 +300,7 @@ func (s *Store) CreateContainer(id, imageRef string) (*viewer.Viewer, error) {
 	}
 	v := viewer.New(imageRef, st.tree, s)
 	s.containers[id] = &containerState{imageRef: imageRef, view: v}
+	s.m.containers.Add(1)
 	return v, nil
 }
 
@@ -282,6 +325,7 @@ func (s *Store) RemoveContainer(id string) error {
 		return fmt.Errorf("store: %s: %w", id, ErrNoContainer)
 	}
 	delete(s.containers, id)
+	s.m.containers.Add(-1)
 	// Close outside mu: the viewer takes its own lock, which faulting
 	// reads hold while they call back into the store — closing under mu
 	// would invert that order and deadlock.
@@ -442,8 +486,8 @@ func (s *Store) recordRemote(objects int, bytes int64) {
 	if objects == 0 {
 		return
 	}
-	s.remoteObjects.Add(int64(objects))
-	s.remoteBytes.Add(bytes)
+	s.m.remoteObjects.Add(int64(objects))
+	s.m.remoteBytes.Add(bytes)
 	if s.opts.OnRemoteFetch != nil {
 		s.opts.OnRemoteFetch(objects, bytes)
 	}
@@ -453,8 +497,8 @@ func (s *Store) recordPeer(objects int, bytes int64) {
 	if objects == 0 {
 		return
 	}
-	s.peerObjects.Add(int64(objects))
-	s.peerBytes.Add(bytes)
+	s.m.peerObjects.Add(int64(objects))
+	s.m.peerBytes.Add(bytes)
 	if s.opts.OnPeerFetch != nil {
 		s.opts.OnPeerFetch(objects, bytes)
 	}
@@ -682,6 +726,10 @@ func (s *Store) ClearCache() { s.cache.Clear() }
 // transfers. Demand*/Stall* account foreground faults that had to wait
 // for the network; Prefetch* account the profile replay and how much of
 // it demand reads actually consumed.
+//
+// Stats is a view over the store.* telemetry metrics (Options.
+// Telemetry): every field reads the same handle a shared registry
+// snapshot reports, so the two always reconcile exactly.
 type Stats struct {
 	RemoteObjects int64 `json:"remoteObjects"`
 	RemoteBytes   int64 `json:"remoteBytes"`
@@ -713,18 +761,18 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		RemoteObjects:   s.remoteObjects.Load(),
-		RemoteBytes:     s.remoteBytes.Load(),
-		PeerObjects:     s.peerObjects.Load(),
-		PeerBytes:       s.peerBytes.Load(),
+		RemoteObjects:   s.m.remoteObjects.Value(),
+		RemoteBytes:     s.m.remoteBytes.Value(),
+		PeerObjects:     s.m.peerObjects.Value(),
+		PeerBytes:       s.m.peerBytes.Value(),
 		Indexes:         len(s.indexes),
 		Containers:      len(s.containers),
-		DemandMisses:    s.demandMisses.Load(),
-		StallBytes:      s.stallBytes.Load(),
-		StallTime:       time.Duration(s.stallNanos.Load()),
-		PrefetchObjects: s.prefetchObjects.Load(),
-		PrefetchBytes:   s.prefetchBytes.Load(),
-		PrefetchHits:    s.prefetchHits.Load(),
-		PrefetchWasted:  s.prefetchWasted(),
+		DemandMisses:    s.m.demandMisses.Value(),
+		StallBytes:      s.m.stallBytes.Value(),
+		StallTime:       time.Duration(s.m.stallNanos.Value()),
+		PrefetchObjects: s.m.prefetchObjects.Value(),
+		PrefetchBytes:   s.m.prefetchBytes.Value(),
+		PrefetchHits:    s.m.prefetchHits.Value(),
+		PrefetchWasted:  s.m.prefetchWasted.Value(),
 	}
 }

@@ -20,6 +20,7 @@ type BatchDownloader interface {
 
 // DownloadBatch implements BatchDownloader on the in-process registry.
 func (r *Registry) DownloadBatch(fps []hashing.Fingerprint) ([][]byte, int64, error) {
+	r.downloads.Add(int64(len(fps)))
 	for _, fp := range fps {
 		if err := fp.Validate(); err != nil {
 			return nil, 0, fmt.Errorf("gearregistry: batch: %w", err)

@@ -17,6 +17,7 @@ import (
 
 	"github.com/gear-image/gear/internal/hashing"
 	"github.com/gear-image/gear/internal/tarstream"
+	"github.com/gear-image/gear/internal/telemetry"
 )
 
 // Errors returned by Gear Registry operations.
@@ -48,33 +49,71 @@ type Options struct {
 	// fallback IDs ("<fp>-cN") are never verifiable by hashing and are
 	// always accepted.
 	SkipVerify bool
+	// Telemetry, if set, is the registry gear.* metrics publish into —
+	// the pool gauges and per-verb request counters the /metrics
+	// endpoint exposes. Nil gets private, live handles.
+	Telemetry *telemetry.Registry
 }
 
 // Registry is the in-process Gear file store. It is safe for concurrent
 // use.
 type Registry struct {
 	opts Options
+	tele *telemetry.Registry
 
 	mu      sync.RWMutex
 	objects map[hashing.Fingerprint][]byte // stored (possibly compressed)
 	logical map[hashing.Fingerprint]int64  // uncompressed sizes
-	// dedupHits counts uploads that found the object already present.
-	dedupHits int64
+
+	// Telemetry handles are the stats' only storage: the pool gauges
+	// are maintained under mu on every mutation (making Stats O(1)),
+	// and the request counters tick per verb call.
+	objectsGauge *telemetry.Gauge
+	storedBytes  *telemetry.Gauge
+	logicalBytes *telemetry.Gauge
+	dedupHits    *telemetry.Counter
+	queries      *telemetry.Counter
+	uploads      *telemetry.Counter
+	downloads    *telemetry.Counter
 }
 
 var _ Store = (*Registry)(nil)
 
 // New returns an empty Gear Registry.
 func New(opts Options) *Registry {
+	tele := opts.Telemetry
+	if tele == nil {
+		tele = telemetry.NewRegistry()
+	}
 	return &Registry{
-		opts:    opts,
-		objects: make(map[hashing.Fingerprint][]byte),
-		logical: make(map[hashing.Fingerprint]int64),
+		opts:         opts,
+		tele:         tele,
+		objects:      make(map[hashing.Fingerprint][]byte),
+		logical:      make(map[hashing.Fingerprint]int64),
+		objectsGauge: tele.Gauge("gear.objects"),
+		storedBytes:  tele.Gauge("gear.stored.bytes"),
+		logicalBytes: tele.Gauge("gear.logical.bytes"),
+		dedupHits:    tele.Counter("gear.dedup.hits"),
+		queries:      tele.Counter("gear.query.requests"),
+		uploads:      tele.Counter("gear.upload.requests"),
+		downloads:    tele.Counter("gear.download.requests"),
 	}
 }
 
+// Telemetry returns the metrics registry this pool publishes into (the
+// one from Options, or the private default).
+func (r *Registry) Telemetry() *telemetry.Registry { return r.tele }
+
+// StatsSnapshot returns the unified telemetry snapshot for this pool —
+// what the /metrics endpoint serves.
+func (r *Registry) StatsSnapshot() telemetry.Snapshot { return r.tele.Snapshot() }
+
+// Snapshot implements telemetry.Snapshotter.
+func (r *Registry) Snapshot() telemetry.Snapshot { return r.StatsSnapshot() }
+
 // Query implements Store.
 func (r *Registry) Query(fp hashing.Fingerprint) (bool, error) {
+	r.queries.Inc()
 	if err := fp.Validate(); err != nil {
 		return false, fmt.Errorf("gearregistry: query: %w", err)
 	}
@@ -87,6 +126,7 @@ func (r *Registry) Query(fp hashing.Fingerprint) (bool, error) {
 // Upload implements Store. Identical re-uploads are dropped and counted
 // as dedup hits.
 func (r *Registry) Upload(fp hashing.Fingerprint, data []byte) error {
+	r.uploads.Inc()
 	if err := fp.Validate(); err != nil {
 		return fmt.Errorf("gearregistry: upload: %w", err)
 	}
@@ -110,16 +150,20 @@ func (r *Registry) Upload(fp hashing.Fingerprint, data []byte) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.objects[fp]; ok {
-		r.dedupHits++
+		r.dedupHits.Inc()
 		return nil
 	}
 	r.objects[fp] = stored
 	r.logical[fp] = int64(len(data))
+	r.objectsGauge.Add(1)
+	r.storedBytes.Add(int64(len(stored)))
+	r.logicalBytes.Add(int64(len(data)))
 	return nil
 }
 
 // Download implements Store.
 func (r *Registry) Download(fp hashing.Fingerprint) ([]byte, int64, error) {
+	r.downloads.Inc()
 	if err := fp.Validate(); err != nil {
 		return nil, 0, fmt.Errorf("gearregistry: download: %w", err)
 	}
@@ -142,8 +186,10 @@ func (r *Registry) Download(fp hashing.Fingerprint) ([]byte, int64, error) {
 
 // downloadWire returns the stored bytes exactly as they would cross the
 // wire, plus whether they are gzip-framed. The HTTP handler serves this
-// so compression survives transport.
+// so compression survives transport. It is a download entry point of
+// its own, so it ticks the request counter like Download does.
 func (r *Registry) downloadWire(fp hashing.Fingerprint) ([]byte, bool, error) {
+	r.downloads.Inc()
 	if err := fp.Validate(); err != nil {
 		return nil, false, fmt.Errorf("gearregistry: download: %w", err)
 	}
@@ -182,13 +228,18 @@ func (r *Registry) Retain(keep map[hashing.Fingerprint]bool) (removed int, freed
 		}
 		removed++
 		freed += int64(len(stored))
+		r.logicalBytes.Add(-r.logical[fp])
 		delete(r.objects, fp)
 		delete(r.logical, fp)
 	}
+	r.objectsGauge.Add(-int64(removed))
+	r.storedBytes.Add(-freed)
 	return removed, freed
 }
 
-// Stats summarizes the Gear file pool.
+// Stats summarizes the Gear file pool: a view over the gear.* telemetry
+// gauges, which are maintained on every mutation — O(1) now instead of
+// a full pool walk.
 type Stats struct {
 	Objects      int   `json:"objects"`
 	StoredBytes  int64 `json:"storedBytes"`  // on-disk (compressed if enabled)
@@ -200,10 +251,10 @@ type Stats struct {
 func (r *Registry) Stats() Stats {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	s := Stats{Objects: len(r.objects), DedupHits: r.dedupHits}
-	for fp, b := range r.objects {
-		s.StoredBytes += int64(len(b))
-		s.LogicalBytes += r.logical[fp]
+	return Stats{
+		Objects:      len(r.objects),
+		StoredBytes:  r.storedBytes.Value(),
+		LogicalBytes: r.logicalBytes.Value(),
+		DedupHits:    r.dedupHits.Value(),
 	}
-	return s
 }

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/gear-image/gear/internal/clientopt"
 	"github.com/gear-image/gear/internal/hashing"
 	"github.com/gear-image/gear/internal/tarstream"
 )
@@ -315,6 +316,19 @@ func NewClient(baseURL string, hc *http.Client) *Client {
 		hc = http.DefaultClient
 	}
 	return &Client{base: strings.TrimSuffix(baseURL, "/"), http: hc}
+}
+
+// NewClientWithOptions returns a registry store client configured by
+// the shared client options (gear.ClientOptions): Timeout bounds each
+// request's transport, and Retries/Backoff wrap the client in a
+// RetryStore. The zero Options behaves exactly like NewClient(baseURL,
+// nil) — one attempt, default transport.
+func NewClientWithOptions(baseURL string, o clientopt.Options) (Store, error) {
+	c := NewClient(baseURL, o.HTTPClient())
+	if o.Retries <= 0 {
+		return c, nil
+	}
+	return NewRetryStoreOptions(c, o)
 }
 
 // Query implements Store.

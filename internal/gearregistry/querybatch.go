@@ -23,6 +23,7 @@ type BatchQuerier interface {
 
 // QueryBatch implements BatchQuerier on the in-process registry.
 func (r *Registry) QueryBatch(fps []hashing.Fingerprint) ([]bool, error) {
+	r.queries.Add(int64(len(fps)))
 	for _, fp := range fps {
 		if err := fp.Validate(); err != nil {
 			return nil, fmt.Errorf("gearregistry: querybatch: %w", err)

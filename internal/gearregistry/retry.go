@@ -6,31 +6,25 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/gear-image/gear/internal/clientopt"
 	"github.com/gear-image/gear/internal/hashing"
 )
 
 // RetryStore wraps a Store with bounded retries on transient failures,
 // the behavior a production Gear driver needs against a flaky network.
 // Definite failures — a missing object, a malformed fingerprint — are
-// returned immediately; everything else retries up to Attempts times,
-// with optional exponential backoff between attempts. Every verb —
-// Query, Upload, Download, and their batched forms — shares the one
-// retry/backoff policy.
+// returned immediately; everything else retries per the shared
+// clientopt policy (Retries extra attempts, exponential Backoff between
+// them). Every verb — Query, Upload, Download, and their batched forms
+// — shares the one policy.
 type RetryStore struct {
 	inner Store
-	// attempts is the total number of tries per operation (>= 1).
-	attempts int
-	// backoff is the sleep before the first retry; it doubles per extra
-	// retry, capped at maxBackoffShift doublings. Zero disables sleeping.
-	backoff time.Duration
+	opts  clientopt.Options
 	// retries counts extra attempts actually spent, for observability.
 	retries atomic.Int64
 }
 
 var _ Store = (*RetryStore)(nil)
-
-// maxBackoffShift caps the exponential backoff at base << maxBackoffShift.
-const maxBackoffShift = 6
 
 // ErrBadAttempts reports a non-positive attempt bound.
 var ErrBadAttempts = errors.New("attempts must be >= 1")
@@ -44,7 +38,8 @@ func NewRetryStore(inner Store, attempts int) (*RetryStore, error) {
 
 // NewRetryStoreBackoff wraps inner with the given total attempt bound
 // and exponential backoff: the i-th retry waits backoff << (i-1), capped
-// after maxBackoffShift doublings. A negative backoff is rejected.
+// after clientopt.MaxBackoffShift doublings. A negative backoff is
+// rejected.
 func NewRetryStoreBackoff(inner Store, attempts int, backoff time.Duration) (*RetryStore, error) {
 	if attempts < 1 {
 		return nil, fmt.Errorf("gearregistry: retry: %d: %w", attempts, ErrBadAttempts)
@@ -52,7 +47,15 @@ func NewRetryStoreBackoff(inner Store, attempts int, backoff time.Duration) (*Re
 	if backoff < 0 {
 		return nil, fmt.Errorf("gearregistry: retry: negative backoff %v: %w", backoff, ErrBadAttempts)
 	}
-	return &RetryStore{inner: inner, attempts: attempts, backoff: backoff}, nil
+	return &RetryStore{inner: inner, opts: clientopt.Options{Retries: attempts - 1, Backoff: backoff}}, nil
+}
+
+// NewRetryStoreOptions wraps inner with the shared client-option retry
+// policy (gear.ClientOptions). The zero Options means a single attempt
+// — no retrying at all. Timeout is a transport concern and is ignored
+// here; NewClientWithOptions applies it.
+func NewRetryStoreOptions(inner Store, o clientopt.Options) (*RetryStore, error) {
+	return NewRetryStoreBackoff(inner, o.Attempts(), o.Backoff)
 }
 
 // Retries returns how many extra attempts have been spent so far.
@@ -65,30 +68,19 @@ func permanent(err error) bool {
 		errors.Is(err, hashing.ErrMalformed)
 }
 
-// wait sleeps the exponential backoff before retry number i (1-based).
-func (r *RetryStore) wait(i int) {
-	if r.backoff <= 0 {
-		return
-	}
-	shift := i - 1
-	if shift > maxBackoffShift {
-		shift = maxBackoffShift
-	}
-	time.Sleep(r.backoff << shift)
-}
-
 func (r *RetryStore) do(op func() error) error {
 	var err error
-	for i := 0; i < r.attempts; i++ {
+	attempts := r.opts.Attempts()
+	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			r.retries.Add(1)
-			r.wait(i)
+			r.opts.Sleep(i)
 		}
 		if err = op(); err == nil || permanent(err) {
 			return err
 		}
 	}
-	return fmt.Errorf("gearregistry: after %d attempts: %w", r.attempts, err)
+	return fmt.Errorf("gearregistry: after %d attempts: %w", attempts, err)
 }
 
 // Query implements Store with retries.
@@ -109,10 +101,11 @@ func (r *RetryStore) Query(fp hashing.Fingerprint) (bool, error) {
 // and inflate the registry's dedup counters.
 func (r *RetryStore) Upload(fp hashing.Fingerprint, data []byte) error {
 	var err error
-	for i := 0; i < r.attempts; i++ {
+	attempts := r.opts.Attempts()
+	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			r.retries.Add(1)
-			r.wait(i)
+			r.opts.Sleep(i)
 			if present, qerr := r.inner.Query(fp); qerr == nil && present {
 				return nil
 			}
@@ -121,7 +114,7 @@ func (r *RetryStore) Upload(fp hashing.Fingerprint, data []byte) error {
 			return err
 		}
 	}
-	return fmt.Errorf("gearregistry: after %d attempts: %w", r.attempts, err)
+	return fmt.Errorf("gearregistry: after %d attempts: %w", attempts, err)
 }
 
 // Download implements Store with retries.

@@ -3,9 +3,9 @@ package peer
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/telemetry"
 )
 
 // Locator is the tracker-side view the fetch path needs: who, other
@@ -64,14 +64,32 @@ type Exchange struct {
 	tracker Locator
 	network Network
 
-	hits, misses     atomic.Int64
-	corrupt, errored atomic.Int64
-	objects, bytes   atomic.Int64
+	hits, misses     *telemetry.Counter
+	corrupt, errored *telemetry.Counter
+	objects, bytes   *telemetry.Counter
 }
 
-// NewExchange returns the exchange for the node named self.
+// NewExchange returns the exchange for the node named self, publishing
+// into a private telemetry registry.
 func NewExchange(self string, tracker Locator, network Network) *Exchange {
-	return &Exchange{self: self, tracker: tracker, network: network}
+	return NewExchangeWithTelemetry(self, tracker, network, nil)
+}
+
+// NewExchangeWithTelemetry is NewExchange publishing peer.fetch.*
+// metrics into reg — typically the owning daemon's registry. Nil gets
+// private, live handles.
+func NewExchangeWithTelemetry(self string, tracker Locator, network Network, reg *telemetry.Registry) *Exchange {
+	return &Exchange{
+		self:    self,
+		tracker: tracker,
+		network: network,
+		hits:    reg.Counter("peer.fetch.hits"),
+		misses:  reg.Counter("peer.fetch.misses"),
+		corrupt: reg.Counter("peer.fetch.corrupt"),
+		errored: reg.Counter("peer.fetch.errored"),
+		objects: reg.Counter("peer.fetch.objects"),
+		bytes:   reg.Counter("peer.fetch.bytes"),
+	}
 }
 
 // FetchPeer tries to obtain fp from a cluster peer. It walks the
@@ -134,11 +152,11 @@ type ExchangeStats struct {
 // Stats returns a snapshot.
 func (e *Exchange) Stats() ExchangeStats {
 	return ExchangeStats{
-		Hits:    e.hits.Load(),
-		Misses:  e.misses.Load(),
-		Corrupt: e.corrupt.Load(),
-		Errored: e.errored.Load(),
-		Objects: e.objects.Load(),
-		Bytes:   e.bytes.Load(),
+		Hits:    e.hits.Value(),
+		Misses:  e.misses.Value(),
+		Corrupt: e.corrupt.Value(),
+		Errored: e.errored.Value(),
+		Objects: e.objects.Value(),
+		Bytes:   e.bytes.Value(),
 	}
 }

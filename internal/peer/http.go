@@ -7,8 +7,10 @@ import (
 	"net/http"
 	"strings"
 
+	"github.com/gear-image/gear/internal/clientopt"
 	"github.com/gear-image/gear/internal/gearregistry"
 	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/telemetry"
 )
 
 // HTTP wire protocol. The tracker speaks four verbs, styled after the
@@ -56,6 +58,8 @@ func (h *TrackerHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.serveServed(w, r)
 	case "/peer/stats":
 		h.serveStats(w, r)
+	case "/peer/metrics":
+		telemetry.Handler(h.t).ServeHTTP(w, r)
 	default:
 		http.NotFound(w, r)
 	}
@@ -186,6 +190,7 @@ func validateHolderID(id string) error {
 type TrackerClient struct {
 	base string
 	http *http.Client
+	opts clientopt.Options
 }
 
 var _ Locator = (*TrackerClient)(nil)
@@ -197,6 +202,33 @@ func NewTrackerClient(baseURL string, hc *http.Client) *TrackerClient {
 		hc = http.DefaultClient
 	}
 	return &TrackerClient{base: strings.TrimSuffix(baseURL, "/"), http: hc}
+}
+
+// NewTrackerClientWithOptions is NewTrackerClient configured by the
+// shared clientopt.Options: Timeout shapes the transport, and
+// Retries/Backoff re-issue requests that fail at the transport layer
+// (protocol-level rejections are verdicts and are never retried).
+func NewTrackerClientWithOptions(baseURL string, o clientopt.Options) *TrackerClient {
+	c := NewTrackerClient(baseURL, o.HTTPClient())
+	c.opts = o
+	return c
+}
+
+// post issues one POST with the client's retry policy. Only transport
+// errors retry; any HTTP response — success or failure — is final.
+func (c *TrackerClient) post(path, body string) (*http.Response, error) {
+	var lastErr error
+	for i := 0; i < c.opts.Attempts(); i++ {
+		if i > 0 {
+			c.opts.Sleep(i)
+		}
+		resp, err := c.http.Post(c.base+path, "text/plain", strings.NewReader(body))
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
 }
 
 // Announce mirrors Tracker.Announce over HTTP.
@@ -211,7 +243,7 @@ func (c *TrackerClient) Withdraw(holder string, fps ...hashing.Fingerprint) erro
 
 func (c *TrackerClient) postMembership(path, holder string, fps []hashing.Fingerprint) error {
 	body := membershipBody(holder, fps)
-	resp, err := c.http.Post(c.base+path, "text/plain", strings.NewReader(body))
+	resp, err := c.post(path, body)
 	if err != nil {
 		return fmt.Errorf("peer client: %s: %w", path, err)
 	}
@@ -241,7 +273,7 @@ func (c *TrackerClient) LocateBatch(fps []hashing.Fingerprint, exclude string) (
 		exclude = noExclude
 	}
 	body := membershipBody(exclude, fps)
-	resp, err := c.http.Post(c.base+"/peer/locate", "text/plain", strings.NewReader(body))
+	resp, err := c.post("/peer/locate", body)
 	if err != nil {
 		return nil, fmt.Errorf("peer client: locate: %w", err)
 	}
@@ -271,7 +303,7 @@ func (c *TrackerClient) LocateBatch(fps []hashing.Fingerprint, exclude string) (
 // ReportServed mirrors Tracker.ReportServed over HTTP.
 func (c *TrackerClient) ReportServed(peerObjects int, peerBytes int64, registryObjects int, registryBytes int64) error {
 	body := fmt.Sprintf("peer=%d/%d registry=%d/%d\n", peerObjects, peerBytes, registryObjects, registryBytes)
-	resp, err := c.http.Post(c.base+"/peer/served", "text/plain", strings.NewReader(body))
+	resp, err := c.post("/peer/served", body)
 	if err != nil {
 		return fmt.Errorf("peer client: served: %w", err)
 	}

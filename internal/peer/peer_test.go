@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"testing"
@@ -12,6 +14,7 @@ import (
 	"github.com/gear-image/gear/internal/cache"
 	"github.com/gear-image/gear/internal/gearregistry"
 	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/telemetry"
 )
 
 func fpOf(s string) hashing.Fingerprint { return hashing.FingerprintBytes([]byte(s)) }
@@ -377,5 +380,44 @@ func TestServerHandlerSpeaksRegistryProtocol(t *testing.T) {
 	}
 	if err := client.Upload(fp, data); err == nil {
 		t.Error("peer accepted an upload")
+	}
+}
+
+// TestTrackerMetricsEndpoint: /peer/metrics serves the tracker's
+// unified telemetry snapshot, and it reconciles with the legacy
+// TrackerStats view.
+func TestTrackerMetricsEndpoint(t *testing.T) {
+	tr := NewTracker()
+	tr.Announce("node0", fpOf("m a"), fpOf("m b"))
+	tr.Announce("node1", fpOf("m a"))
+	tr.ReportServed(3, 4096, 2, 1024)
+	srv := httptest.NewServer(NewTrackerHandler(tr))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/peer/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := telemetry.DecodeSnapshot(body)
+	if err != nil {
+		t.Fatalf("decode /peer/metrics: %v", err)
+	}
+	st := tr.Stats()
+	if got := snap.Gauge("tracker.fingerprints"); got != int64(st.Fingerprints) {
+		t.Errorf("tracker.fingerprints = %d, legacy view %d", got, st.Fingerprints)
+	}
+	if got := snap.Counter("tracker.announces"); got != st.Announces {
+		t.Errorf("tracker.announces = %d, legacy view %d", got, st.Announces)
+	}
+	if got := snap.Counter("tracker.peer.bytes"); got != st.PeerBytes {
+		t.Errorf("tracker.peer.bytes = %d, legacy view %d", got, st.PeerBytes)
 	}
 }

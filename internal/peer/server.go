@@ -2,12 +2,12 @@ package peer
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"github.com/gear-image/gear/internal/cache"
 	"github.com/gear-image/gear/internal/gearregistry"
 	"github.com/gear-image/gear/internal/hashing"
 	"github.com/gear-image/gear/internal/tarstream"
+	"github.com/gear-image/gear/internal/telemetry"
 )
 
 // DefaultMaxConcurrent bounds how many downloads a peer serves at once
@@ -26,6 +26,9 @@ type ServerOptions struct {
 	// peer costs the same wire bytes as the registry serving it — what
 	// keeps per-node received bytes identical with and without peers.
 	Compress bool
+	// Telemetry, if set, is the registry peer.served.* metrics publish
+	// into — typically the owning daemon's. Nil gets private handles.
+	Telemetry *telemetry.Registry
 }
 
 // Server exports a node's level-1 cache to its cluster over the Gear
@@ -39,8 +42,8 @@ type Server struct {
 	opts  ServerOptions
 	sem   chan struct{}
 
-	objectsServed atomic.Int64
-	bytesServed   atomic.Int64
+	objectsServed *telemetry.Counter
+	bytesServed   *telemetry.Counter
 }
 
 // NewServer exports c, owned by the node named id.
@@ -49,10 +52,12 @@ func NewServer(id string, c *cache.Cache, opts ServerOptions) *Server {
 		opts.MaxConcurrent = DefaultMaxConcurrent
 	}
 	return &Server{
-		id:    id,
-		cache: c,
-		opts:  opts,
-		sem:   make(chan struct{}, opts.MaxConcurrent),
+		id:            id,
+		cache:         c,
+		opts:          opts,
+		sem:           make(chan struct{}, opts.MaxConcurrent),
+		objectsServed: opts.Telemetry.Counter("peer.served.objects"),
+		bytesServed:   opts.Telemetry.Counter("peer.served.bytes"),
 	}
 }
 
@@ -169,8 +174,8 @@ type ServerStats struct {
 // Stats returns a snapshot.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		ObjectsServed: s.objectsServed.Load(),
-		BytesServed:   s.bytesServed.Load(),
+		ObjectsServed: s.objectsServed.Value(),
+		BytesServed:   s.bytesServed.Value(),
 		MaxConcurrent: s.opts.MaxConcurrent,
 	}
 }

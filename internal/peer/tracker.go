@@ -27,6 +27,7 @@ import (
 
 	"github.com/gear-image/gear/internal/cache"
 	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/telemetry"
 )
 
 // Tracker maintains the cluster's fingerprint → holders map. It is the
@@ -38,22 +39,56 @@ type Tracker struct {
 	holders map[hashing.Fingerprint][]string // announce order
 	files   map[string]int                   // holder id → #fingerprints held
 
-	announces, withdraws int64
+	// Telemetry handles are the counters' only storage; the membership
+	// gauges mirror the map sizes and are maintained under mu.
+	tele                 *telemetry.Registry
+	fingerprints         *telemetry.Gauge
+	holdersGauge         *telemetry.Gauge
+	announces, withdraws *telemetry.Counter
 
 	// Served-traffic reports, split by source. Nodes report after a
 	// deployment so cluster operators can see how much of the rollout
 	// the peers absorbed (gearctl peers).
-	peerObjects, registryObjects int64
-	peerBytes, registryBytes     int64
+	peerObjects, registryObjects *telemetry.Counter
+	peerBytes, registryBytes     *telemetry.Counter
 }
 
-// NewTracker returns an empty tracker.
+// NewTracker returns an empty tracker publishing into a private
+// telemetry registry.
 func NewTracker() *Tracker {
+	return NewTrackerWithTelemetry(nil)
+}
+
+// NewTrackerWithTelemetry is NewTracker publishing tracker.* metrics
+// into reg (nil creates a private registry).
+func NewTrackerWithTelemetry(reg *telemetry.Registry) *Tracker {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	return &Tracker{
-		holders: make(map[hashing.Fingerprint][]string),
-		files:   make(map[string]int),
+		holders:         make(map[hashing.Fingerprint][]string),
+		files:           make(map[string]int),
+		tele:            reg,
+		fingerprints:    reg.Gauge("tracker.fingerprints"),
+		holdersGauge:    reg.Gauge("tracker.holders"),
+		announces:       reg.Counter("tracker.announces"),
+		withdraws:       reg.Counter("tracker.withdraws"),
+		peerObjects:     reg.Counter("tracker.peer.objects"),
+		peerBytes:       reg.Counter("tracker.peer.bytes"),
+		registryObjects: reg.Counter("tracker.registry.objects"),
+		registryBytes:   reg.Counter("tracker.registry.bytes"),
 	}
 }
+
+// Telemetry returns the metrics registry this tracker publishes into.
+func (t *Tracker) Telemetry() *telemetry.Registry { return t.tele }
+
+// StatsSnapshot returns the unified telemetry snapshot for this
+// tracker — what the /peer/metrics endpoint serves.
+func (t *Tracker) StatsSnapshot() telemetry.Snapshot { return t.tele.Snapshot() }
+
+// Snapshot implements telemetry.Snapshotter.
+func (t *Tracker) Snapshot() telemetry.Snapshot { return t.StatsSnapshot() }
 
 // Announce records that holder now has the given Gear files. Announcing
 // a file the tracker already maps to the holder is a no-op.
@@ -72,9 +107,15 @@ func (t *Tracker) Announce(holder string, fps ...hashing.Fingerprint) error {
 		if holderIndex(t.holders[fp], holder) >= 0 {
 			continue
 		}
+		if len(t.holders[fp]) == 0 {
+			t.fingerprints.Add(1)
+		}
 		t.holders[fp] = append(t.holders[fp], holder)
+		if t.files[holder] == 0 {
+			t.holdersGauge.Add(1)
+		}
 		t.files[holder]++
-		t.announces++
+		t.announces.Inc()
 	}
 	return nil
 }
@@ -103,11 +144,13 @@ func (t *Tracker) Withdraw(holder string, fps ...hashing.Fingerprint) error {
 		t.holders[fp] = append(hs[:i], hs[i+1:]...)
 		if len(t.holders[fp]) == 0 {
 			delete(t.holders, fp)
+			t.fingerprints.Add(-1)
 		}
 		if t.files[holder]--; t.files[holder] == 0 {
 			delete(t.files, holder)
+			t.holdersGauge.Add(-1)
 		}
-		t.withdraws++
+		t.withdraws.Inc()
 	}
 	return nil
 }
@@ -153,15 +196,14 @@ func (t *Tracker) Hooks(holder string) cache.Hooks {
 // ReportServed accumulates a node's deployment traffic split: how many
 // objects/bytes arrived from peers versus from the registry.
 func (t *Tracker) ReportServed(peerObjects int, peerBytes int64, registryObjects int, registryBytes int64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.peerObjects += int64(peerObjects)
-	t.peerBytes += peerBytes
-	t.registryObjects += int64(registryObjects)
-	t.registryBytes += registryBytes
+	t.peerObjects.Add(int64(peerObjects))
+	t.peerBytes.Add(peerBytes)
+	t.registryObjects.Add(int64(registryObjects))
+	t.registryBytes.Add(registryBytes)
 }
 
-// TrackerStats is a snapshot of the tracker's view of the cluster.
+// TrackerStats is a snapshot of the tracker's view of the cluster: a
+// view over the tracker.* telemetry metrics.
 type TrackerStats struct {
 	// Fingerprints is how many distinct Gear files have at least one
 	// holder right now.
@@ -185,12 +227,12 @@ func (t *Tracker) Stats() TrackerStats {
 	return TrackerStats{
 		Fingerprints:    len(t.holders),
 		Holders:         len(t.files),
-		Announces:       t.announces,
-		Withdraws:       t.withdraws,
-		PeerObjects:     t.peerObjects,
-		PeerBytes:       t.peerBytes,
-		RegistryObjects: t.registryObjects,
-		RegistryBytes:   t.registryBytes,
+		Announces:       t.announces.Value(),
+		Withdraws:       t.withdraws.Value(),
+		PeerObjects:     t.peerObjects.Value(),
+		PeerBytes:       t.peerBytes.Value(),
+		RegistryObjects: t.registryObjects.Value(),
+		RegistryBytes:   t.registryBytes.Value(),
 	}
 }
 

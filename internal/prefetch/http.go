@@ -10,7 +10,9 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/gear-image/gear/internal/clientopt"
 	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/telemetry"
 )
 
 // HTTP wire protocol, styled after the peer tracker's handlers
@@ -43,6 +45,8 @@ func (h *LibraryHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/profile/list":
 		h.serveList(w, r)
+	case r.URL.Path == "/profile/metrics":
+		telemetry.Handler(h.lib).ServeHTTP(w, r)
 	case strings.HasPrefix(r.URL.Path, "/profile/dump/"):
 		h.serveDump(w, r, strings.TrimPrefix(r.URL.Path, "/profile/dump/"))
 	case strings.HasPrefix(r.URL.Path, "/profile/delete/"):
@@ -124,6 +128,7 @@ func validateRef(ref string) error {
 type LibraryClient struct {
 	base string
 	http *http.Client
+	opts clientopt.Options
 }
 
 // NewLibraryClient returns a client for the library served at baseURL.
@@ -133,6 +138,33 @@ func NewLibraryClient(baseURL string, hc *http.Client) *LibraryClient {
 		hc = http.DefaultClient
 	}
 	return &LibraryClient{base: strings.TrimSuffix(baseURL, "/"), http: hc}
+}
+
+// NewLibraryClientWithOptions is NewLibraryClient configured by the
+// shared clientopt.Options: Timeout shapes the transport, and
+// Retries/Backoff re-issue requests that fail at the transport layer
+// (HTTP error responses are verdicts and are never retried).
+func NewLibraryClientWithOptions(baseURL string, o clientopt.Options) *LibraryClient {
+	c := NewLibraryClient(baseURL, o.HTTPClient())
+	c.opts = o
+	return c
+}
+
+// do issues one request with the client's retry policy. Only transport
+// errors retry; any HTTP response — success or failure — is final.
+func (c *LibraryClient) do(issue func() (*http.Response, error)) (*http.Response, error) {
+	var lastErr error
+	for i := 0; i < c.opts.Attempts(); i++ {
+		if i > 0 {
+			c.opts.Sleep(i)
+		}
+		resp, err := issue()
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
 }
 
 // List fetches the profile listing.
@@ -209,7 +241,9 @@ func (c *LibraryClient) Delete(ref string) error {
 	if err := validateRef(ref); err != nil {
 		return err
 	}
-	resp, err := c.http.Post(c.base+"/profile/delete/"+ref, "text/plain", strings.NewReader(""))
+	resp, err := c.do(func() (*http.Response, error) {
+		return c.http.Post(c.base+"/profile/delete/"+ref, "text/plain", strings.NewReader(""))
+	})
 	if err != nil {
 		return fmt.Errorf("prefetch client: delete: %w", err)
 	}
@@ -222,7 +256,9 @@ func (c *LibraryClient) Delete(ref string) error {
 }
 
 func (c *LibraryClient) get(path string) ([]byte, error) {
-	resp, err := c.http.Get(c.base + path)
+	resp, err := c.do(func() (*http.Response, error) {
+		return c.http.Get(c.base + path)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("prefetch client: %s: %w", path, err)
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"github.com/gear-image/gear/internal/telemetry"
 )
 
 // ErrNoProfile reports a library lookup for an image that has no
@@ -21,12 +23,44 @@ var ErrNoProfile = fmt.Errorf("no startup profile")
 type Library struct {
 	mu       sync.Mutex
 	profiles map[string][]byte
+
+	// Telemetry gauges mirror the map under mu: profile count and
+	// encoded-bytes footprint, so a shared registry sees the library
+	// without iterating it.
+	tele         *telemetry.Registry
+	profileCount *telemetry.Gauge
+	profileBytes *telemetry.Gauge
 }
 
-// NewLibrary returns an empty Library.
+// NewLibrary returns an empty Library publishing into a private
+// telemetry registry.
 func NewLibrary() *Library {
-	return &Library{profiles: make(map[string][]byte)}
+	return NewLibraryWithTelemetry(nil)
 }
+
+// NewLibraryWithTelemetry is NewLibrary publishing profiles.* metrics
+// into reg (nil creates a private registry).
+func NewLibraryWithTelemetry(reg *telemetry.Registry) *Library {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &Library{
+		profiles:     make(map[string][]byte),
+		tele:         reg,
+		profileCount: reg.Gauge("profiles.count"),
+		profileBytes: reg.Gauge("profiles.bytes"),
+	}
+}
+
+// Telemetry returns the metrics registry this library publishes into.
+func (l *Library) Telemetry() *telemetry.Registry { return l.tele }
+
+// StatsSnapshot returns the unified telemetry snapshot for this library
+// — what the /profile/metrics endpoint serves.
+func (l *Library) StatsSnapshot() telemetry.Snapshot { return l.tele.Snapshot() }
+
+// Snapshot implements telemetry.Snapshotter.
+func (l *Library) Snapshot() telemetry.Snapshot { return l.StatsSnapshot() }
 
 // Put encodes and stores p under p.ImageRef, replacing any previous
 // profile for that image.
@@ -37,7 +71,7 @@ func (l *Library) Put(p *Profile) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.profiles[p.ImageRef] = data
+	l.storeLocked(p.ImageRef, data)
 	return nil
 }
 
@@ -47,7 +81,19 @@ func (l *Library) Put(p *Profile) error {
 func (l *Library) PutRaw(ref string, data []byte) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.profiles[ref] = append([]byte(nil), data...)
+	l.storeLocked(ref, append([]byte(nil), data...))
+}
+
+// storeLocked installs data under ref and keeps the gauges equal to the
+// map's size and byte footprint. Caller holds mu.
+func (l *Library) storeLocked(ref string, data []byte) {
+	if old, ok := l.profiles[ref]; ok {
+		l.profileBytes.Add(-int64(len(old)))
+	} else {
+		l.profileCount.Add(1)
+	}
+	l.profiles[ref] = data
+	l.profileBytes.Add(int64(len(data)))
 }
 
 // Get decodes and returns ref's profile. Absent profiles return
@@ -71,7 +117,11 @@ func (l *Library) Get(ref string) (*Profile, error) {
 func (l *Library) Delete(ref string) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	_, ok := l.profiles[ref]
+	old, ok := l.profiles[ref]
+	if ok {
+		l.profileCount.Add(-1)
+		l.profileBytes.Add(-int64(len(old)))
+	}
 	delete(l.profiles, ref)
 	return ok
 }

@@ -3,6 +3,7 @@ package prefetch
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -10,6 +11,7 @@ import (
 	"testing"
 
 	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/telemetry"
 )
 
 func sampleProfile(t *testing.T, n int) *Profile {
@@ -267,5 +269,42 @@ func TestLibraryHTTP(t *testing.T) {
 	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET delete: status %d", resp.StatusCode)
+	}
+}
+
+// TestLibraryMetricsEndpoint: /profile/metrics serves the library's
+// telemetry snapshot, whose gauges track the stored profile footprint.
+func TestLibraryMetricsEndpoint(t *testing.T) {
+	lib := NewLibrary()
+	if err := lib.Put(&Profile{
+		ImageRef: "gear/nginx:v01",
+		Entries:  []Entry{{Fingerprint: hashing.FingerprintBytes([]byte("m")), Size: 64}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewLibraryHandler(lib))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/profile/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := telemetry.DecodeSnapshot(body)
+	if err != nil {
+		t.Fatalf("decode /profile/metrics: %v", err)
+	}
+	if got := snap.Gauge("profiles.count"); got != int64(lib.Len()) {
+		t.Errorf("profiles.count = %d, library holds %d", got, lib.Len())
+	}
+	if snap.Gauge("profiles.bytes") <= 0 {
+		t.Error("profiles.bytes gauge not tracking stored footprint")
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"github.com/gear-image/gear/internal/hashing"
 	"github.com/gear-image/gear/internal/imagefmt"
+	"github.com/gear-image/gear/internal/telemetry"
 )
 
 // Errors returned by registry operations.
@@ -51,19 +52,52 @@ type Registry struct {
 	manifests map[string][]byte
 	blobs     map[hashing.Digest][]byte
 
-	// dedupHits counts PutBlob calls that found the blob already present.
-	dedupHits int64
+	// Telemetry handles are the stats' only storage; the registry.*
+	// gauges are maintained under mu on every mutation, making Stats
+	// O(1), and a shared telemetry registry sees them live.
+	tele          *telemetry.Registry
+	manifestCount *telemetry.Gauge
+	manifestBytes *telemetry.Gauge
+	blobCount     *telemetry.Gauge
+	blobBytes     *telemetry.Gauge
+	dedupHits     *telemetry.Counter
 }
 
 var _ Store = (*Registry)(nil)
 
-// New returns an empty registry.
+// New returns an empty registry publishing into a private telemetry
+// registry.
 func New() *Registry {
+	return NewWithTelemetry(nil)
+}
+
+// NewWithTelemetry is New publishing registry.* metrics into reg (nil
+// creates a private registry so the snapshot surface always works).
+func NewWithTelemetry(reg *telemetry.Registry) *Registry {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	return &Registry{
-		manifests: make(map[string][]byte),
-		blobs:     make(map[hashing.Digest][]byte),
+		manifests:     make(map[string][]byte),
+		blobs:         make(map[hashing.Digest][]byte),
+		tele:          reg,
+		manifestCount: reg.Gauge("registry.manifests"),
+		manifestBytes: reg.Gauge("registry.manifest.bytes"),
+		blobCount:     reg.Gauge("registry.blobs"),
+		blobBytes:     reg.Gauge("registry.blob.bytes"),
+		dedupHits:     reg.Counter("registry.dedup.hits"),
 	}
 }
+
+// Telemetry returns the metrics registry this store publishes into.
+func (r *Registry) Telemetry() *telemetry.Registry { return r.tele }
+
+// StatsSnapshot returns the unified telemetry snapshot for this store —
+// what the /metrics endpoint serves.
+func (r *Registry) StatsSnapshot() telemetry.Snapshot { return r.tele.Snapshot() }
+
+// Snapshot implements telemetry.Snapshotter.
+func (r *Registry) Snapshot() telemetry.Snapshot { return r.StatsSnapshot() }
 
 // PutManifest implements Store.
 func (r *Registry) PutManifest(m *imagefmt.Manifest) error {
@@ -73,7 +107,14 @@ func (r *Registry) PutManifest(m *imagefmt.Manifest) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.manifests[m.Reference()] = data
+	ref := m.Reference()
+	if old, ok := r.manifests[ref]; ok {
+		r.manifestBytes.Add(-int64(len(old)))
+	} else {
+		r.manifestCount.Add(1)
+	}
+	r.manifests[ref] = data
+	r.manifestBytes.Add(int64(len(data)))
 	return nil
 }
 
@@ -121,12 +162,14 @@ func (r *Registry) PutBlob(d hashing.Digest, data []byte) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.blobs[d]; ok {
-		r.dedupHits++
+		r.dedupHits.Inc()
 		return nil
 	}
 	stored := make([]byte, len(data))
 	copy(stored, data)
 	r.blobs[d] = stored
+	r.blobCount.Add(1)
+	r.blobBytes.Add(int64(len(stored)))
 	return nil
 }
 
@@ -142,7 +185,8 @@ func (r *Registry) GetBlob(d hashing.Digest) ([]byte, error) {
 }
 
 // Stats summarizes registry storage, the quantity Fig 7 compares across
-// Docker and Gear registries.
+// Docker and Gear registries. It is a view over the registry.*
+// telemetry gauges.
 type Stats struct {
 	Manifests     int   `json:"manifests"`
 	Blobs         int   `json:"blobs"`
@@ -158,18 +202,13 @@ func (s Stats) TotalBytes() int64 { return s.BlobBytes + s.ManifestBytes }
 func (r *Registry) Stats() Stats {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	s := Stats{
-		Manifests: len(r.manifests),
-		Blobs:     len(r.blobs),
-		DedupHits: r.dedupHits,
+	return Stats{
+		Manifests:     len(r.manifests),
+		Blobs:         len(r.blobs),
+		BlobBytes:     r.blobBytes.Value(),
+		ManifestBytes: r.manifestBytes.Value(),
+		DedupHits:     r.dedupHits.Value(),
 	}
-	for _, b := range r.blobs {
-		s.BlobBytes += int64(len(b))
-	}
-	for _, m := range r.manifests {
-		s.ManifestBytes += int64(len(m))
-	}
-	return s
 }
 
 // Push uploads an image to any Store, skipping blobs the store already

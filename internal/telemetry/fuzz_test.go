@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeSnapshot hardens the decoder behind gearctl's diff mode:
+// arbitrary bytes must yield an error or a snapshot that validates,
+// re-encodes, and re-decodes identically — never a panic.
+func FuzzDecodeSnapshot(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"counters":{"a":1},"gauges":{"b":-2}}`))
+	f.Add([]byte(`{"histograms":{"h":{"bounds":[10,20],"counts":[1,2,3],"sum":60,"count":6}}}`))
+	f.Add([]byte(`{"histograms":{"h":{"bounds":[],"counts":[0],"sum":0,"count":0}}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"counters":null}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("decoded snapshot fails validation: %v", verr)
+		}
+		// Diffing against itself and an empty snapshot must stay valid.
+		if verr := s.Diff(s).Validate(); verr != nil {
+			t.Fatalf("self-diff invalid: %v", verr)
+		}
+		if verr := s.Diff(Snapshot{}).Validate(); verr != nil {
+			t.Fatalf("diff from empty invalid: %v", verr)
+		}
+		// Round trip: encode then decode must succeed.
+		var buf bytes.Buffer
+		if err := EncodeSnapshot(&buf, s); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if _, err := DecodeSnapshot(buf.Bytes()); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+	})
+}

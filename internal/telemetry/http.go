@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Snapshotter is anything that can produce a metrics snapshot — a
+// *Registry, or a component that refreshes derived gauges before
+// delegating to one.
+type Snapshotter interface {
+	Snapshot() Snapshot
+}
+
+// Handler serves src's snapshot as JSON: the /metrics exposition
+// endpoint mounted on the gear-registry, docker-registry, tracker, and
+// profile servers. encoding/json sorts map keys, so the body is
+// deterministic for a given snapshot — golden tests rely on that.
+func Handler(src Snapshotter) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := EncodeSnapshot(w, src.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// EncodeSnapshot writes s as indented JSON (the /metrics wire format).
+func EncodeSnapshot(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// DecodeSnapshot parses a /metrics body and validates its structural
+// invariants. This is the decoder behind gearctl's diff mode and the
+// package's fuzz target: arbitrary input must produce an error or a
+// valid snapshot, never a panic downstream.
+func DecodeSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("telemetry: decode snapshot: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Snapshot{}, err
+	}
+	return s, nil
+}
+
+// WriteText pretty-prints s for terminals: sorted sections, aligned
+// values, histogram sums rendered as durations (histogram observations
+// are nanoseconds by convention). Deterministic for a given snapshot.
+func WriteText(w io.Writer, s Snapshot) {
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(w, "  %-32s %d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(w, "  %-32s %d\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintln(w, "histograms:")
+		names := make([]string, 0, len(s.Histograms))
+		for name := range s.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := s.Histograms[name]
+			mean := time.Duration(0)
+			if h.Count > 0 {
+				mean = time.Duration(h.Sum / h.Count)
+			}
+			fmt.Fprintf(w, "  %-32s count=%d sum=%s mean=%s\n",
+				name, h.Count, time.Duration(h.Sum), mean)
+		}
+	}
+	if len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0 {
+		fmt.Fprintln(w, "(empty snapshot)")
+	}
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

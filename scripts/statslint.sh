@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# statslint: fail the build when an exported *Stats struct is declared
+# outside internal/telemetry and is not in scripts/stats_allowlist.txt.
+#
+# The unified observability layer keeps one metrics registry per daemon
+# (internal/telemetry); the grandfathered Stats structs in the allowlist
+# are views over those handles. A brand-new Stats struct usually means
+# new mutable counters outside the registry — publish them into a
+# telemetry.Registry instead, or (for a genuine view) add the
+# "path:TypeName" line to the allowlist in the same change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+allow=scripts/stats_allowlist.txt
+status=0
+
+while IFS= read -r line; do
+  [ -z "$line" ] && continue
+  file=${line%%:*}
+  file=${file#./}
+  decl=$(printf '%s\n' "$line" | sed -E 's/^[^:]*:[0-9]+:type ([A-Za-z0-9_]*Stats) struct.*/\1/')
+  key="${file}:${decl}"
+  if ! grep -qxF "$key" "$allow"; then
+    echo "statslint: new exported Stats struct: $key" >&2
+    echo "  publish into internal/telemetry instead, or allowlist the view in $allow" >&2
+    status=1
+  fi
+done < <(grep -rn --include='*.go' -E '^type [A-Za-z0-9_]*Stats struct' . \
+  | grep -v '_test\.go:' | grep -v '^\./internal/telemetry/' || true)
+
+if [ "$status" -eq 0 ]; then
+  echo "statslint: ok"
+fi
+exit $status
