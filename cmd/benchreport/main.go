@@ -7,19 +7,30 @@
 //	benchreport -exp all                 # every experiment, calibrated scale
 //	benchreport -exp fig9 -quick         # one experiment, reduced scale
 //	benchreport -exp table2 -scale 0.5   # custom scale
+//	benchreport -bench BENCH_6.json -pr 6 -quick   # versioned bench snapshot
+//	benchreport -checkbench BENCH_6.json           # validate a snapshot
 //
 // Experiments: inventory, table2, fig2, fig6, fig7, fig8, fig9, fig10,
-// fig11, extload, extcache, extparallel, extpush, extp2p, all.
+// fig11, extload, extcache, extparallel, extpush, extp2p, extprefetch,
+// extfleet, all.
+//
+// -bench runs every experiment, timing each and diffing the unified
+// telemetry registry around it, and writes the per-experiment wall
+// times plus non-zero counter deltas as a schema-checked bench.File
+// (internal/bench). -checkbench decodes such a file, validates it, and
+// verifies every registered experiment is present.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"github.com/gear-image/gear/internal/bench"
 	"github.com/gear-image/gear/internal/experiments"
 	"github.com/gear-image/gear/internal/telemetry"
 )
@@ -41,8 +52,15 @@ func run() error {
 		versions = flag.Int("versions", 0, "cap versions per series (0 = all)")
 		series   = flag.Int("series-per-category", 0, "cap series per category (0 = all)")
 		metrics  = flag.String("metrics", "", "write the run's unified telemetry snapshot (JSON) to this file")
+		benchOut = flag.String("bench", "", "run every experiment and write a versioned bench snapshot (JSON) to this file (requires -pr)")
+		pr       = flag.Int("pr", 0, "PR number recorded in the -bench snapshot")
+		check    = flag.String("checkbench", "", "decode and validate a bench snapshot, verifying every experiment is present")
 	)
 	flag.Parse()
+
+	if *check != "" {
+		return checkBench(*check, os.Stdout)
+	}
 
 	cfg := experiments.Default()
 	if *quick {
@@ -77,6 +95,13 @@ func run() error {
 		}()
 	}
 
+	if *benchOut != "" {
+		if *pr <= 0 {
+			return fmt.Errorf("-bench requires -pr N (the PR number the snapshot is committed under)")
+		}
+		return writeBench(*benchOut, *pr, cfg, os.Stdout)
+	}
+
 	if *jsonOut {
 		if *exp == "all" {
 			return fmt.Errorf("-json requires a single experiment id")
@@ -97,5 +122,77 @@ func run() error {
 		return err
 	}
 	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// writeBench runs every registered experiment in paper order, timing
+// each and diffing the shared telemetry registry around it, and writes
+// the result as a versioned bench snapshot.
+func writeBench(path string, pr int, cfg experiments.Config, w io.Writer) error {
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	file := &bench.File{
+		Schema: bench.Schema,
+		PR:     pr,
+		Seed:   cfg.Seed,
+		Scale:  cfg.Scale,
+	}
+	fmt.Fprintf(w, "gear benchreport: bench snapshot pr=%d scale=%g seed=%d\n", pr, cfg.Scale, cfg.Seed)
+	for _, r := range experiments.All() {
+		fmt.Fprintf(w, "\n=== %s — %s ===\n", r.ID, r.Title)
+		before := cfg.Telemetry.Snapshot()
+		start := time.Now()
+		if err := r.Run(cfg, w); err != nil {
+			return fmt.Errorf("bench: %s: %w", r.ID, err)
+		}
+		wall := time.Since(start)
+		diff := cfg.Telemetry.Snapshot().Diff(before)
+		e := bench.Experiment{ID: r.ID, WallNS: wall.Nanoseconds()}
+		for name, v := range diff.Counters {
+			if v != 0 {
+				if e.Counters == nil {
+					e.Counters = make(map[string]int64)
+				}
+				e.Counters[name] = v
+			}
+		}
+		file.Experiments = append(file.Experiments, e)
+		fmt.Fprintf(w, "[%s: %v, %d telemetry counters]\n", r.ID, wall.Round(time.Millisecond), len(e.Counters))
+	}
+	data, err := bench.Encode(file)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s: %d experiments, %d distinct counters\n",
+		path, len(file.Experiments), len(file.CounterNames()))
+	return nil
+}
+
+// checkBench decodes and validates a bench snapshot and verifies every
+// registered experiment has an entry.
+func checkBench(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	file, err := bench.Decode(data)
+	if err != nil {
+		return fmt.Errorf("checkbench: %s: %w", path, err)
+	}
+	var missing []string
+	for _, id := range experiments.IDs() {
+		if _, ok := file.Experiment(id); !ok {
+			missing = append(missing, id)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("checkbench: %s: missing experiments: %s", path, strings.Join(missing, ", "))
+	}
+	fmt.Fprintf(w, "%s: ok (schema %s, pr %d, %d experiments, %d distinct counters)\n",
+		path, file.Schema, file.PR, len(file.Experiments), len(file.CounterNames()))
 	return nil
 }

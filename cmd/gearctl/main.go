@@ -13,6 +13,7 @@
 //	gearctl peers  -tracker URL
 //	gearctl profile -library URL [-dump name:tag | -delete name:tag]
 //	gearctl stats  -url URL [-path /metrics] [-json] [-diff FILE] [-save FILE]
+//	gearctl fleet  -scenario flashcrowd -nodes 64 -seed 7 [-json]
 //
 // The deploy subcommand's -mode selects the Docker baseline ("docker",
 // full image pull) or Gear ("gear", lazy index pull). Bandwidth is the
@@ -31,6 +32,7 @@ import (
 
 	"github.com/gear-image/gear/internal/corpus"
 	"github.com/gear-image/gear/internal/dockersim"
+	"github.com/gear-image/gear/internal/fleet"
 	"github.com/gear-image/gear/internal/gear/convert"
 	"github.com/gear-image/gear/internal/gear/index"
 	"github.com/gear-image/gear/internal/gearregistry"
@@ -51,7 +53,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: gearctl <seed|list|index|deploy> [flags]")
+		return fmt.Errorf("usage: gearctl <seed|list|index|deploy|fleet> [flags]")
 	}
 	switch args[0] {
 	case "seed":
@@ -70,8 +72,10 @@ func run(args []string) error {
 		return cmdProfile(args[1:])
 	case "stats":
 		return cmdStats(args[1:], os.Stdout)
+	case "fleet":
+		return cmdFleet(args[1:], os.Stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want seed, list, index, deploy, gc, peers, profile, or stats)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want seed, list, index, deploy, gc, peers, profile, stats, or fleet)", args[0])
 	}
 }
 
@@ -475,5 +479,56 @@ func cmdDeploy(args []string) error {
 			fmt.Printf("  %-45s %10v  %s\n", e.Path, e.Cost.Round(time.Microsecond), origin)
 		}
 	}
+	return nil
+}
+
+// cmdFleet runs one scripted fleet scenario in-process — a simulated
+// cluster of dockersim daemons over a netsim topology — and prints its
+// per-phase accounting. Every run is bit-reproducible from
+// (scenario, seed).
+func cmdFleet(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	scenario := fs.String("scenario", string(fleet.FlashCrowd), "scenario: flashcrowd, churn, failover, or mixed")
+	nodes := fs.Int("nodes", 64, "fleet size")
+	seed := fs.Int64("seed", 20211107, "workload and scenario seed")
+	series := fs.String("series", "nginx", "workload image series")
+	versions := fs.Int("versions", 4, "published versions the scenario rolls through")
+	scale := fs.Float64("scale", 0.25, "workload size scale factor")
+	peersOn := fs.Bool("peers", true, "enable peer-to-peer Gear-file exchange")
+	jsonOut := fs.Bool("json", false, "emit the canonical result JSON instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	wl, err := fleet.BuildWorkload(fleet.WorkloadOptions{
+		Seed:     *seed,
+		Scale:    *scale,
+		Series:   *series,
+		Versions: *versions,
+	})
+	if err != nil {
+		return err
+	}
+	h, err := fleet.New(wl, fleet.Options{Nodes: *nodes, Seed: *seed, Peers: *peersOn})
+	if err != nil {
+		return err
+	}
+	res, err := h.Run(fleet.Kind(*scenario))
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		data, err := res.Canonical()
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(out, "%s\n", data)
+		return err
+	}
+	res.Print(out)
+	fp, err := res.Fingerprint()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fingerprint: %s\n", fp)
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"io"
 	"net/http"
@@ -238,5 +239,51 @@ func TestStatsSubcommand(t *testing.T) {
 	}
 	if err := cmdStats([]string{"-url", srv.URL, "-diff", "/nonexistent"}, io.Discard); err == nil {
 		t.Error("stats with a missing diff file succeeded")
+	}
+}
+
+// TestFleetSubcommand runs a small in-process fleet scenario through
+// the CLI: the table render, the -json canonical form, determinism of
+// the reported fingerprint across invocations, and the error paths.
+func TestFleetSubcommand(t *testing.T) {
+	args := []string{"-scenario", "flashcrowd", "-nodes", "8", "-seed", "7", "-scale", "0.2", "-versions", "2"}
+	var a, b bytes.Buffer
+	if err := cmdFleet(args, &a); err != nil {
+		t.Fatalf("gearctl fleet: %v", err)
+	}
+	if err := cmdFleet(args, &b); err != nil {
+		t.Fatalf("gearctl fleet (replay): %v", err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("fleet output not reproducible:\n--- run 1 ---\n%s--- run 2 ---\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "fingerprint: ") {
+		t.Errorf("fleet output missing fingerprint line:\n%s", a.String())
+	}
+	if !strings.Contains(a.String(), "total: 8 deploys") {
+		t.Errorf("fleet output missing deploy total:\n%s", a.String())
+	}
+
+	var js bytes.Buffer
+	if err := cmdFleet(append(args, "-json"), &js); err != nil {
+		t.Fatalf("gearctl fleet -json: %v", err)
+	}
+	var res struct {
+		Scenario     string `json:"scenario"`
+		Nodes        int    `json:"nodes"`
+		TotalDeploys int64  `json:"totalDeploys"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &res); err != nil {
+		t.Fatalf("fleet -json output: %v", err)
+	}
+	if res.Scenario != "flashcrowd" || res.Nodes != 8 || res.TotalDeploys != 8 {
+		t.Errorf("fleet -json = %+v, want flashcrowd/8/8", res)
+	}
+
+	if err := cmdFleet([]string{"-scenario", "bogus", "-nodes", "4"}, io.Discard); err == nil {
+		t.Error("fleet with unknown scenario succeeded")
+	}
+	if err := cmdFleet([]string{"-nodes", "0"}, io.Discard); err == nil {
+		t.Error("fleet with zero nodes succeeded")
 	}
 }

@@ -1,0 +1,58 @@
+// BenchmarkExtFleet sweeps the fleet scenario harness across fleet
+// sizes 16→1024: one flash-crowd rollout per iteration over a shared
+// pre-built workload, so the timing isolates scenario execution (joins,
+// deploys, peer exchange, accounting) from corpus construction.
+package gear_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/gear-image/gear/internal/fleet"
+)
+
+var (
+	fleetBenchOnce sync.Once
+	fleetBenchWL   *fleet.Workload
+	fleetBenchErr  error
+)
+
+// fleetBenchWorkload builds the benchmark workload once per process.
+func fleetBenchWorkload(b *testing.B) *fleet.Workload {
+	b.Helper()
+	fleetBenchOnce.Do(func() {
+		fleetBenchWL, fleetBenchErr = fleet.BuildWorkload(fleet.WorkloadOptions{
+			Seed:     20211107,
+			Scale:    0.2,
+			Series:   "nginx",
+			Versions: 2,
+		})
+	})
+	if fleetBenchErr != nil {
+		b.Fatal(fleetBenchErr)
+	}
+	return fleetBenchWL
+}
+
+func BenchmarkExtFleet(b *testing.B) {
+	wl := fleetBenchWorkload(b)
+	for _, nodes := range []int{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("flashcrowd/nodes=%d", nodes), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h, err := fleet.New(wl, fleet.Options{Nodes: nodes, Seed: 42, Peers: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := h.Run(fleet.FlashCrowd)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TotalDeploys != int64(nodes) {
+					b.Fatalf("deploys = %d, want %d", res.TotalDeploys, nodes)
+				}
+			}
+		})
+	}
+}

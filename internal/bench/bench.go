@@ -1,0 +1,185 @@
+// Package bench is the versioned codec for the repo's committed
+// benchmark snapshots (BENCH_<pr>.json): per-experiment wall time plus
+// the key telemetry counters of a full experiment sweep, written by
+// cmd/benchreport each PR so regressions are diffable from git history
+// alone. The decoder is strict — unknown schema versions, unknown
+// fields, truncation, and semantic violations are distinct typed
+// errors, never panics — because CI validates the committed snapshot on
+// every run.
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Schema is the current snapshot schema identifier. Decode accepts
+// exactly this value; anything else is ErrSchema, so a future v2 can
+// change shape without old readers misparsing it.
+const Schema = "gear-bench/v1"
+
+// Errors returned by the codec.
+var (
+	// ErrSchema reports a snapshot whose schema field is missing or
+	// names a version this decoder does not speak.
+	ErrSchema = errors.New("unknown bench schema")
+	// ErrCorrupt reports bytes that are not a well-formed snapshot:
+	// invalid JSON, truncation, or fields the schema does not define.
+	ErrCorrupt = errors.New("corrupt bench snapshot")
+	// ErrInvalid reports a well-formed snapshot violating semantic
+	// invariants (duplicate experiment ids, negative wall times, ...).
+	ErrInvalid = errors.New("invalid bench snapshot")
+)
+
+// Experiment is one experiment's measurement.
+type Experiment struct {
+	// ID is the experiment identifier ("fig9", "extfleet", ...).
+	ID string `json:"id"`
+	// WallNS is the experiment's wall-clock run time in nanoseconds.
+	WallNS int64 `json:"wallNs"`
+	// Counters are the telemetry counters the experiment's daemons
+	// accumulated (snapshot diff over the run).
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Wall returns the wall time as a duration.
+func (e *Experiment) Wall() time.Duration { return time.Duration(e.WallNS) }
+
+// File is one committed benchmark snapshot.
+type File struct {
+	Schema string `json:"schema"`
+	// PR is the stacked-PR number the snapshot belongs to (BENCH_<PR>.json).
+	PR int `json:"pr"`
+	// Seed/Scale echo the experiments.Config that produced the run.
+	Seed        int64        `json:"seed"`
+	Scale       float64      `json:"scale"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+// Filename returns the canonical committed name for a PR's snapshot.
+func Filename(pr int) string { return fmt.Sprintf("BENCH_%d.json", pr) }
+
+// Experiment returns the named experiment's entry.
+func (f *File) Experiment(id string) (Experiment, bool) {
+	for _, e := range f.Experiments {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Validate checks the semantic invariants Encode enforces and Decode
+// guarantees: the current schema, a positive PR, positive scale,
+// non-empty unique experiment ids, and non-negative measurements.
+func (f *File) Validate() error {
+	if f.Schema != Schema {
+		return fmt.Errorf("bench: schema %q: %w", f.Schema, ErrSchema)
+	}
+	if f.PR <= 0 {
+		return fmt.Errorf("bench: pr %d: %w", f.PR, ErrInvalid)
+	}
+	if f.Scale <= 0 {
+		return fmt.Errorf("bench: scale %g: %w", f.Scale, ErrInvalid)
+	}
+	if len(f.Experiments) == 0 {
+		return fmt.Errorf("bench: no experiments: %w", ErrInvalid)
+	}
+	seen := make(map[string]bool, len(f.Experiments))
+	for i, e := range f.Experiments {
+		if e.ID == "" {
+			return fmt.Errorf("bench: experiment %d: empty id: %w", i, ErrInvalid)
+		}
+		if seen[e.ID] {
+			return fmt.Errorf("bench: experiment %q: duplicate id: %w", e.ID, ErrInvalid)
+		}
+		seen[e.ID] = true
+		if e.WallNS < 0 {
+			return fmt.Errorf("bench: experiment %q: negative wall time: %w", e.ID, ErrInvalid)
+		}
+		for name, v := range e.Counters {
+			if name == "" {
+				return fmt.Errorf("bench: experiment %q: empty counter name: %w", e.ID, ErrInvalid)
+			}
+			if v < 0 {
+				return fmt.Errorf("bench: experiment %q: counter %q negative: %w", e.ID, name, ErrInvalid)
+			}
+		}
+	}
+	return nil
+}
+
+// Encode validates f and renders the canonical committed form:
+// indented JSON, sorted map keys (encoding/json), trailing newline.
+func Encode(f *File) ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("bench: encode: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode parses a committed snapshot. The schema field is probed first
+// with a loose parse (so version skew reports ErrSchema, not a field
+// mismatch), then the full file is decoded strictly — unknown fields
+// and trailing garbage are ErrCorrupt — and validated (ErrInvalid).
+func Decode(data []byte) (*File, error) {
+	var probe struct {
+		Schema *string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("bench: %v: %w", err, ErrCorrupt)
+	}
+	if probe.Schema == nil || *probe.Schema != Schema {
+		got := "(missing)"
+		if probe.Schema != nil {
+			got = *probe.Schema
+		}
+		return nil, fmt.Errorf("bench: schema %q, want %q: %w", got, Schema, ErrSchema)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	f := new(File)
+	if err := dec.Decode(f); err != nil {
+		return nil, fmt.Errorf("bench: %v: %w", err, ErrCorrupt)
+	}
+	// A second document after the first is not a snapshot.
+	if dec.More() {
+		return nil, fmt.Errorf("bench: trailing data: %w", ErrCorrupt)
+	}
+	// Normalize "counters": {} to the absent form so decoded files
+	// re-encode canonically (omitempty drops empty maps).
+	for i := range f.Experiments {
+		if len(f.Experiments[i].Counters) == 0 {
+			f.Experiments[i].Counters = nil
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// CounterNames lists every counter name appearing in any experiment,
+// sorted — the stable axis for cross-PR comparison tables.
+func (f *File) CounterNames() []string {
+	seen := make(map[string]bool)
+	for _, e := range f.Experiments {
+		for name := range e.Counters {
+			seen[name] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

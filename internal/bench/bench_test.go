@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func validFile() *File {
+	return &File{
+		Schema: Schema,
+		PR:     6,
+		Seed:   20211107,
+		Scale:  0.25,
+		Experiments: []Experiment{
+			{ID: "fig9", WallNS: int64(120 * time.Millisecond)},
+			{ID: "extfleet", WallNS: int64(2 * time.Second), Counters: map[string]int64{
+				"fleet.deploys":        1024,
+				"store.remote.objects": 331,
+			}},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := validFile()
+	data, err := Encode(f)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Error("encoded snapshot missing trailing newline")
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(back, f) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, f)
+	}
+	// Canonical form is stable: encoding the decoded file reproduces
+	// the bytes (what the CI regeneration check relies on).
+	re, err := Encode(back)
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if string(re) != string(data) {
+		t.Errorf("canonical form unstable:\n%s\nvs\n%s", data, re)
+	}
+
+	e, ok := back.Experiment("extfleet")
+	if !ok || e.Wall() != 2*time.Second {
+		t.Errorf("Experiment(extfleet) = %+v, %v", e, ok)
+	}
+	if got := back.CounterNames(); !reflect.DeepEqual(got, []string{"fleet.deploys", "store.remote.objects"}) {
+		t.Errorf("CounterNames = %v", got)
+	}
+}
+
+func TestDecodeTypedErrors(t *testing.T) {
+	good, err := Encode(validFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		data string
+		want error
+	}{
+		{"empty", "", ErrCorrupt},
+		{"not json", "BENCH!", ErrCorrupt},
+		{"truncated", string(good[:len(good)/2]), ErrCorrupt},
+		{"trailing garbage", string(good) + "{}", ErrCorrupt},
+		{"unknown field", `{"schema":"gear-bench/v1","pr":6,"seed":1,"scale":1,"experiments":[{"id":"x","wallNs":1}],"extra":true}`, ErrCorrupt},
+		{"missing schema", `{"pr":6}`, ErrSchema},
+		{"wrong schema", `{"schema":"gear-bench/v2","pr":6}`, ErrSchema},
+		{"schema wrong type", `{"schema":42}`, ErrCorrupt},
+		{"pr zero", `{"schema":"gear-bench/v1","pr":0,"seed":1,"scale":1,"experiments":[{"id":"x","wallNs":1}]}`, ErrInvalid},
+		{"no experiments", `{"schema":"gear-bench/v1","pr":6,"seed":1,"scale":1,"experiments":[]}`, ErrInvalid},
+		{"empty id", `{"schema":"gear-bench/v1","pr":6,"seed":1,"scale":1,"experiments":[{"id":"","wallNs":1}]}`, ErrInvalid},
+		{"duplicate id", `{"schema":"gear-bench/v1","pr":6,"seed":1,"scale":1,"experiments":[{"id":"x","wallNs":1},{"id":"x","wallNs":2}]}`, ErrInvalid},
+		{"negative wall", `{"schema":"gear-bench/v1","pr":6,"seed":1,"scale":1,"experiments":[{"id":"x","wallNs":-1}]}`, ErrInvalid},
+		{"negative counter", `{"schema":"gear-bench/v1","pr":6,"seed":1,"scale":1,"experiments":[{"id":"x","wallNs":1,"counters":{"c":-2}}]}`, ErrInvalid},
+		{"zero scale", `{"schema":"gear-bench/v1","pr":6,"seed":1,"scale":0,"experiments":[{"id":"x","wallNs":1}]}`, ErrInvalid},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Decode([]byte(tt.data))
+			if !errors.Is(err, tt.want) {
+				t.Errorf("Decode = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	f := validFile()
+	f.Experiments[0].ID = ""
+	if _, err := Encode(f); !errors.Is(err, ErrInvalid) {
+		t.Errorf("Encode(invalid) = %v, want ErrInvalid", err)
+	}
+	f = validFile()
+	f.Schema = "bogus"
+	if _, err := Encode(f); !errors.Is(err, ErrSchema) {
+		t.Errorf("Encode(bad schema) = %v, want ErrSchema", err)
+	}
+}
+
+func TestFilename(t *testing.T) {
+	if got := Filename(6); got != "BENCH_6.json" {
+		t.Errorf("Filename(6) = %q", got)
+	}
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode: the snapshot decoder must never panic on arbitrary
+// bytes, and everything it accepts must validate and survive an
+// encode/decode round trip unchanged — the contract CI leans on when
+// it re-checks the committed BENCH_<pr>.json every run.
+func FuzzDecode(f *testing.F) {
+	if data, err := Encode(validFile()); err == nil {
+		f.Add(data)
+		f.Add(data[:len(data)-2]) // truncated
+		f.Add(append(data, '}'))  // trailing garbage
+	}
+	f.Add([]byte(`{"schema":"gear-bench/v1"}`))
+	f.Add([]byte(`{"schema":"gear-bench/v9","pr":1}`))
+	f.Add([]byte(`{"schema":42}`))
+	f.Add([]byte(`{"schema":"gear-bench/v1","pr":6,"seed":1,"scale":1,"experiments":[{"id":"x","wallNs":1,"counters":{"c":9007199254740993}}]}`))
+	f.Add([]byte("null"))
+	f.Add([]byte("[]"))
+	f.Add([]byte(""))
+	f.Add([]byte("\xff\xfe"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := file.Validate(); err != nil {
+			t.Fatalf("accepted snapshot fails validation: %v", err)
+		}
+		re, err := Encode(file)
+		if err != nil {
+			t.Fatalf("accepted snapshot does not re-encode: %v", err)
+		}
+		back, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(back, file) {
+			t.Fatal("decode(encode(f)) != f")
+		}
+	})
+}

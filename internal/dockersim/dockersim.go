@@ -63,6 +63,10 @@ func (m Mode) String() string {
 var (
 	ErrNoSlacker   = errors.New("no slacker server configured")
 	ErrNotDeployed = errors.New("container not deployed")
+	// ErrDetached reports a deployment attempted on a daemon whose node
+	// has left the cluster topology (its links are closed). It wraps
+	// netsim.ErrLinkClosed so either sentinel matches.
+	ErrDetached = fmt.Errorf("node detached: %w", netsim.ErrLinkClosed)
 )
 
 // Options configures a Daemon's cost model.
@@ -448,6 +452,16 @@ func (d *Daemon) localRead(size int64) time.Duration {
 		time.Duration(float64(size)/d.opts.LocalReadBPS*float64(time.Second))
 }
 
+// checkAttached guards a deployment entry point: deploying through a
+// closed (detached) link would silently move zero-cost traffic, so it
+// is a typed error instead.
+func (d *Daemon) checkAttached() error {
+	if d.link.Closed() || (d.peerLink != d.link && d.peerLink.Closed()) {
+		return ErrDetached
+	}
+	return nil
+}
+
 // netDelta runs fn and returns the link stats it accrued. Bytes and
 // Requests count WAN (registry) traffic only — they are the registry
 // egress the experiments sum — while Time also includes what a separate
@@ -475,6 +489,9 @@ func (d *Daemon) netDelta(fn func() error) (PhaseStats, error) {
 // DeployDocker deploys ref the stock Docker way: download every layer
 // not already local, unpack, mount, then run the task (access + compute).
 func (d *Daemon) DeployDocker(name, tag string, access []string, compute time.Duration) (*Deployment, error) {
+	if err := d.checkAttached(); err != nil {
+		return nil, fmt.Errorf("dockersim: deploy docker %s:%s: %w", name, tag, err)
+	}
 	dep := &Deployment{Mode: ModeDocker, Ref: name + ":" + tag, daemon: d,
 		ContainerID: d.newContainerID(ModeDocker)}
 
@@ -553,6 +570,9 @@ func manifestSize(m *imagefmt.Manifest) int64 {
 // faults (§III-D2).
 func (d *Daemon) DeployGear(name, tag string, access []string, compute time.Duration) (*Deployment, error) {
 	ref := name + ":" + tag
+	if err := d.checkAttached(); err != nil {
+		return nil, fmt.Errorf("dockersim: deploy gear %s: %w", ref, err)
+	}
 	dep := &Deployment{Mode: ModeGear, Ref: ref, daemon: d,
 		ContainerID: d.newContainerID(ModeGear)}
 
@@ -705,6 +725,9 @@ func (d *Daemon) DeploySlacker(name, tag string, access []string, compute time.D
 		return nil, fmt.Errorf("dockersim: %w", ErrNoSlacker)
 	}
 	ref := name + ":" + tag
+	if err := d.checkAttached(); err != nil {
+		return nil, fmt.Errorf("dockersim: deploy slacker %s: %w", ref, err)
+	}
 	dep := &Deployment{Mode: ModeSlacker, Ref: ref, daemon: d,
 		ContainerID: d.newContainerID(ModeSlacker)}
 

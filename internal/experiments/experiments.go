@@ -21,6 +21,7 @@
 //	extpush — extension: concurrent push engine worker sweep
 //	extp2p — extension: peer-to-peer distribution fleet/bandwidth sweep
 //	extprefetch — extension: profile-guided startup prefetch coverage/bandwidth sweep
+//	extfleet — extension: fleet-scale scenario harness (flash crowd, churn, failover, mixed)
 package experiments
 
 import (
@@ -257,6 +258,7 @@ func All() []Runner {
 		{"extpush", "Extension: concurrent push engine worker sweep", runExtPush},
 		{"extp2p", "Extension: peer-to-peer distribution fleet/bandwidth sweep", runExtP2P},
 		{"extprefetch", "Extension: profile-guided startup prefetch coverage/bandwidth sweep", runExtPrefetch},
+		{"extfleet", "Extension: fleet-scale scenario harness (flash crowd, churn, failover, mixed)", runExtFleet},
 	}
 }
 
@@ -324,6 +326,8 @@ func Result(id string, cfg Config) (any, error) {
 		return RunExtP2P(cfg)
 	case "extprefetch":
 		return RunExtPrefetch(cfg)
+	case "extfleet":
+		return RunExtFleet(cfg)
 	default:
 		return nil, fmt.Errorf("experiments: %q: %w", id, ErrUnknownExperiment)
 	}

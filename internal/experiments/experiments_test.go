@@ -29,7 +29,7 @@ func TestRunDispatch(t *testing.T) {
 		t.Errorf("err = %v, want ErrUnknownExperiment", err)
 	}
 	ids := IDs()
-	if len(ids) != 15 || ids[0] != "inventory" || ids[14] != "extprefetch" {
+	if len(ids) != 16 || ids[0] != "inventory" || ids[15] != "extfleet" {
 		t.Errorf("ids = %v", ids)
 	}
 	for _, id := range ids {

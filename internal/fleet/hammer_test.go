@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSnapshotHammer runs a 256-node flash crowd while hammering the
+// fleet-wide Snapshot from concurrent readers (the -race contract:
+// observability must never require pausing the fleet), then reconciles
+// the final snapshot against the per-node legacy accessors — topology
+// link counters and store.Stats — so the two reporting paths cannot
+// drift apart.
+func TestSnapshotHammer(t *testing.T) {
+	h, err := New(testWorkload(t), Options{Nodes: 256, Seed: 99, Peers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastWAN, lastDeploys int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := h.Snapshot()
+				// The wall-clock histogram tears benignly under concurrent
+				// observation (three independent atomic adds); everything
+				// else must validate mid-flight.
+				if err := snap.Strip(WallClockMetrics...).Validate(); err != nil {
+					t.Error(err)
+					return
+				}
+				if wan := snap.Gauge("fleet.wan.bytes"); wan < lastWAN {
+					t.Errorf("fleet.wan.bytes went backwards: %d -> %d", lastWAN, wan)
+					return
+				} else {
+					lastWAN = wan
+				}
+				if dep := snap.Counter("fleet.deploys"); dep < lastDeploys {
+					t.Errorf("fleet.deploys went backwards: %d -> %d", lastDeploys, dep)
+					return
+				} else {
+					lastDeploys = dep
+				}
+			}
+		}()
+	}
+
+	res, err := h.Run(FlashCrowd)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.TotalDeploys != 256 {
+		t.Errorf("TotalDeploys = %d, want 256", res.TotalDeploys)
+	}
+
+	// Reconciliation pass: the quiesced snapshot, the topology
+	// aggregates, and the per-node legacy accessors must tell one story.
+	snap := h.Snapshot()
+	topo := h.Topology()
+	if got, want := snap.Gauge("fleet.wan.bytes"), topo.WANStats().Bytes; got != want {
+		t.Errorf("fleet.wan.bytes gauge = %d, topology says %d", got, want)
+	}
+	if got, want := snap.Gauge("fleet.lan.bytes"), topo.LANStats().Bytes; got != want {
+		t.Errorf("fleet.lan.bytes gauge = %d, topology says %d", got, want)
+	}
+
+	var wanSum, lanSum int64
+	active := h.Active()
+	if len(active) != 256 {
+		t.Fatalf("active nodes = %d, want 256", len(active))
+	}
+	for _, id := range active {
+		d, ok := h.Daemon(id)
+		if !ok {
+			t.Fatalf("daemon %q missing", id)
+		}
+		wanSum += d.Link().Stats().Bytes
+		lanSum += d.PeerLink().Stats().Bytes
+	}
+	if wanSum != topo.WANStats().Bytes {
+		t.Errorf("sum of per-node WAN link bytes %d != topology aggregate %d",
+			wanSum, topo.WANStats().Bytes)
+	}
+	if lanSum != topo.LANStats().Bytes {
+		t.Errorf("sum of per-node LAN link bytes %d != topology aggregate %d",
+			lanSum, topo.LANStats().Bytes)
+	}
+
+	// Store handles publish into the shared fleet registry, so any
+	// node's legacy Stats accessor reads the fleet-wide totals and must
+	// agree with the snapshot's counters.
+	d, _ := h.Daemon(active[0])
+	st := d.GearStore().Stats()
+	checks := []struct {
+		name    string
+		legacy  int64
+		counter string
+	}{
+		{"remote objects", st.RemoteObjects, "store.remote.objects"},
+		{"remote bytes", st.RemoteBytes, "store.remote.bytes"},
+		{"peer objects", st.PeerObjects, "store.peer.objects"},
+		{"peer bytes", st.PeerBytes, "store.peer.bytes"},
+		{"demand misses", st.DemandMisses, "store.demand.misses"},
+		{"stall bytes", st.StallBytes, "store.demand.stall.bytes"},
+	}
+	for _, c := range checks {
+		if got := snap.Counter(c.counter); got != c.legacy {
+			t.Errorf("%s: snapshot %s = %d, legacy Stats says %d",
+				c.name, c.counter, got, c.legacy)
+		}
+	}
+	if res.PeerObjects != st.PeerObjects {
+		t.Errorf("result peer objects %d != store stats %d", res.PeerObjects, st.PeerObjects)
+	}
+	if res.PeerObjects == 0 {
+		t.Error("flash crowd served no objects peer-to-peer")
+	}
+}

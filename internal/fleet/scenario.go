@@ -1,0 +1,318 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/gear-image/gear/internal/telemetry"
+)
+
+// Kind names a scripted scenario.
+type Kind string
+
+// The scripted scenarios.
+const (
+	// FlashCrowd: one seed node deploys the newest version from the
+	// registry, then the rest of the fleet joins and deploys the same
+	// version in a random order — a rollout wavefront where (with peers
+	// on) almost every byte should come off the cluster LAN.
+	FlashCrowd Kind = "flashcrowd"
+	// Churn: a full-fleet baseline rollout, then rounds of random
+	// leaves and cold-cache rejoins while the surviving fleet rolls
+	// forward one version per round.
+	Churn Kind = "churn"
+	// Failover: a steady rollout, a rollout under a 10x-degraded
+	// registry WAN (the registry failing over to a throttled mirror),
+	// and a rollout after recovery.
+	Failover Kind = "failover"
+	// Mixed: everyone deploys the first version; a random half then
+	// acts as long-running services (request loops against the deployed
+	// container) while the other half runs short-lived jobs (deploy the
+	// newest version, then destroy).
+	Mixed Kind = "mixed"
+)
+
+// Kinds lists every scenario in canonical order.
+func Kinds() []Kind { return []Kind{FlashCrowd, Churn, Failover, Mixed} }
+
+// ErrUnknownScenario reports an unrecognized scenario kind.
+var ErrUnknownScenario = errors.New("unknown scenario")
+
+// churnRounds is the number of leave/rejoin rounds the churn scenario
+// runs after its baseline rollout.
+const churnRounds = 3
+
+// Run executes the scenario against an empty fleet and returns its
+// per-phase accounting. A harness is single-use: the second Run reports
+// ErrAlreadyRun (node and telemetry state is cumulative, so re-running
+// would not start from the documented initial conditions).
+func (h *Harness) Run(kind Kind) (*Result, error) {
+	h.mu.Lock()
+	if h.ran {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("fleet: run %s: %w", kind, ErrAlreadyRun)
+	}
+	h.ran = true
+	h.mu.Unlock()
+
+	res := &Result{
+		Scenario: string(kind),
+		Seed:     h.opts.Seed,
+		Nodes:    h.opts.Nodes,
+		Peers:    h.opts.Peers,
+	}
+	var err error
+	switch kind {
+	case FlashCrowd:
+		err = h.runFlashCrowd(res)
+	case Churn:
+		err = h.runChurn(res)
+	case Failover:
+		err = h.runFailover(res)
+	case Mixed:
+		err = h.runMixed(res)
+	default:
+		return nil, fmt.Errorf("fleet: %q: %w", kind, ErrUnknownScenario)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.finish()
+	return res, nil
+}
+
+// phase runs fn as one accounted scenario phase: its telemetry diff
+// (wall-clock metrics stripped), link deltas, and deploy-time extrema
+// land in one PhaseResult, and a span summarizing the phase is recorded
+// into the harness ring.
+func (h *Harness) phase(res *Result, name string, fn func() error) error {
+	before := h.Snapshot()
+	wanBefore, lanBefore := h.topo.WANStats(), h.topo.LANStats()
+	h.mu.Lock()
+	h.maxDeploy = 0
+	h.mu.Unlock()
+
+	if err := fn(); err != nil {
+		return fmt.Errorf("fleet: %s/%s: %w", res.Scenario, name, err)
+	}
+
+	diff := h.Snapshot().Diff(before).Strip(WallClockMetrics...)
+	h.mu.Lock()
+	maxDeploy := h.maxDeploy
+	h.mu.Unlock()
+	p := PhaseResult{
+		Name:       name,
+		Joins:      diff.Counter("fleet.joins"),
+		Leaves:     diff.Counter("fleet.leaves"),
+		Deploys:    diff.Counter("fleet.deploys"),
+		Reads:      diff.Counter("fleet.reads"),
+		Destroys:   diff.Counter("fleet.destroys"),
+		DeployTime: time.Duration(diff.Counter("fleet.deploy.virtual.ns")),
+		MaxDeploy:  maxDeploy,
+		WAN:        h.topo.WANStats().Sub(wanBefore),
+		LAN:        h.topo.LANStats().Sub(lanBefore),
+		Telemetry:  diff,
+	}
+	if p.Deploys > 0 {
+		p.MeanDeploy = p.DeployTime / time.Duration(p.Deploys)
+	}
+	h.ring.Record(telemetry.Span{
+		Op:       "fleet.phase",
+		Ref:      res.Scenario + "/" + name,
+		Class:    telemetry.ClassDemand,
+		Source:   telemetry.SourceRegistry,
+		Objects:  int(p.Deploys),
+		Bytes:    p.WAN.Bytes,
+		Transfer: p.DeployTime,
+	})
+	res.Phases = append(res.Phases, p)
+	return nil
+}
+
+// latest returns the newest workload version index.
+func (h *Harness) latest() int { return h.wl.Versions() - 1 }
+
+// clampVersion bounds v to the published version range.
+func (h *Harness) clampVersion(v int) int {
+	if last := h.latest(); v > last {
+		return last
+	}
+	return v
+}
+
+func (h *Harness) runFlashCrowd(res *Result) error {
+	last := h.latest()
+	if err := h.phase(res, "seed", func() error {
+		if err := h.Join(NodeID(0)); err != nil {
+			return err
+		}
+		_, err := h.Deploy(NodeID(0), last)
+		return err
+	}); err != nil {
+		return err
+	}
+	return h.phase(res, "crowd", func() error {
+		for i := 1; i < h.opts.Nodes; i++ {
+			if err := h.Join(NodeID(i)); err != nil {
+				return err
+			}
+		}
+		// The crowd arrives in random order — the seeded permutation is
+		// the scenario's schedule.
+		for _, i := range h.rng.Perm(h.opts.Nodes - 1) {
+			if _, err := h.Deploy(NodeID(i+1), last); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (h *Harness) runChurn(res *Result) error {
+	if err := h.phase(res, "baseline", func() error {
+		for i := 0; i < h.opts.Nodes; i++ {
+			if err := h.Join(NodeID(i)); err != nil {
+				return err
+			}
+			if _, err := h.Deploy(NodeID(i), 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	var gone []string
+	for r := 1; r <= churnRounds; r++ {
+		round := ChurnRound{}
+		err := h.phase(res, fmt.Sprintf("round%d", r), func() error {
+			// A random quarter of the fleet leaves...
+			active := h.Active()
+			quit := len(active) / 4
+			if quit == 0 && len(active) > 1 {
+				quit = 1
+			}
+			perm := h.rng.Perm(len(active))
+			for _, pi := range perm[:quit] {
+				id := active[pi]
+				if err := h.Leave(id); err != nil {
+					return err
+				}
+				round.Leave = append(round.Leave, id)
+			}
+			gone = append(gone, round.Leave...)
+			// ...and half of everyone currently gone rejoins, cold.
+			back := len(gone) / 2
+			round.Rejoin = append(round.Rejoin, gone[:back]...)
+			gone = gone[back:]
+			for _, id := range round.Rejoin {
+				if err := h.Join(id); err != nil {
+					return err
+				}
+			}
+			// The surviving fleet rolls forward one version.
+			v := h.clampVersion(r)
+			for _, id := range h.Active() {
+				if _, err := h.Deploy(id, v); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		res.Churn = append(res.Churn, round)
+	}
+	return nil
+}
+
+func (h *Harness) runFailover(res *Result) error {
+	deployAll := func(v int) func() error {
+		return func() error {
+			for _, id := range h.Active() {
+				if _, err := h.Deploy(id, v); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	if err := h.phase(res, "steady", func() error {
+		for i := 0; i < h.opts.Nodes; i++ {
+			if err := h.Join(NodeID(i)); err != nil {
+				return err
+			}
+		}
+		return deployAll(0)()
+	}); err != nil {
+		return err
+	}
+	healthy := h.topo.WANConfig()
+	degraded := healthy
+	degraded.BytesPerSecond /= 10
+	if err := h.phase(res, "degraded", func() error {
+		if err := h.topo.SetWANConfig(degraded); err != nil {
+			return err
+		}
+		return deployAll(h.clampVersion(1))()
+	}); err != nil {
+		return err
+	}
+	return h.phase(res, "recovered", func() error {
+		if err := h.topo.SetWANConfig(healthy); err != nil {
+			return err
+		}
+		return deployAll(h.clampVersion(2))()
+	})
+}
+
+// mixedReadsPerService is the request-loop depth of each long-running
+// service in the mixed scenario.
+const mixedReadsPerService = 4
+
+func (h *Harness) runMixed(res *Result) error {
+	if err := h.phase(res, "rollout", func() error {
+		for i := 0; i < h.opts.Nodes; i++ {
+			if err := h.Join(NodeID(i)); err != nil {
+				return err
+			}
+			if _, err := h.Deploy(NodeID(i), 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	// A seeded permutation splits the fleet: the first half serves, the
+	// second half cycles short-lived jobs.
+	perm := h.rng.Perm(h.opts.Nodes)
+	long, short := perm[:h.opts.Nodes/2], perm[h.opts.Nodes/2:]
+	if err := h.phase(res, "longrun", func() error {
+		paths := h.wl.Access[0]
+		for _, i := range long {
+			for r := 0; r < mixedReadsPerService; r++ {
+				if _, err := h.Read(NodeID(i), paths[h.rng.Intn(len(paths))]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return h.phase(res, "shortrun", func() error {
+		last := h.latest()
+		for _, i := range short {
+			if _, err := h.Deploy(NodeID(i), last); err != nil {
+				return err
+			}
+			if _, err := h.DestroyLast(NodeID(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

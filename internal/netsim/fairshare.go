@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"sort"
 	"time"
 )
@@ -56,7 +57,47 @@ func BatchedStream(cfg LinkConfig, objects int, bytes int64) Stream {
 // wire time for the same byte volume whenever the link is never idle, so
 // parallelism buys back only the latency phases that overlap — matching
 // how concurrent HTTP downloads behave on one bottleneck link.
+//
+// Invalid input (a zero-bandwidth cfg, a stream with negative fields)
+// yields zeroed results; FairShareE reports the typed error instead.
 func FairShare(cfg LinkConfig, streams []Stream) (finish []time.Duration, makespan time.Duration) {
+	finish, makespan, err := FairShareE(cfg, streams)
+	if err != nil {
+		return make([]time.Duration, len(streams)), 0
+	}
+	return finish, makespan
+}
+
+// ValidateStreams checks that every stream describes a physically
+// possible transfer: non-negative start, latency, request count, and
+// byte volume.
+func ValidateStreams(streams []Stream) error {
+	for i, s := range streams {
+		if s.Start < 0 || s.Latency < 0 || s.Requests < 0 || s.Bytes < 0 {
+			return fmt.Errorf("netsim: stream %d (start %v latency %v requests %d bytes %d): %w",
+				i, s.Start, s.Latency, s.Requests, s.Bytes, ErrBadStream)
+		}
+	}
+	return nil
+}
+
+// FairShareE is FairShare with typed failure reporting: ErrBadLink for
+// a configuration the simulation cannot price (zero or negative
+// bandwidth would make every active stream's share zero and the window
+// never drain), ErrBadStream for impossible stream parameters.
+func FairShareE(cfg LinkConfig, streams []Stream) (finish []time.Duration, makespan time.Duration, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if err := ValidateStreams(streams); err != nil {
+		return nil, 0, err
+	}
+	finish, makespan = fairShare(cfg, streams)
+	return finish, makespan, nil
+}
+
+// fairShare runs the processor-sharing simulation on validated input.
+func fairShare(cfg LinkConfig, streams []Stream) (finish []time.Duration, makespan time.Duration) {
 	n := len(streams)
 	finish = make([]time.Duration, n)
 	if n == 0 {
@@ -141,7 +182,21 @@ func FairShare(cfg LinkConfig, streams []Stream) (finish []time.Duration, makesp
 //
 // A single batched stream costs the same as TransferBatch for the same
 // requests and bytes.
+//
+// On a closed link or invalid input it records nothing and returns 0;
+// TransferWindowE reports the typed error.
 func (l *Link) TransferWindow(streams []Stream) time.Duration {
+	makespan, _ := l.TransferWindowE(streams)
+	return makespan
+}
+
+// TransferWindowE is TransferWindow with typed failure reporting:
+// ErrLinkClosed on a closed link (a node that detached mid-transfer),
+// ErrBadStream for impossible stream parameters.
+func (l *Link) TransferWindowE(streams []Stream) (time.Duration, error) {
+	if err := ValidateStreams(streams); err != nil {
+		return 0, err
+	}
 	var (
 		bytes    int64
 		requests int64
@@ -150,11 +205,16 @@ func (l *Link) TransferWindow(streams []Stream) time.Duration {
 		bytes += s.Bytes
 		requests += int64(s.Requests)
 	}
-	_, makespan := FairShare(l.cfg, streams)
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("netsim: %w", ErrLinkClosed)
+	}
+	// cfg was validated at construction (and on every SetConfig), so the
+	// share computation cannot divide by zero here.
+	_, makespan := fairShare(l.cfg, streams)
 	l.bytes += bytes
 	l.requests += requests
 	l.elapsed += makespan
-	return makespan
+	return makespan, nil
 }

@@ -16,6 +16,15 @@ import (
 // ErrBadLink reports an invalid link configuration.
 var ErrBadLink = errors.New("invalid link configuration")
 
+// ErrLinkClosed reports a transfer attempted on a closed link — a node
+// that detached from its topology mid-scenario. Closed links carry no
+// further traffic; their accumulated stats remain readable.
+var ErrLinkClosed = errors.New("link closed")
+
+// ErrBadStream reports a transfer described with impossible parameters
+// (negative sizes or offsets).
+var ErrBadStream = errors.New("invalid stream")
+
 // Mbps converts megabits-per-second into bytes-per-second.
 func Mbps(mbps float64) float64 { return mbps * 1e6 / 8 }
 
@@ -63,9 +72,9 @@ func (c LinkConfig) WithBandwidth(mbps float64) LinkConfig {
 // Link accumulates traffic over a configured link and converts it to
 // virtual time. Link is safe for concurrent use.
 type Link struct {
-	cfg LinkConfig
-
 	mu       sync.Mutex
+	cfg      LinkConfig
+	closed   bool
 	bytes    int64
 	requests int64
 	elapsed  time.Duration
@@ -80,42 +89,110 @@ func NewLink(cfg LinkConfig) (*Link, error) {
 }
 
 // Config returns the link configuration.
-func (l *Link) Config() LinkConfig { return l.cfg }
+func (l *Link) Config() LinkConfig {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cfg
+}
+
+// SetConfig replaces the link configuration — a WAN degrading when the
+// registry fails over to a distant mirror, then recovering. Traffic
+// already recorded keeps its original pricing; only future transfers pay
+// the new rates.
+func (l *Link) SetConfig(cfg LinkConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("netsim: %w", ErrLinkClosed)
+	}
+	l.cfg = cfg
+	return nil
+}
+
+// Close marks the link down — the node behind it detached. Further
+// transfers record nothing; the error-returning variants report
+// ErrLinkClosed. Closing twice is a no-op.
+func (l *Link) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+}
+
+// Closed reports whether the link has been closed.
+func (l *Link) Closed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
 
 // TransferCost returns the virtual time to move size bytes in a single
 // request, without recording it.
 func (l *Link) TransferCost(size int64) time.Duration {
-	wire := time.Duration(float64(size) / l.cfg.BytesPerSecond * float64(time.Second))
-	return l.cfg.RTT + l.cfg.RequestOverhead + wire
+	cfg := l.Config()
+	wire := time.Duration(float64(size) / cfg.BytesPerSecond * float64(time.Second))
+	return cfg.RTT + cfg.RequestOverhead + wire
 }
 
-// Transfer records one request of size bytes and returns its cost.
+// Transfer records one request of size bytes and returns its cost. On a
+// closed link it records nothing and returns 0; use TransferE when the
+// caller needs the typed error.
 func (l *Link) Transfer(size int64) time.Duration {
-	cost := l.TransferCost(size)
+	cost, _ := l.TransferE(size)
+	return cost
+}
+
+// TransferE is Transfer with typed failure reporting: ErrLinkClosed on
+// a closed link, ErrBadStream for a negative size.
+func (l *Link) TransferE(size int64) (time.Duration, error) {
+	if size < 0 {
+		return 0, fmt.Errorf("netsim: transfer of %d bytes: %w", size, ErrBadStream)
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("netsim: %w", ErrLinkClosed)
+	}
+	wire := time.Duration(float64(size) / l.cfg.BytesPerSecond * float64(time.Second))
+	cost := l.cfg.RTT + l.cfg.RequestOverhead + wire
 	l.bytes += size
 	l.requests++
 	l.elapsed += cost
-	return cost
+	return cost, nil
 }
 
 // TransferBatch records n requests totalling size bytes, as when a client
 // pipelines many object fetches: the wire time is paid on the full volume
-// but the RTT is amortized over a pipeline window.
+// but the RTT is amortized over a pipeline window. On a closed link it
+// records nothing and returns 0; use TransferBatchE for the typed error.
 func (l *Link) TransferBatch(n int, size int64) time.Duration {
+	cost, _ := l.TransferBatchE(n, size)
+	return cost
+}
+
+// TransferBatchE is TransferBatch with typed failure reporting:
+// ErrLinkClosed on a closed link, ErrBadStream for a negative size.
+func (l *Link) TransferBatchE(n int, size int64) (time.Duration, error) {
 	if n <= 0 {
-		return 0
+		return 0, nil
+	}
+	if size < 0 {
+		return 0, fmt.Errorf("netsim: batch of %d bytes: %w", size, ErrBadStream)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("netsim: %w", ErrLinkClosed)
 	}
 	wire := time.Duration(float64(size) / l.cfg.BytesPerSecond * float64(time.Second))
 	perReq := l.cfg.RequestOverhead * time.Duration(n)
 	cost := l.cfg.RTT + perReq + wire
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.bytes += size
 	l.requests += int64(n)
 	l.elapsed += cost
-	return cost
+	return cost, nil
 }
 
 // Stats is a snapshot of traffic carried by a link.

@@ -1,6 +1,14 @@
 package netsim
 
-import "sync"
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrUnknownNode reports a topology operation on a node id that is not
+// currently attached.
+var ErrUnknownNode = errors.New("unknown node")
 
 // Topology models the cluster/WAN asymmetry that makes peer-to-peer
 // image distribution pay (the EdgePier setting): a fleet of nodes in
@@ -13,12 +21,19 @@ import "sync"
 // the two LinkConfigs. Aggregated stats answer the fleet questions:
 // WANStats is what the registry served, LANStats is what the cluster
 // absorbed internally.
+//
+// Nodes can churn: Detach closes a node's links (in-flight transfer
+// attempts fail with ErrLinkClosed), and a later Node call re-attaches
+// it with fresh links. Traffic carried before a detach stays in the
+// aggregate stats, so fleet egress is monotonic across churn.
 type Topology struct {
+	mu             sync.Mutex
 	wanCfg, lanCfg LinkConfig
-
-	mu    sync.Mutex
-	nodes map[string]*NodeLinks
-	order []string
+	nodes          map[string]*NodeLinks
+	order          []string
+	// retired holds the link pairs of detached nodes so their traffic
+	// keeps counting toward the aggregates.
+	retired []*NodeLinks
 }
 
 // NodeLinks is one node's attachment to the topology.
@@ -47,6 +62,8 @@ func NewTopology(wan, lan LinkConfig) (*Topology, error) {
 }
 
 // Node returns the links of the named node, attaching it on first use.
+// A node that was detached is re-attached with fresh links (a rejoin
+// after churn); its earlier traffic remains in the aggregate stats.
 func (t *Topology) Node(id string) *NodeLinks {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -62,7 +79,40 @@ func (t *Topology) Node(id string) *NodeLinks {
 	return n
 }
 
-// NodeIDs lists attached nodes in attachment order.
+// Detach removes the named node: both its links close, so any transfer
+// still pointed at them fails with ErrLinkClosed instead of silently
+// pricing traffic for a node that left. Detaching a node that is not
+// attached reports ErrUnknownNode.
+func (t *Topology) Detach(id string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.nodes[id]
+	if !ok {
+		return fmt.Errorf("netsim: detach %q: %w", id, ErrUnknownNode)
+	}
+	n.WAN.Close()
+	n.LAN.Close()
+	t.retired = append(t.retired, n)
+	delete(t.nodes, id)
+	for i, o := range t.order {
+		if o == id {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Attached reports whether the named node is currently attached.
+func (t *Topology) Attached(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.nodes[id]
+	return ok
+}
+
+// NodeIDs lists attached nodes in attachment order (re-attachment after
+// a detach counts as a fresh attachment).
 func (t *Topology) NodeIDs() []string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -71,13 +121,40 @@ func (t *Topology) NodeIDs() []string {
 	return out
 }
 
+// SetWANConfig reprices every attached node's WAN link and every future
+// attachment — the registry failing over to a degraded mirror, then
+// recovering. Bytes already moved keep their original pricing.
+func (t *Topology) SetWANConfig(cfg LinkConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.wanCfg = cfg
+	for _, id := range t.order {
+		// Attached links are never closed, so SetConfig cannot fail.
+		if err := t.nodes[id].WAN.SetConfig(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WANConfig returns the configuration new WAN attachments receive.
+func (t *Topology) WANConfig() LinkConfig {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.wanCfg
+}
+
 // WANStats sums the registry-side traffic over every node — the
-// fleet's total registry egress.
+// fleet's total registry egress. Detached nodes' past traffic counts.
 func (t *Topology) WANStats() Stats {
 	return t.sum(func(n *NodeLinks) *Link { return n.WAN })
 }
 
 // LANStats sums the intra-cluster peer traffic over every node.
+// Detached nodes' past traffic counts.
 func (t *Topology) LANStats() Stats {
 	return t.sum(func(n *NodeLinks) *Link { return n.LAN })
 }
@@ -87,10 +164,29 @@ func (t *Topology) sum(pick func(*NodeLinks) *Link) Stats {
 	defer t.mu.Unlock()
 	var total Stats
 	for _, id := range t.order {
-		s := pick(t.nodes[id]).Stats()
-		total.Bytes += s.Bytes
-		total.Requests += s.Requests
-		total.Elapsed += s.Elapsed
+		total = total.add(pick(t.nodes[id]).Stats())
+	}
+	for _, n := range t.retired {
+		total = total.add(pick(n).Stats())
 	}
 	return total
+}
+
+// add returns the element-wise sum of two stats snapshots.
+func (s Stats) add(o Stats) Stats {
+	return Stats{
+		Bytes:    s.Bytes + o.Bytes,
+		Requests: s.Requests + o.Requests,
+		Elapsed:  s.Elapsed + o.Elapsed,
+	}
+}
+
+// Sub returns the element-wise difference s - o: the traffic carried
+// between two snapshots of the same link or topology.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Bytes:    s.Bytes - o.Bytes,
+		Requests: s.Requests - o.Requests,
+		Elapsed:  s.Elapsed - o.Elapsed,
+	}
 }

@@ -46,6 +46,15 @@ func (n *StaticNetwork) Add(id string, s FileServer) {
 	n.peers[id] = s
 }
 
+// Remove deregisters the server for id — a node leaving the cluster.
+// Locates that still name the departed holder miss on dial and fall
+// back to the next holder or the registry.
+func (n *StaticNetwork) Remove(id string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.peers, id)
+}
+
 // Peer implements Network.
 func (n *StaticNetwork) Peer(id string) (FileServer, bool) {
 	n.mu.RLock()

@@ -346,6 +346,44 @@ func (h HistogramSnapshot) diff(prev HistogramSnapshot) HistogramSnapshot {
 	return out
 }
 
+// Strip returns a copy of s without the named metrics (matched against
+// counters, gauges, and histograms alike). Deterministic replays use it
+// to drop the few wall-clock-derived metrics (demand-stall timings are
+// measured in real time, not virtual time) before comparing snapshots
+// bit-for-bit.
+func (s Snapshot) Strip(names ...string) Snapshot {
+	drop := make(map[string]bool, len(names))
+	for _, n := range names {
+		drop[n] = true
+	}
+	var out Snapshot
+	if len(s.Counters) > 0 {
+		out.Counters = make(map[string]int64, len(s.Counters))
+		for name, v := range s.Counters {
+			if !drop[name] {
+				out.Counters[name] = v
+			}
+		}
+	}
+	if len(s.Gauges) > 0 {
+		out.Gauges = make(map[string]int64, len(s.Gauges))
+		for name, v := range s.Gauges {
+			if !drop[name] {
+				out.Gauges[name] = v
+			}
+		}
+	}
+	if len(s.Histograms) > 0 {
+		out.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms))
+		for name, h := range s.Histograms {
+			if !drop[name] {
+				out.Histograms[name] = h
+			}
+		}
+	}
+	return out
+}
+
 // Validate checks the structural invariants the decoder relies on:
 // histogram bounds strictly increasing, len(Counts) == len(Bounds)+1,
 // and Count equal to the bucket sum. Counter/gauge values are
