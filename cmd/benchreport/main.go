@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -44,22 +46,52 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+", or all)")
-		jsonOut  = flag.Bool("json", false, "emit the result as JSON instead of the text report (single experiment only)")
-		quick    = flag.Bool("quick", false, "reduced corpus for a fast run")
-		scale    = flag.Float64("scale", 0, "override corpus scale (default 1.0, or the quick preset)")
-		seed     = flag.Int64("seed", 0, "override corpus seed")
-		versions = flag.Int("versions", 0, "cap versions per series (0 = all)")
-		series   = flag.Int("series-per-category", 0, "cap series per category (0 = all)")
-		metrics  = flag.String("metrics", "", "write the run's unified telemetry snapshot (JSON) to this file")
-		benchOut = flag.String("bench", "", "run every experiment and write a versioned bench snapshot (JSON) to this file (requires -pr)")
-		pr       = flag.Int("pr", 0, "PR number recorded in the -bench snapshot")
-		check    = flag.String("checkbench", "", "decode and validate a bench snapshot, verifying every experiment is present")
+		exp        = flag.String("exp", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+", or all)")
+		jsonOut    = flag.Bool("json", false, "emit the result as JSON instead of the text report (single experiment only)")
+		quick      = flag.Bool("quick", false, "reduced corpus for a fast run")
+		scale      = flag.Float64("scale", 0, "override corpus scale (default 1.0, or the quick preset)")
+		seed       = flag.Int64("seed", 0, "override corpus seed")
+		versions   = flag.Int("versions", 0, "cap versions per series (0 = all)")
+		series     = flag.Int("series-per-category", 0, "cap series per category (0 = all)")
+		metrics    = flag.String("metrics", "", "write the run's unified telemetry snapshot (JSON) to this file")
+		benchOut   = flag.String("bench", "", "run every experiment and write a versioned bench snapshot (JSON) to this file (requires -pr)")
+		pr         = flag.Int("pr", 0, "PR number recorded in the -bench snapshot")
+		check      = flag.String("checkbench", "", "decode and validate a bench snapshot, verifying every experiment is present")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run (pprof format) to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile at exit (pprof format) to this file")
 	)
 	flag.Parse()
 
 	if *check != "" {
 		return checkBench(*check, os.Stdout)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchreport: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			// The allocs profile covers everything allocated since program
+			// start, which is what "where do the hot paths allocate" needs;
+			// the heap profile would only show what is still live.
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "benchreport: memprofile:", err)
+			}
+		}()
 	}
 
 	cfg := experiments.Default()
@@ -139,16 +171,25 @@ func writeBench(path string, pr int, cfg experiments.Config, w io.Writer) error 
 		Scale:  cfg.Scale,
 	}
 	fmt.Fprintf(w, "gear benchreport: bench snapshot pr=%d scale=%g seed=%d\n", pr, cfg.Scale, cfg.Seed)
+	var ms runtime.MemStats
 	for _, r := range experiments.All() {
 		fmt.Fprintf(w, "\n=== %s — %s ===\n", r.ID, r.Title)
 		before := cfg.Telemetry.Snapshot()
+		runtime.ReadMemStats(&ms)
+		allocBytes, allocObjects := ms.TotalAlloc, ms.Mallocs
 		start := time.Now()
 		if err := r.Run(cfg, w); err != nil {
 			return fmt.Errorf("bench: %s: %w", r.ID, err)
 		}
 		wall := time.Since(start)
-		diff := cfg.Telemetry.Snapshot().Diff(before)
-		e := bench.Experiment{ID: r.ID, WallNS: wall.Nanoseconds()}
+		runtime.ReadMemStats(&ms)
+		diff := cfg.Telemetry.DiffStripped(before)
+		e := bench.Experiment{
+			ID:           r.ID,
+			WallNS:       wall.Nanoseconds(),
+			AllocBytes:   int64(ms.TotalAlloc - allocBytes),
+			AllocObjects: int64(ms.Mallocs - allocObjects),
+		}
 		for name, v := range diff.Counters {
 			if v != 0 {
 				if e.Counters == nil {
@@ -158,7 +199,8 @@ func writeBench(path string, pr int, cfg experiments.Config, w io.Writer) error 
 			}
 		}
 		file.Experiments = append(file.Experiments, e)
-		fmt.Fprintf(w, "[%s: %v, %d telemetry counters]\n", r.ID, wall.Round(time.Millisecond), len(e.Counters))
+		fmt.Fprintf(w, "[%s: %v, %s allocated in %d objects, %d telemetry counters]\n",
+			r.ID, wall.Round(time.Millisecond), fmtBytes(e.AllocBytes), e.AllocObjects, len(e.Counters))
 	}
 	data, err := bench.Encode(file)
 	if err != nil {
@@ -170,6 +212,19 @@ func writeBench(path string, pr int, cfg experiments.Config, w io.Writer) error 
 	fmt.Fprintf(w, "\nwrote %s: %d experiments, %d distinct counters\n",
 		path, len(file.Experiments), len(file.CounterNames()))
 	return nil
+}
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
 }
 
 // checkBench decodes and validates a bench snapshot and verifies every

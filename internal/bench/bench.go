@@ -17,10 +17,16 @@ import (
 	"time"
 )
 
-// Schema is the current snapshot schema identifier. Decode accepts
-// exactly this value; anything else is ErrSchema, so a future v2 can
-// change shape without old readers misparsing it.
-const Schema = "gear-bench/v1"
+// Schema is the current snapshot schema identifier. v2 adds the
+// per-experiment allocation columns (allocBytes/allocObjects) that
+// cmd/benchreport records alongside wall time. Decode also accepts
+// SchemaV1 snapshots — earlier committed BENCH_<pr>.json files remain
+// readable — but rejects v1 files carrying v2-only fields.
+const Schema = "gear-bench/v2"
+
+// SchemaV1 is the previous snapshot schema: identical shape minus the
+// allocation columns.
+const SchemaV1 = "gear-bench/v1"
 
 // Errors returned by the codec.
 var (
@@ -41,6 +47,13 @@ type Experiment struct {
 	ID string `json:"id"`
 	// WallNS is the experiment's wall-clock run time in nanoseconds.
 	WallNS int64 `json:"wallNs"`
+	// AllocBytes is the total heap bytes allocated while the experiment
+	// ran (runtime MemStats.TotalAlloc delta) — cumulative allocation
+	// pressure, not resident size. Schema v2 only.
+	AllocBytes int64 `json:"allocBytes,omitempty"`
+	// AllocObjects is the heap object count allocated while the
+	// experiment ran (MemStats.Mallocs delta). Schema v2 only.
+	AllocObjects int64 `json:"allocObjects,omitempty"`
 	// Counters are the telemetry counters the experiment's daemons
 	// accumulated (snapshot diff over the run).
 	Counters map[string]int64 `json:"counters,omitempty"`
@@ -74,10 +87,11 @@ func (f *File) Experiment(id string) (Experiment, bool) {
 }
 
 // Validate checks the semantic invariants Encode enforces and Decode
-// guarantees: the current schema, a positive PR, positive scale,
-// non-empty unique experiment ids, and non-negative measurements.
+// guarantees: a known schema, a positive PR, positive scale, non-empty
+// unique experiment ids, non-negative measurements, and no v2-only
+// fields under the v1 schema.
 func (f *File) Validate() error {
-	if f.Schema != Schema {
+	if f.Schema != Schema && f.Schema != SchemaV1 {
 		return fmt.Errorf("bench: schema %q: %w", f.Schema, ErrSchema)
 	}
 	if f.PR <= 0 {
@@ -100,6 +114,13 @@ func (f *File) Validate() error {
 		seen[e.ID] = true
 		if e.WallNS < 0 {
 			return fmt.Errorf("bench: experiment %q: negative wall time: %w", e.ID, ErrInvalid)
+		}
+		if e.AllocBytes < 0 || e.AllocObjects < 0 {
+			return fmt.Errorf("bench: experiment %q: negative alloc stats: %w", e.ID, ErrInvalid)
+		}
+		if f.Schema == SchemaV1 && (e.AllocBytes != 0 || e.AllocObjects != 0) {
+			return fmt.Errorf("bench: experiment %q: alloc columns under schema %s: %w",
+				e.ID, SchemaV1, ErrInvalid)
 		}
 		for name, v := range e.Counters {
 			if name == "" {
@@ -137,12 +158,12 @@ func Decode(data []byte) (*File, error) {
 	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, fmt.Errorf("bench: %v: %w", err, ErrCorrupt)
 	}
-	if probe.Schema == nil || *probe.Schema != Schema {
+	if probe.Schema == nil || (*probe.Schema != Schema && *probe.Schema != SchemaV1) {
 		got := "(missing)"
 		if probe.Schema != nil {
 			got = *probe.Schema
 		}
-		return nil, fmt.Errorf("bench: schema %q, want %q: %w", got, Schema, ErrSchema)
+		return nil, fmt.Errorf("bench: schema %q, want %q or %q: %w", got, Schema, SchemaV1, ErrSchema)
 	}
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()

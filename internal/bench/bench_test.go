@@ -15,7 +15,7 @@ func validFile() *File {
 		Seed:   20211107,
 		Scale:  0.25,
 		Experiments: []Experiment{
-			{ID: "fig9", WallNS: int64(120 * time.Millisecond)},
+			{ID: "fig9", WallNS: int64(120 * time.Millisecond), AllocBytes: 1 << 20, AllocObjects: 4096},
 			{ID: "extfleet", WallNS: int64(2 * time.Second), Counters: map[string]int64{
 				"fleet.deploys":        1024,
 				"store.remote.objects": 331,
@@ -75,8 +75,10 @@ func TestDecodeTypedErrors(t *testing.T) {
 		{"trailing garbage", string(good) + "{}", ErrCorrupt},
 		{"unknown field", `{"schema":"gear-bench/v1","pr":6,"seed":1,"scale":1,"experiments":[{"id":"x","wallNs":1}],"extra":true}`, ErrCorrupt},
 		{"missing schema", `{"pr":6}`, ErrSchema},
-		{"wrong schema", `{"schema":"gear-bench/v2","pr":6}`, ErrSchema},
+		{"wrong schema", `{"schema":"gear-bench/v3","pr":6}`, ErrSchema},
 		{"schema wrong type", `{"schema":42}`, ErrCorrupt},
+		{"negative allocBytes", `{"schema":"gear-bench/v2","pr":6,"seed":1,"scale":1,"experiments":[{"id":"x","wallNs":1,"allocBytes":-1}]}`, ErrInvalid},
+		{"alloc columns under v1", `{"schema":"gear-bench/v1","pr":6,"seed":1,"scale":1,"experiments":[{"id":"x","wallNs":1,"allocBytes":5}]}`, ErrInvalid},
 		{"pr zero", `{"schema":"gear-bench/v1","pr":0,"seed":1,"scale":1,"experiments":[{"id":"x","wallNs":1}]}`, ErrInvalid},
 		{"no experiments", `{"schema":"gear-bench/v1","pr":6,"seed":1,"scale":1,"experiments":[]}`, ErrInvalid},
 		{"empty id", `{"schema":"gear-bench/v1","pr":6,"seed":1,"scale":1,"experiments":[{"id":"","wallNs":1}]}`, ErrInvalid},
@@ -111,5 +113,45 @@ func TestEncodeRejectsInvalid(t *testing.T) {
 func TestFilename(t *testing.T) {
 	if got := Filename(6); got != "BENCH_6.json" {
 		t.Errorf("Filename(6) = %q", got)
+	}
+}
+
+// TestDecodeV1Compat pins backward compatibility: earlier committed
+// BENCH_<pr>.json files (schema v1, no alloc columns) must keep
+// decoding and round-tripping under their own schema.
+func TestDecodeV1Compat(t *testing.T) {
+	v1 := `{
+  "schema": "gear-bench/v1",
+  "pr": 6,
+  "seed": 20211107,
+  "scale": 0.25,
+  "experiments": [
+    {
+      "id": "fig9",
+      "wallNs": 120000000,
+      "counters": {
+        "store.remote.objects": 331
+      }
+    }
+  ]
+}
+`
+	f, err := Decode([]byte(v1))
+	if err != nil {
+		t.Fatalf("Decode(v1): %v", err)
+	}
+	if f.Schema != SchemaV1 {
+		t.Errorf("schema = %q, want %q", f.Schema, SchemaV1)
+	}
+	e, ok := f.Experiment("fig9")
+	if !ok || e.AllocBytes != 0 || e.AllocObjects != 0 {
+		t.Errorf("fig9 = %+v, %v; want zero alloc columns", e, ok)
+	}
+	re, err := Encode(f)
+	if err != nil {
+		t.Fatalf("re-Encode(v1): %v", err)
+	}
+	if string(re) != v1 {
+		t.Errorf("v1 canonical form unstable:\n%s\nvs\n%s", v1, re)
 	}
 }

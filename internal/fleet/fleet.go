@@ -477,10 +477,16 @@ func (h *Harness) TraceRing() *telemetry.TraceRing { return h.ring }
 // link counters (detached nodes' past traffic included) so the snapshot
 // is the whole fleet's picture. Safe to call while a scenario runs.
 func (h *Harness) Snapshot() telemetry.Snapshot {
-	// The read-stats-then-set-gauge sequence is serialized so a stale
-	// read can never overwrite a fresher one: with the link counters
-	// monotone, serialized refreshes keep the gauges monotone too, and
-	// concurrent snapshot readers may trust that.
+	h.refreshLinkGauges()
+	return h.tele.Snapshot()
+}
+
+// refreshLinkGauges folds the topology's aggregated link counters into
+// the fleet.wan.*/fleet.lan.* gauges. The read-stats-then-set-gauge
+// sequence is serialized so a stale read can never overwrite a fresher
+// one: with the link counters monotone, serialized refreshes keep the
+// gauges monotone too, and concurrent snapshot readers may trust that.
+func (h *Harness) refreshLinkGauges() {
 	h.mu.Lock()
 	wan := h.topo.WANStats()
 	h.wanBytes.Set(wan.Bytes)
@@ -492,5 +498,12 @@ func (h *Harness) Snapshot() telemetry.Snapshot {
 	h.lanElapsed.Set(int64(lan.Elapsed))
 	h.nodesGauge.Set(int64(len(h.nodes)))
 	h.mu.Unlock()
-	return h.tele.Snapshot()
+}
+
+// phaseDiff returns the change in fleet telemetry since before with the
+// wall-clock metrics stripped, computed in one registry pass (see
+// telemetry.Registry.DiffStripped) — the per-phase accounting hot path.
+func (h *Harness) phaseDiff(before telemetry.Snapshot) telemetry.Snapshot {
+	h.refreshLinkGauges()
+	return h.tele.DiffStripped(before, WallClockMetrics...)
 }

@@ -97,7 +97,7 @@ func (h *Harness) phase(res *Result, name string, fn func() error) error {
 		return fmt.Errorf("fleet: %s/%s: %w", res.Scenario, name, err)
 	}
 
-	diff := h.Snapshot().Diff(before).Strip(WallClockMetrics...)
+	diff := h.phaseDiff(before)
 	h.mu.Lock()
 	maxDeploy := h.maxDeploy
 	h.mu.Unlock()

@@ -1,0 +1,82 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/gear-image/gear/internal/imagefmt"
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// benchIndex builds a mid-size index: 20 directories of 25 files each
+// plus a handful of chunked big files — roughly the entry count of the
+// paper's smaller images.
+func benchIndex(b *testing.B) *Index {
+	b.Helper()
+	fs := vfs.New()
+	rng := rand.New(rand.NewSource(11))
+	for d := 0; d < 20; d++ {
+		dir := fmt.Sprintf("/app/dir%02d", d)
+		if err := fs.MkdirAll(dir, 0o755); err != nil {
+			b.Fatal(err)
+		}
+		for f := 0; f < 25; f++ {
+			data := make([]byte, 64+rng.Intn(512))
+			rng.Read(data)
+			if err := fs.WriteFile(fmt.Sprintf("%s/f%02d", dir, f), data, 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	big := make([]byte, 64<<10)
+	rng.Read(big)
+	for i := 0; i < 4; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("/app/big%d.bin", i), big, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ix, _, err := BuildChunked("bench", "v1", imagefmt.Config{}, fs, nil, 8192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix
+}
+
+func BenchmarkEncodeBinary(b *testing.B) {
+	ix := benchIndex(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeBinary(ix); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeBinary(b *testing.B) {
+	ix := benchIndex(b)
+	enc, err := EncodeBinary(ix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBinary(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeJSON(b *testing.B) {
+	ix := benchIndex(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(ix); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

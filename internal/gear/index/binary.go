@@ -41,12 +41,13 @@ func EncodeBinary(ix *Index) ([]byte, error) {
 	if err := ix.Validate(); err != nil {
 		return nil, err
 	}
-	var buf bytes.Buffer
-	buf.Write(binaryMagic)
 	cfg, err := json.Marshal(ix.Config)
 	if err != nil {
 		return nil, fmt.Errorf("index: encode binary config: %w", err)
 	}
+	var buf bytes.Buffer
+	buf.Grow(len(binaryMagic) + len(cfg) + len(ix.Name) + len(ix.Tag) + 16 + entrySizeHint(ix.Root))
+	buf.Write(binaryMagic)
 	writeBytes(&buf, cfg)
 	writeString(&buf, ix.Name)
 	writeString(&buf, ix.Tag)
@@ -95,6 +96,26 @@ func DecodeBinary(data []byte) (*Index, error) {
 
 // maxBinaryDepth bounds tree recursion against adversarial input.
 const maxBinaryDepth = 256
+
+// entrySizeHint upper-bounds an entry's encoded size so EncodeBinary can
+// allocate its buffer once: name + type byte + up-to-5-byte varints, a
+// 17-byte raw fingerprint (fallback IDs may run longer, costing at most
+// one buffer growth), and 22 bytes per chunk.
+func entrySizeHint(e *Entry) int {
+	n := len(e.Name) + 1 + 1 + 5
+	switch {
+	case len(e.Children) > 0:
+		n += 5
+		for _, c := range e.Children {
+			n += entrySizeHint(c)
+		}
+	case len(e.Chunks) > 0:
+		n += 17 + 10 + 5 + 22*len(e.Chunks)
+	default:
+		n += 17 + 10 + 5 + len(e.Target)
+	}
+	return n
+}
 
 func writeEntry(buf *bytes.Buffer, e *Entry) error {
 	writeString(buf, e.Name)
@@ -154,6 +175,11 @@ func readEntry(r *bytes.Reader, depth int) (*Entry, error) {
 		if n > uint64(r.Len()) {
 			return nil, fmt.Errorf("child count %d exceeds input", n)
 		}
+		if n > 0 {
+			// n is bounded by the remaining input, so the preallocation
+			// cannot exceed the data we were handed.
+			e.Children = make([]*Entry, 0, n)
+		}
 		for i := uint64(0); i < n; i++ {
 			c, err := readEntry(r, depth+1)
 			if err != nil {
@@ -178,6 +204,9 @@ func readEntry(r *bytes.Reader, depth int) (*Entry, error) {
 		}
 		if n > uint64(r.Len()) {
 			return nil, fmt.Errorf("chunk count %d exceeds input", n)
+		}
+		if n > 0 {
+			e.Chunks = make([]Chunk, 0, n)
 		}
 		for i := uint64(0); i < n; i++ {
 			cfp, err := readFingerprint(r)
@@ -204,10 +233,10 @@ func readEntry(r *bytes.Reader, depth int) (*Entry, error) {
 
 func writeFingerprint(buf *bytes.Buffer, fp hashing.Fingerprint) error {
 	if len(fp) == 32 {
-		raw, err := hex.DecodeString(string(fp))
-		if err == nil {
+		var raw [16]byte
+		if _, err := hex.Decode(raw[:], []byte(fp)); err == nil {
 			buf.WriteByte(0)
-			buf.Write(raw)
+			buf.Write(raw[:])
 			return nil
 		}
 	}
@@ -226,11 +255,13 @@ func readFingerprint(r *bytes.Reader) (hashing.Fingerprint, error) {
 	}
 	switch tag {
 	case 0:
-		raw := make([]byte, 16)
-		if _, err := io.ReadFull(r, raw); err != nil {
+		var raw [16]byte
+		if _, err := io.ReadFull(r, raw[:]); err != nil {
 			return "", err
 		}
-		return hashing.Fingerprint(hex.EncodeToString(raw)), nil
+		var dst [32]byte
+		hex.Encode(dst[:], raw[:])
+		return hashing.Fingerprint(dst[:]), nil
 	case 1:
 		s, err := readString(r)
 		if err != nil {
@@ -248,7 +279,10 @@ func writeUvarint(buf *bytes.Buffer, v uint64) {
 	buf.Write(tmp[:n])
 }
 
-func writeString(buf *bytes.Buffer, s string) { writeBytes(buf, []byte(s)) }
+func writeString(buf *bytes.Buffer, s string) {
+	writeUvarint(buf, uint64(len(s)))
+	buf.WriteString(s)
+}
 
 func writeBytes(buf *bytes.Buffer, b []byte) {
 	writeUvarint(buf, uint64(len(b)))

@@ -110,24 +110,47 @@ var _ Hasher = MD5{}
 // Fingerprint implements Hasher using crypto/md5.
 func (MD5) Fingerprint(data []byte) Fingerprint { return FingerprintBytes(data) }
 
+// verifier is the strong digest the registry keeps per assigned content
+// in place of the content itself: two inputs with equal fingerprints are
+// a true duplicate iff their verifiers match. SHA256 collisions would be
+// required to confuse two distinct contents, so collision handling keeps
+// the byte-for-byte guarantee while resident state stays O(entries)
+// instead of O(total corpus bytes).
+type verifier [sha256.Size]byte
+
+func verifierOf(data []byte) verifier { return sha256.Sum256(data) }
+
+// registryShards is the number of independently locked shards. Shards
+// are selected by fingerprint prefix, so load spreads evenly under the
+// production hasher and contention is per-prefix, not global.
+const registryShards = 64
+
+// registryShard holds the entries for one fingerprint-prefix slice of
+// the space. Each fingerprint maps to the verifiers of the contents seen
+// under it, in assignment order: index 0 is the bare fingerprint, later
+// entries carry "-cN" suffixes.
+type registryShard struct {
+	mu         sync.Mutex
+	byFP       map[Fingerprint][]verifier
+	collisions int
+}
+
 // Registry assigns stable content addresses with collision detection.
-// On a fingerprint match it compares contents byte-for-byte; a true
+// On a fingerprint match it compares strong content digests; a true
 // duplicate reuses the existing address, while a collision (same hash,
 // different bytes) is assigned a unique ID of the form "<fp>-cN". The
 // paper's design (§III-B) notes this disables dedup for the colliding
 // files without compromising correctness.
 //
+// The registry retains only a fixed-size verification digest per entry —
+// never the content — so its resident memory is independent of payload
+// sizes, and the fingerprint space is sharded by prefix so concurrent
+// assignment does not serialize on one lock.
+//
 // A Registry is safe for concurrent use.
 type Registry struct {
 	hasher Hasher
-
-	mu sync.Mutex
-	// byFP maps each raw fingerprint to the contents seen under it, in
-	// assignment order. Index 0 keeps the bare fingerprint; later entries
-	// carry "-cN" suffixes.
-	byFP map[Fingerprint][][]byte
-	// collisions counts assignments that required a fallback ID.
-	collisions int
+	shards [registryShards]registryShard
 }
 
 // NewRegistry returns a Registry using hasher (MD5{} if nil).
@@ -135,81 +158,192 @@ func NewRegistry(hasher Hasher) *Registry {
 	if hasher == nil {
 		hasher = MD5{}
 	}
-	return &Registry{
-		hasher: hasher,
-		byFP:   make(map[Fingerprint][][]byte),
+	r := &Registry{hasher: hasher}
+	for i := range r.shards {
+		r.shards[i].byFP = make(map[Fingerprint][]verifier)
 	}
+	return r
+}
+
+// shardIndexOf maps a fingerprint to its shard by prefix. Weak test
+// hashers may emit short or non-hex fingerprints, so the fold is
+// defensive.
+func shardIndexOf(fp Fingerprint) uint32 {
+	var h uint32
+	for i := 0; i < len(fp) && i < 2; i++ {
+		h = h*31 + uint32(fp[i])
+	}
+	return h % registryShards
+}
+
+func (r *Registry) shardOf(fp Fingerprint) *registryShard {
+	return &r.shards[shardIndexOf(fp)]
 }
 
 // Assign returns the content address for data, detecting collisions.
 // Identical contents always receive identical addresses; distinct contents
 // always receive distinct addresses, even under a colliding hasher.
 func (r *Registry) Assign(data []byte) Fingerprint {
-	return r.assign(r.hasher.Fingerprint(data), data)
+	return r.assign(r.hasher.Fingerprint(data), verifierOf(data))
 }
 
-// assign resolves a precomputed fingerprint to its collision-safe ID,
-// recording data under it. Callers must pass fp computed by r's hasher.
-func (r *Registry) assign(fp Fingerprint, data []byte) Fingerprint {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	seen := r.byFP[fp]
+// assign resolves a precomputed (fingerprint, verifier) pair to its
+// collision-safe ID, recording the verifier under the fingerprint.
+// Callers must pass fp computed by r's hasher and v = verifierOf(data).
+func (r *Registry) assign(fp Fingerprint, v verifier) Fingerprint {
+	s := r.shardOf(fp)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := s.byFP[fp]
 	for i, prev := range seen {
-		if bytesEqual(prev, data) {
+		if prev == v {
 			return indexedID(fp, i)
 		}
 	}
-	r.byFP[fp] = append(seen, cloneBytes(data))
+	s.byFP[fp] = append(seen, v)
 	if len(seen) > 0 {
-		r.collisions++
+		s.collisions++
 	}
 	return indexedID(fp, len(seen))
 }
 
 // AssignAll assigns content addresses to every item using up to workers
-// goroutines for the hash computation — the CPU-bound part — while the
-// collision-ID assignment runs sequentially in input order afterwards.
-// The returned addresses are therefore bit-identical to calling Assign on
-// each item in order, for any worker count: "-cN" suffixes depend only on
-// the order collisions are *assigned*, which AssignAll keeps serial.
+// goroutines for the hash computations — the CPU-bound part — and then
+// resolves collision IDs per shard, in input order within each shard.
+// The returned addresses are bit-identical to calling Assign on each
+// item in order, for any worker count: "-cN" suffixes depend only on the
+// order collisions are *assigned per fingerprint*, a fingerprint never
+// spans shards, and each shard assigns its items in input order — so no
+// global serialization point remains.
 func (r *Registry) AssignAll(items [][]byte, workers int) []Fingerprint {
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(items) {
-		workers = len(items)
+	if workers > n {
+		workers = n
 	}
-	fps := make([]Fingerprint, len(items))
+	fps := make([]Fingerprint, n)
+	vs := make([]verifier, n)
 	if workers <= 1 {
 		for i, data := range items {
 			fps[i] = r.hasher.Fingerprint(data)
+			vs[i] = verifierOf(data)
 		}
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
-			lo := w * len(items) / workers
-			hi := (w + 1) * len(items) / workers
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			if lo >= hi {
+				continue // empty range: don't spawn an idle goroutine
+			}
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
 				for i := lo; i < hi; i++ {
 					fps[i] = r.hasher.Fingerprint(items[i])
+					vs[i] = verifierOf(items[i])
 				}
 			}(lo, hi)
 		}
 		wg.Wait()
 	}
-	for i, data := range items {
-		fps[i] = r.assign(fps[i], data)
+
+	// Bucket item indices by shard with a counting sort (no per-shard
+	// slice allocations), then assign shard-by-shard. Within a shard,
+	// items keep input order, which pins the "-cN" numbering.
+	var counts [registryShards]int
+	shardIdx := make([]uint8, n)
+	for i, fp := range fps {
+		si := uint8(shardIndexOf(fp))
+		shardIdx[i] = si
+		counts[si]++
 	}
+	var offsets [registryShards]int
+	total := 0
+	for s := 0; s < registryShards; s++ {
+		offsets[s] = total
+		total += counts[s]
+	}
+	order := make([]int32, n)
+	next := offsets
+	for i := 0; i < n; i++ {
+		s := shardIdx[i]
+		order[next[s]] = int32(i)
+		next[s]++
+	}
+
+	// Each item is resolved exactly once, so the fingerprint slice can be
+	// rewritten in place with the collision-safe IDs.
+	type run struct{ lo, hi int }
+	runs := make([]run, 0, registryShards)
+	for s := 0; s < registryShards; s++ {
+		if counts[s] > 0 {
+			runs = append(runs, run{offsets[s], offsets[s] + counts[s]})
+		}
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	if workers <= 1 {
+		for _, i := range order {
+			fps[i] = r.assign(fps[i], vs[i])
+		}
+		return fps
+	}
+	// Shards are independent: fan each populated shard's run out to the
+	// pool. Assignment within a run stays in input order.
+	var wg sync.WaitGroup
+	runCh := make(chan run, len(runs))
+	for _, rn := range runs {
+		runCh <- rn
+	}
+	close(runCh)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rn := range runCh {
+				for _, i := range order[rn.lo:rn.hi] {
+					fps[i] = r.assign(fps[i], vs[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
 	return fps
 }
 
 // Collisions returns how many fallback IDs have been assigned.
 func (r *Registry) Collisions() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.collisions
+	total := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		total += s.collisions
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Entries returns how many distinct contents the registry has assigned
+// addresses to. Each entry costs a fixed-size verifier digest, so
+// Entries bounds resident memory regardless of payload sizes.
+func (r *Registry) Entries() int {
+	total := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for _, seen := range s.byFP {
+			total += len(seen)
+		}
+		s.mu.Unlock()
+	}
+	return total
 }
 
 func indexedID(fp Fingerprint, i int) Fingerprint {
@@ -217,24 +351,6 @@ func indexedID(fp Fingerprint, i int) Fingerprint {
 		return fp
 	}
 	return Fingerprint(string(fp) + "-c" + strconv.Itoa(i))
-}
-
-func bytesEqual(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-func cloneBytes(b []byte) []byte {
-	out := make([]byte, len(b))
-	copy(out, b)
-	return out
 }
 
 // CollisionProbability returns the birthday-paradox bound from the paper's

@@ -11,12 +11,14 @@ import (
 	"archive/tar"
 	"bytes"
 	"compress/gzip"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"io/fs"
 	"path"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/gear-image/gear/internal/vfs"
@@ -40,58 +42,129 @@ var ErrCorrupt = errors.New("corrupt tar stream")
 // identical layer digests, which layer-level dedup depends on).
 var epoch = time.Unix(0, 0)
 
+// Buffer and codec pools. A gzip.Writer carries a multi-hundred-KB
+// deflate state and a gzip.Reader a 32 KB window plus buffers;
+// allocating them per object made every convert/push/fetch pay the
+// setup cost again. The pools hand the same states back out, and
+// because gzip framing at a fixed level is a pure function of the input
+// byte stream, reuse cannot change output bytes.
+var (
+	gzWriterPool = sync.Pool{New: func() any {
+		zw, err := gzip.NewWriterLevel(io.Discard, gzip.BestSpeed)
+		if err != nil {
+			panic(err) // BestSpeed is always a valid level
+		}
+		return zw
+	}}
+	gzReaderPool = sync.Pool{New: func() any { return new(gzip.Reader) }}
+	bufPool      = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+)
+
+// getBuf returns a reset scratch buffer; callers must putBuf it after
+// copying the bytes out.
+func getBuf() *bytes.Buffer {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	return buf
+}
+
+// maxPooledBuf bounds the scratch buffers kept alive by the pool; an
+// occasional giant archive should not pin its footprint forever.
+const maxPooledBuf = 8 << 20
+
+func putBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledBuf {
+		bufPool.Put(buf)
+	}
+}
+
+// packedSizeHint estimates the tar size of a tree: one 512-byte header
+// block per entry (two for opaque markers), content rounded up to block
+// size, and the two-block end-of-archive trailer.
+func packedSizeHint(f *vfs.FS) int {
+	size := 1024
+	_ = f.Walk(func(_ string, n *vfs.Node) error {
+		size += 512
+		if n.Type() == vfs.TypeRegular {
+			size += (int(n.Size()) + 511) &^ 511
+		}
+		if n.Type() == vfs.TypeDir && n.Opaque {
+			size += 512
+		}
+		return nil
+	})
+	return size
+}
+
 // Pack serializes the whole tree as an uncompressed tar archive in
 // deterministic order.
 func Pack(f *vfs.FS) ([]byte, error) {
 	var buf bytes.Buffer
-	tw := tar.NewWriter(&buf)
-	err := f.Walk(func(p string, n *vfs.Node) error {
-		return writeEntry(tw, p, n, f)
-	})
-	if err != nil {
-		return nil, fmt.Errorf("tarstream: pack: %w", err)
-	}
-	if err := tw.Close(); err != nil {
-		return nil, fmt.Errorf("tarstream: pack close: %w", err)
+	buf.Grow(packedSizeHint(f))
+	if err := packInto(&buf, f); err != nil {
+		return nil, err
 	}
 	return buf.Bytes(), nil
 }
 
-func writeEntry(tw *tar.Writer, p string, n *vfs.Node, f *vfs.FS) error {
+// packInto streams the tree's tar form into w.
+func packInto(w io.Writer, f *vfs.FS) error {
+	tw := tar.NewWriter(w)
+	var p packer
+	err := f.Walk(func(path string, n *vfs.Node) error {
+		return p.writeEntry(tw, path, n)
+	})
+	if err != nil {
+		return fmt.Errorf("tarstream: pack: %w", err)
+	}
+	if err := tw.Close(); err != nil {
+		return fmt.Errorf("tarstream: pack close: %w", err)
+	}
+	return nil
+}
+
+// packer reuses one header struct across entries; tar.Writer copies the
+// fields on WriteHeader, so reuse is safe and saves an allocation per
+// entry.
+type packer struct {
+	hdr tar.Header
+}
+
+func (pk *packer) writeEntry(tw *tar.Writer, p string, n *vfs.Node) error {
 	name := strings.TrimPrefix(p, "/")
-	hdr := &tar.Header{
+	pk.hdr = tar.Header{
 		Name:    name,
 		Mode:    int64(n.Mode().Perm()),
 		ModTime: epoch,
 	}
 	switch n.Type() {
 	case vfs.TypeDir:
-		hdr.Typeflag = tar.TypeDir
-		hdr.Name += "/"
-		if err := tw.WriteHeader(hdr); err != nil {
+		pk.hdr.Typeflag = tar.TypeDir
+		pk.hdr.Name += "/"
+		if err := tw.WriteHeader(&pk.hdr); err != nil {
 			return err
 		}
 		if n.Opaque {
-			opq := &tar.Header{
+			pk.hdr = tar.Header{
 				Name:     name + "/" + OpaqueMarker,
 				Mode:     0,
 				ModTime:  epoch,
 				Typeflag: tar.TypeReg,
 			}
-			if err := tw.WriteHeader(opq); err != nil {
+			if err := tw.WriteHeader(&pk.hdr); err != nil {
 				return err
 			}
 		}
 		return nil
 	case vfs.TypeSymlink:
-		hdr.Typeflag = tar.TypeSymlink
-		hdr.Linkname = n.Target()
-		return tw.WriteHeader(hdr)
+		pk.hdr.Typeflag = tar.TypeSymlink
+		pk.hdr.Linkname = n.Target()
+		return tw.WriteHeader(&pk.hdr)
 	case vfs.TypeRegular:
-		hdr.Typeflag = tar.TypeReg
+		pk.hdr.Typeflag = tar.TypeReg
 		data := n.Content().Data()
-		hdr.Size = int64(len(data))
-		if err := tw.WriteHeader(hdr); err != nil {
+		pk.hdr.Size = int64(len(data))
+		if err := tw.WriteHeader(&pk.hdr); err != nil {
 			return err
 		}
 		_, err := tw.Write(data)
@@ -102,45 +175,103 @@ func writeEntry(tw *tar.Writer, p string, n *vfs.Node, f *vfs.FS) error {
 }
 
 // PackGz serializes the tree as a gzip-compressed tar archive, the format
-// Docker registries store layers in.
+// Docker registries store layers in. The tar stream feeds the compressor
+// directly — no intermediate uncompressed copy — and the output is
+// byte-identical to Gzip(Pack(f)).
 func PackGz(f *vfs.FS) ([]byte, error) {
-	raw, err := Pack(f)
-	if err != nil {
+	buf := getBuf()
+	defer putBuf(buf)
+	zw := gzWriterPool.Get().(*gzip.Writer)
+	zw.Reset(buf)
+	if err := packInto(zw, f); err != nil {
+		gzWriterPool.Put(zw)
 		return nil, err
 	}
-	return Gzip(raw)
+	if err := zw.Close(); err != nil {
+		gzWriterPool.Put(zw)
+		return nil, fmt.Errorf("tarstream: packgz close: %w", err)
+	}
+	gzWriterPool.Put(zw)
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
 }
 
 // Gzip compresses data with deterministic gzip framing.
 func Gzip(data []byte) ([]byte, error) {
-	var buf bytes.Buffer
-	zw, err := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
-	if err != nil {
-		return nil, fmt.Errorf("tarstream: gzip: %w", err)
-	}
+	buf := getBuf()
+	defer putBuf(buf)
+	zw := gzWriterPool.Get().(*gzip.Writer)
+	zw.Reset(buf)
 	if _, err := zw.Write(data); err != nil {
+		gzWriterPool.Put(zw)
 		return nil, fmt.Errorf("tarstream: gzip write: %w", err)
 	}
 	if err := zw.Close(); err != nil {
+		gzWriterPool.Put(zw)
 		return nil, fmt.Errorf("tarstream: gzip close: %w", err)
 	}
-	return buf.Bytes(), nil
+	gzWriterPool.Put(zw)
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
+// gunzipSizeHint reads the ISIZE trailer (uncompressed length mod 2^32)
+// as an allocation hint, clamped by the deflate maximum expansion ratio
+// (~1032:1) so corrupt trailers cannot force absurd allocations.
+func gunzipSizeHint(data []byte) int {
+	if len(data) < 8 {
+		return 0
+	}
+	isize := int64(binary.LittleEndian.Uint32(data[len(data)-4:]))
+	if limit := int64(len(data))*1032 + 64; isize > limit {
+		return 0
+	}
+	return int(isize)
 }
 
 // Gunzip decompresses gzip-framed data.
 func Gunzip(data []byte) ([]byte, error) {
-	zr, err := gzip.NewReader(bytes.NewReader(data))
-	if err != nil {
+	zr := gzReaderPool.Get().(*gzip.Reader)
+	if err := zr.Reset(bytes.NewReader(data)); err != nil {
+		gzReaderPool.Put(zr)
 		return nil, fmt.Errorf("tarstream: gunzip: %w", err)
 	}
-	out, err := io.ReadAll(zr)
+	out, err := readAllSized(zr, gunzipSizeHint(data))
 	if err != nil {
+		gzReaderPool.Put(zr)
 		return nil, fmt.Errorf("tarstream: gunzip read: %w", err)
 	}
 	if err := zr.Close(); err != nil {
+		gzReaderPool.Put(zr)
 		return nil, fmt.Errorf("tarstream: gunzip close: %w", err)
 	}
+	gzReaderPool.Put(zr)
 	return out, nil
+}
+
+// readAllSized is io.ReadAll with a capacity hint: when the hint is
+// exact (the common case — it comes from the gzip ISIZE trailer), the
+// result is a single allocation with no growth copies.
+func readAllSized(r io.Reader, hint int) ([]byte, error) {
+	if hint < 0 {
+		hint = 0
+	}
+	b := make([]byte, 0, hint+1)
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := r.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			return b, nil
+		}
+		if err != nil {
+			return b, err
+		}
+	}
 }
 
 // Unpack parses a tar archive into a fresh tree. Whiteout entries are
@@ -174,7 +305,15 @@ func Unpack(data []byte) (*vfs.FS, error) {
 				return nil, fmt.Errorf("tarstream: unpack %s: %w", p, err)
 			}
 		case tar.TypeReg:
-			content, err := io.ReadAll(tr)
+			// hdr.Size is authoritative for a well-formed archive, so
+			// the exact-size read avoids io.ReadAll's growth copies. The
+			// archive itself bounds the hint: a corrupt header claiming
+			// more than the input holds must not drive the allocation.
+			hint := int(hdr.Size)
+			if hint < 0 || hint > len(data) {
+				hint = 0
+			}
+			content, err := readAllSized(tr, hint)
 			if err != nil {
 				return nil, fmt.Errorf("tarstream: unpack %s: %w: %w", p, ErrCorrupt, err)
 			}

@@ -530,3 +530,120 @@ func BenchmarkApplyLayer(b *testing.B) {
 		}
 	}
 }
+
+// TestPackGzMatchesGzipOfPack pins the streaming PackGz path to the
+// composed form byte for byte: layer digests depend on the exact gzip
+// framing, so the zero-copy path must not change a single bit.
+func TestPackGzMatchesGzipOfPack(t *testing.T) {
+	f := buildTree(t)
+	streamed, err := PackGz(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Pack(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed, err := Gzip(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed, composed) {
+		t.Fatalf("PackGz (%d bytes) != Gzip(Pack(...)) (%d bytes)", len(streamed), len(composed))
+	}
+}
+
+// TestGzipPooledReuseIsolated asserts pooled codec state never leaks
+// between calls: interleaved compress/decompress cycles of different
+// payloads must round-trip independently.
+func TestGzipPooledReuseIsolated(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	payloads := make([][]byte, 8)
+	for i := range payloads {
+		payloads[i] = make([]byte, 100+i*777)
+		rng.Read(payloads[i])
+	}
+	zipped := make([][]byte, len(payloads))
+	for i, p := range payloads {
+		z, err := Gzip(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zipped[i] = z
+	}
+	for i := len(zipped) - 1; i >= 0; i-- {
+		got, err := Gunzip(zipped[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payloads[i]) {
+			t.Fatalf("payload %d corrupted after pooled round trip", i)
+		}
+	}
+}
+
+func benchTree(b *testing.B, files, size int) *vfs.FS {
+	b.Helper()
+	f := vfs.New()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < files; i++ {
+		data := make([]byte, size)
+		rng.Read(data)
+		if err := f.WriteFile(fmt.Sprintf("/f%03d", i), data, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return f
+}
+
+// BenchmarkPackGz measures the streaming compressed-pack path used by
+// every registry push.
+func BenchmarkPackGz(b *testing.B) {
+	f := benchTree(b, 200, 2048)
+	b.ReportAllocs()
+	b.SetBytes(200 * 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PackGz(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGzipRoundTrip measures the pooled compress/decompress pair
+// used on the wire paths (uploads, downloads, peer transfers).
+func BenchmarkGzipRoundTrip(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	data := make([]byte, 256<<10)
+	rng.Read(data)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z, err := Gzip(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Gunzip(z); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnpackGz measures the full decode path a puller runs per
+// layer: gunzip plus tar extraction into a fresh tree.
+func BenchmarkUnpackGz(b *testing.B) {
+	f := benchTree(b, 100, 4096)
+	z, err := PackGz(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(100 * 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnpackGz(z); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

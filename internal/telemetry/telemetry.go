@@ -289,6 +289,56 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// DiffStripped returns Snapshot().Diff(prev).Strip(drop...) computed in
+// one pass over the registry: the current values are read, subtracted,
+// and filtered directly into the result maps, with no intermediate
+// snapshot or second/third map pass. Per-phase accounting loops (fleet
+// scenarios take two snapshots per phase) use it so bookkeeping cost
+// stays flat as fleets scale. A nil registry yields an empty snapshot.
+func (r *Registry) DiffStripped(prev Snapshot, drop ...string) Snapshot {
+	var d Snapshot
+	if r == nil {
+		return d
+	}
+	dropped := func(name string) bool {
+		// drop lists are tiny (a couple of wall-clock metrics); a linear
+		// scan beats building a set per call.
+		for _, n := range drop {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		d.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			if !dropped(name) {
+				d.Counters[name] = c.Value() - prev.Counters[name]
+			}
+		}
+	}
+	if len(r.gauges) > 0 {
+		d.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			if !dropped(name) {
+				d.Gauges[name] = g.Value()
+			}
+		}
+	}
+	if len(r.hists) > 0 {
+		d.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			if !dropped(name) {
+				d.Histograms[name] = h.snapshot().diff(prev.Histograms[name])
+			}
+		}
+	}
+	return d
+}
+
 // Counter returns the snapshot's value for a counter (0 if absent).
 func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
 
