@@ -14,6 +14,7 @@
 //	gearctl profile -library URL [-dump name:tag | -delete name:tag]
 //	gearctl stats  -url URL [-path /metrics] [-json] [-diff FILE] [-save FILE]
 //	gearctl fleet  -scenario flashcrowd -nodes 64 -seed 7 [-json]
+//	gearctl shards -shards 4 -replicas 2 [-json]
 //
 // The deploy subcommand's -mode selects the Docker baseline ("docker",
 // full image pull) or Gear ("gear", lazy index pull). Bandwidth is the
@@ -21,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +43,7 @@ import (
 	"github.com/gear-image/gear/internal/peer"
 	"github.com/gear-image/gear/internal/prefetch"
 	"github.com/gear-image/gear/internal/registry"
+	"github.com/gear-image/gear/internal/shardreg"
 	"github.com/gear-image/gear/internal/telemetry"
 )
 
@@ -74,8 +77,10 @@ func run(args []string) error {
 		return cmdStats(args[1:], os.Stdout)
 	case "fleet":
 		return cmdFleet(args[1:], os.Stdout)
+	case "shards":
+		return cmdShards(args[1:], os.Stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want seed, list, index, deploy, gc, peers, profile, stats, or fleet)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want seed, list, index, deploy, gc, peers, profile, stats, fleet, or shards)", args[0])
 	}
 }
 
@@ -479,6 +484,79 @@ func cmdDeploy(args []string) error {
 			fmt.Printf("  %-45s %10v  %s\n", e.Path, e.Cost.Round(time.Microsecond), origin)
 		}
 	}
+	return nil
+}
+
+// cmdShards builds a deterministic in-process sharded registry tier
+// from the synthetic workload and prints its placement: the consistent-
+// hash ring's per-shard primary ownership, what each shard actually
+// stores after replication, and the tier totals. Same workload flags as
+// fleet, so the tier shown here is the one a sharded fleet run uses.
+func cmdShards(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("shards", flag.ContinueOnError)
+	var (
+		shards   = fs.Int("shards", 4, "shard count")
+		replicas = fs.Int("replicas", 2, "replication factor")
+		series   = fs.String("series", "nginx", "workload image series")
+		versions = fs.Int("versions", 4, "published versions")
+		scale    = fs.Float64("scale", 0.25, "workload size scale factor")
+		seed     = fs.Int64("seed", 20211107, "workload seed")
+		jsonOut  = fs.Bool("json", false, "emit the tier stats as JSON instead of the table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *shards < 1 {
+		return fmt.Errorf("shards: -shards %d: want at least 1", *shards)
+	}
+	wl, err := fleet.BuildWorkload(fleet.WorkloadOptions{
+		Seed:     *seed,
+		Scale:    *scale,
+		Series:   *series,
+		Versions: *versions,
+	})
+	if err != nil {
+		return err
+	}
+	ids := make([]string, *shards)
+	for i := range ids {
+		ids[i] = fleet.ShardID(i)
+	}
+	cluster, err := shardreg.New(shardreg.Options{
+		Shards:      ids,
+		Replication: *replicas,
+		Compress:    true,
+	})
+	if err != nil {
+		return err
+	}
+	seeded, err := cluster.Seed(wl.Gear)
+	if err != nil {
+		return err
+	}
+	st := cluster.Stats()
+	if *jsonOut {
+		data, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(out, "%s\n", data)
+		return err
+	}
+	fmt.Fprintf(out, "shard ring: %d shards, replication %d, %d virtual nodes/shard\n",
+		len(st.Shards), st.Replication, st.VirtualNodes)
+	fmt.Fprintf(out, "%-10s %-5s %8s %12s %12s %7s\n",
+		"shard", "state", "objects", "stored B", "logical B", "owned")
+	for _, s := range st.Shards {
+		state := "up"
+		if s.Down {
+			state = "down"
+		}
+		fmt.Fprintf(out, "%-10s %-5s %8d %12d %12d %6.1f%%\n",
+			s.ID, state, s.Objects, s.StoredBytes, s.LogicalBytes, s.OwnedShare*100)
+	}
+	fmt.Fprintf(out, "tier: %d objects seeded, %d replica copies, %d B stored\n",
+		seeded, st.Objects, st.StoredBytes)
 	return nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"github.com/gear-image/gear/internal/peer"
 	"github.com/gear-image/gear/internal/prefetch"
 	"github.com/gear-image/gear/internal/registry"
+	"github.com/gear-image/gear/internal/shardreg"
 	"github.com/gear-image/gear/internal/telemetry"
 )
 
@@ -285,5 +286,58 @@ func TestFleetSubcommand(t *testing.T) {
 	}
 	if err := cmdFleet([]string{"-nodes", "0"}, io.Discard); err == nil {
 		t.Error("fleet with zero nodes succeeded")
+	}
+}
+
+// TestShardsSubcommand builds the deterministic in-process shard tier
+// and checks the golden table and JSON renders, reproducibility, and
+// the validation error paths.
+func TestShardsSubcommand(t *testing.T) {
+	args := []string{"-shards", "4", "-replicas", "2", "-scale", "0.2", "-versions", "2", "-seed", "7"}
+	var a, b bytes.Buffer
+	if err := cmdShards(args, &a); err != nil {
+		t.Fatalf("gearctl shards: %v", err)
+	}
+	if err := cmdShards(args, &b); err != nil {
+		t.Fatalf("gearctl shards (replay): %v", err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("shards output not reproducible:\n--- run 1 ---\n%s--- run 2 ---\n%s", a.String(), b.String())
+	}
+	checkStatsGolden(t, "shards.txt", a.Bytes())
+
+	var js bytes.Buffer
+	if err := cmdShards(append(args, "-json"), &js); err != nil {
+		t.Fatalf("gearctl shards -json: %v", err)
+	}
+	checkStatsGolden(t, "shards.json", js.Bytes())
+	var st shardreg.Stats
+	if err := json.Unmarshal(js.Bytes(), &st); err != nil {
+		t.Fatalf("shards -json output: %v", err)
+	}
+	if len(st.Shards) != 4 || st.Replication != 2 {
+		t.Fatalf("shards -json = %d shards x %d replicas, want 4x2", len(st.Shards), st.Replication)
+	}
+	var objects int
+	var share float64
+	for _, s := range st.Shards {
+		objects += s.Objects
+		share += s.OwnedShare
+		if s.Down {
+			t.Errorf("%s reported down in a fresh tier", s.ID)
+		}
+	}
+	if objects != st.Objects {
+		t.Errorf("per-shard objects sum %d != tier total %d", objects, st.Objects)
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Errorf("owned shares sum to %f, want 1", share)
+	}
+
+	if err := cmdShards([]string{"-shards", "0"}, io.Discard); err == nil {
+		t.Error("shards with zero shards succeeded")
+	}
+	if err := cmdShards([]string{"-shards", "2", "-replicas", "5"}, io.Discard); err == nil {
+		t.Error("shards with replication above the member count succeeded")
 	}
 }

@@ -22,6 +22,7 @@
 //	extp2p — extension: peer-to-peer distribution fleet/bandwidth sweep
 //	extprefetch — extension: profile-guided startup prefetch coverage/bandwidth sweep
 //	extfleet — extension: fleet-scale scenario harness (flash crowd, churn, failover, mixed)
+//	extshard — extension: sharded registry tier shard-count sweep
 package experiments
 
 import (
@@ -259,6 +260,7 @@ func All() []Runner {
 		{"extp2p", "Extension: peer-to-peer distribution fleet/bandwidth sweep", runExtP2P},
 		{"extprefetch", "Extension: profile-guided startup prefetch coverage/bandwidth sweep", runExtPrefetch},
 		{"extfleet", "Extension: fleet-scale scenario harness (flash crowd, churn, failover, mixed)", runExtFleet},
+		{"extshard", "Extension: sharded registry tier shard-count sweep", runExtShard},
 	}
 }
 
@@ -328,6 +330,8 @@ func Result(id string, cfg Config) (any, error) {
 		return RunExtPrefetch(cfg)
 	case "extfleet":
 		return RunExtFleet(cfg)
+	case "extshard":
+		return RunExtShard(cfg)
 	default:
 		return nil, fmt.Errorf("experiments: %q: %w", id, ErrUnknownExperiment)
 	}

@@ -29,7 +29,7 @@ func TestRunDispatch(t *testing.T) {
 		t.Errorf("err = %v, want ErrUnknownExperiment", err)
 	}
 	ids := IDs()
-	if len(ids) != 16 || ids[0] != "inventory" || ids[15] != "extfleet" {
+	if len(ids) != 17 || ids[0] != "inventory" || ids[16] != "extshard" {
 		t.Errorf("ids = %v", ids)
 	}
 	for _, id := range ids {
@@ -604,5 +604,88 @@ func TestExtPrefetchShape(t *testing.T) {
 	res.Print(&buf)
 	if !strings.Contains(buf.String(), "less demand stall") {
 		t.Error("print missing stall-reduction summary")
+	}
+}
+
+func TestExtShardShape(t *testing.T) {
+	res, err := RunExtShard(mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(extShardSweep) || res.Versions == 0 {
+		t.Fatalf("shape = %d points, %d versions", len(res.Points), res.Versions)
+	}
+	one := &res.Points[0]
+	if one.Shards != 1 || one.Replication != 1 {
+		t.Fatalf("first point = %d shards x %d replicas, want 1x1", one.Shards, one.Replication)
+	}
+	// The 1-shard/1-replica tier degenerates exactly to the single-node
+	// registry: same client bytes, same deploy times, one shard serving
+	// the whole tier.
+	if one.ClientEgress != res.BaselineEgress {
+		t.Errorf("1-shard client egress = %d, baseline %d", one.ClientEgress, res.BaselineEgress)
+	}
+	if one.MeanDeploy != res.BaselineMeanTime {
+		t.Errorf("1-shard mean deploy = %v, baseline %v", one.MeanDeploy, res.BaselineMeanTime)
+	}
+	if one.MaxShardEgress != one.TierEgress {
+		t.Errorf("1-shard max = %d, tier = %d", one.MaxShardEgress, one.TierEgress)
+	}
+	for i := range res.Points {
+		p := &res.Points[i]
+		// Sharding changes who serves, never what a client downloads.
+		if !p.ParityOK {
+			t.Errorf("%d shards: per-client bytes differ from baseline", p.Shards)
+		}
+		if p.ClientEgress != one.ClientEgress {
+			t.Errorf("%d shards: client egress = %d, want %d", p.Shards, p.ClientEgress, one.ClientEgress)
+		}
+		if p.TierEgress != one.TierEgress {
+			t.Errorf("%d shards: tier egress = %d, want %d", p.Shards, p.TierEgress, one.TierEgress)
+		}
+		if p.MeanDeploy != res.BaselineMeanTime {
+			t.Errorf("%d shards: mean deploy = %v, want %v", p.Shards, p.MeanDeploy, res.BaselineMeanTime)
+		}
+		// Splitting the tier strictly sheds load off the hottest shard...
+		if i > 0 {
+			prev := &res.Points[i-1]
+			if p.MaxShardEgress >= prev.MaxShardEgress {
+				t.Errorf("%d shards: max shard egress %d did not drop from %d at %d shards",
+					p.Shards, p.MaxShardEgress, prev.MaxShardEgress, prev.Shards)
+			}
+			if p.MaxShardServe >= prev.MaxShardServe {
+				t.Errorf("%d shards: max shard busy %v did not drop from %v at %d shards",
+					p.Shards, p.MaxShardServe, prev.MaxShardServe, prev.Shards)
+			}
+		}
+	}
+	// ...and near-linearly: even at this tiny object population the
+	// 8-shard tier's hottest member carries well under half the 1-shard
+	// load (the quick/default corpus lands near the ideal 1/8).
+	last := &res.Points[len(res.Points)-1]
+	if 2*last.MaxShardEgress >= one.MaxShardEgress {
+		t.Errorf("8-shard hottest egress %d, not even 2x below 1-shard %d",
+			last.MaxShardEgress, one.MaxShardEgress)
+	}
+	if 2*last.MaxShardServe >= one.MaxShardServe {
+		t.Errorf("8-shard hottest busy %v, not even 2x below 1-shard %v",
+			last.MaxShardServe, one.MaxShardServe)
+	}
+	f := &res.Failover
+	if f.Shards != extShardFailAt || f.Replication != 2 || f.Killed == "" {
+		t.Fatalf("failover pass = %+v", f)
+	}
+	if f.Failovers == 0 {
+		t.Error("killed the busiest shard but saw no failovers")
+	}
+	if !f.ParityOK {
+		t.Error("failover pass: per-client bytes differ from baseline")
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	for _, want := range []string{"tier egress", "failover", "parity"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("print missing %q", want)
+		}
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"github.com/gear-image/gear/internal/netsim"
 	"github.com/gear-image/gear/internal/peer"
 	"github.com/gear-image/gear/internal/registry"
+	"github.com/gear-image/gear/internal/shardreg"
 	"github.com/gear-image/gear/internal/telemetry"
 )
 
@@ -188,6 +189,17 @@ type Options struct {
 	// is 64 (not telemetry.DefaultTraceCapacity) so a 1024-node fleet
 	// does not pre-allocate thousands of spans per node.
 	TraceCapacity int
+	// Shards, when > 0, backs the fleet with a sharded registry tier
+	// (internal/shardreg) seeded from the workload's Gear pool instead
+	// of the single-node registry. The shard tier gets its own topology
+	// (same WAN/LAN configs) so the fleet.wan.* gauges keep counting
+	// client-side traffic only — a sharded fleet's per-node bytes stay
+	// comparable to a single-registry run.
+	Shards int
+	// Replication is the shard tier's replica count (only meaningful
+	// with Shards > 0; default min(2, Shards) so the failover scenario
+	// can lose a shard without losing objects).
+	Replication int
 }
 
 // node is one attached fleet member.
@@ -211,6 +223,11 @@ type Harness struct {
 	network *peer.StaticNetwork
 	ring    *telemetry.TraceRing
 	rng     *rand.Rand
+	// cluster is the sharded registry tier (nil without Options.Shards);
+	// shardTopo is the tier's own topology, kept apart from the client
+	// fleet's so fleet.wan.* stays client-side.
+	cluster   *shardreg.Cluster
+	shardTopo *netsim.Topology
 
 	mu        sync.Mutex
 	nodes     map[string]*node
@@ -262,7 +279,7 @@ func New(wl *Workload, opts Options) (*Harness, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fleet: topology: %w", err)
 	}
-	return &Harness{
+	h := &Harness{
 		wl:          wl,
 		opts:        opts,
 		tele:        tele,
@@ -288,11 +305,61 @@ func New(wl *Workload, opts Options) (*Harness, error) {
 		lanBytes:    tele.Gauge("fleet.lan.bytes"),
 		lanRequests: tele.Gauge("fleet.lan.requests"),
 		lanElapsed:  tele.Gauge("fleet.lan.elapsed.ns"),
-	}, nil
+	}
+	if opts.Shards > 0 {
+		if opts.Replication == 0 {
+			opts.Replication = 2
+			if opts.Shards < 2 {
+				opts.Replication = opts.Shards
+			}
+			h.opts.Replication = opts.Replication
+		}
+		h.shardTopo, err = netsim.NewTopology(opts.WAN, opts.LAN)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard topology: %w", err)
+		}
+		ids := make([]string, opts.Shards)
+		for i := range ids {
+			ids[i] = ShardID(i)
+		}
+		h.cluster, err = shardreg.New(shardreg.Options{
+			Shards:      ids,
+			Replication: opts.Replication,
+			Compress:    true,
+			Telemetry:   tele,
+			Topology:    h.shardTopo,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard tier: %w", err)
+		}
+		// Migrate the workload's published pool into the tier so deploys
+		// fetch from shards, not the single-node registry.
+		if _, err := h.cluster.Seed(wl.Gear); err != nil {
+			return nil, fmt.Errorf("fleet: shard seed: %w", err)
+		}
+	}
+	return h, nil
 }
+
+// ShardID returns the canonical id of shard tier member i ("shard00"...).
+func ShardID(i int) string { return fmt.Sprintf("shard%02d", i) }
+
+// Cluster returns the sharded registry tier, or nil when the fleet runs
+// against the single-node registry.
+func (h *Harness) Cluster() *shardreg.Cluster { return h.cluster }
 
 // NodeID returns the canonical id of fleet member i ("node0000"...).
 func NodeID(i int) string { return fmt.Sprintf("node%04d", i) }
+
+// gearStore is what daemons fetch Gear files from: the shard tier's
+// routing client when sharded, the workload's single registry otherwise.
+// The daemons are oblivious — both speak the same Store + batch verbs.
+func (h *Harness) gearStore() gearregistry.Store {
+	if h.cluster != nil {
+		return h.cluster
+	}
+	return h.wl.Gear
+}
 
 // Join attaches a new node: topology links, a daemon publishing into
 // the fleet registry, and (with Options.Peers) a peer exchange plus a
@@ -314,7 +381,7 @@ func (h *Harness) Join(id string) error {
 	if h.opts.Peers {
 		dopts.Peers = peer.NewExchangeWithTelemetry(id, h.tracker, h.network, h.tele)
 	}
-	d, err := dockersim.NewDaemon(h.wl.Docker, h.wl.Gear, dopts)
+	d, err := dockersim.NewDaemon(h.wl.Docker, h.gearStore(), dopts)
 	if err != nil {
 		return fmt.Errorf("fleet: join %q: %w", id, err)
 	}

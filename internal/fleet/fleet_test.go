@@ -272,3 +272,93 @@ func TestMixedWorkload(t *testing.T) {
 			shortrun.Deploys, shortrun.Destroys)
 	}
 }
+
+// TestShardedFailover: with the fleet backed by a replicated shard tier,
+// the failover scenario kills one shard — every deploy must complete
+// from the surviving replicas (zero failed fetches), each node must pull
+// byte-for-byte what it pulls from a single-node registry, and the run
+// must stay bit-reproducible.
+func TestShardedFailover(t *testing.T) {
+	run := func(shards int, seed int64) (*Result, *Harness) {
+		t.Helper()
+		h, err := New(testWorkload(t), Options{Nodes: 8, Seed: seed, Peers: true, Shards: shards})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		res, err := h.Run(Failover)
+		if err != nil {
+			t.Fatalf("Run(failover, %d shards): %v", shards, err)
+		}
+		return res, h
+	}
+
+	sharded, hs := run(3, 11)
+	if hs.Cluster() == nil || hs.Cluster().Replication() != 2 {
+		t.Fatal("sharded harness did not build a replication-2 tier")
+	}
+	if sharded.Shards != 3 || sharded.Replication != 2 {
+		t.Fatalf("result reports %d shards / %d replicas", sharded.Shards, sharded.Replication)
+	}
+	if sharded.KilledShard == "" {
+		t.Fatal("failover killed no shard")
+	}
+	// Zero failed fetches: every phase deployed the whole fleet (a
+	// failed fetch fails the deploy, which fails Run outright).
+	for _, p := range sharded.Phases {
+		if p.Deploys != 8 {
+			t.Fatalf("phase %s deployed %d of 8 nodes", p.Name, p.Deploys)
+		}
+	}
+	// The dead shard's traffic was re-routed to replicas.
+	if hs.Cluster().Stats().Failovers == 0 {
+		t.Error("no failovers recorded despite a dead shard")
+	}
+
+	// Per-node WAN byte parity with the single-registry failover run:
+	// replicas serve the identical compressed bytes, so what each node
+	// pulls is independent of the tier behind the store.
+	single, hn := run(0, 11)
+	if hn.Cluster() != nil {
+		t.Fatal("unsharded harness built a tier")
+	}
+	for i := 0; i < 8; i++ {
+		id := NodeID(i)
+		got := hs.Topology().Node(id).WAN.Stats().Bytes
+		want := hn.Topology().Node(id).WAN.Stats().Bytes
+		if got != want {
+			t.Errorf("node %s pulled %d WAN bytes sharded, %d single-registry", id, got, want)
+		}
+	}
+	if sharded.LANBytes != single.LANBytes {
+		t.Errorf("LAN bytes %d sharded vs %d single-registry", sharded.LANBytes, single.LANBytes)
+	}
+
+	// Reproducibility holds for sharded runs too.
+	again, _ := run(3, 11)
+	j1, err := sharded.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := again.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("same (scenario, seed) produced different sharded results:\n--- run 1\n%s\n--- run 2\n%s", j1, j2)
+	}
+}
+
+// TestShardedOptionsValidation: a degenerate single-shard tier is
+// allowed (replication clamps to 1) and bad shard counts fail fast.
+func TestShardedSingleShard(t *testing.T) {
+	h, err := New(testWorkload(t), Options{Nodes: 2, Seed: 7, Shards: 1})
+	if err != nil {
+		t.Fatalf("New(1 shard): %v", err)
+	}
+	if h.Cluster().Replication() != 1 {
+		t.Fatalf("single-shard replication = %d, want 1", h.Cluster().Replication())
+	}
+	if _, err := h.Run(FlashCrowd); err != nil {
+		t.Fatalf("Run over single-shard tier: %v", err)
+	}
+}

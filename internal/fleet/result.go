@@ -50,6 +50,12 @@ type Result struct {
 	Nodes    int           `json:"nodes"`
 	Peers    bool          `json:"peers"`
 	Phases   []PhaseResult `json:"phases"`
+	// Shards/Replication describe the registry tier backing the run
+	// (0 = single-node registry); KilledShard is the member the sharded
+	// failover scenario killed.
+	Shards      int    `json:"shards,omitempty"`
+	Replication int    `json:"replication,omitempty"`
+	KilledShard string `json:"killedShard,omitempty"`
 	// Churn is the churn scenario's schedule (empty otherwise).
 	Churn []ChurnRound `json:"churn,omitempty"`
 	// Fleet-wide totals across all phases.

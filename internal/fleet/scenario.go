@@ -22,9 +22,12 @@ const (
 	// leaves and cold-cache rejoins while the surviving fleet rolls
 	// forward one version per round.
 	Churn Kind = "churn"
-	// Failover: a steady rollout, a rollout under a 10x-degraded
-	// registry WAN (the registry failing over to a throttled mirror),
-	// and a rollout after recovery.
+	// Failover: a steady rollout, a rollout under a degraded registry,
+	// and a rollout after recovery. Against a single-node registry the
+	// degradation is a 10x-throttled WAN (failing over to a throttled
+	// mirror); against a sharded tier (Options.Shards) one shard is
+	// killed outright and its replicas absorb the traffic — every deploy
+	// must still complete with zero failed fetches.
 	Failover Kind = "failover"
 	// Mixed: everyone deploys the first version; a random half then
 	// acts as long-running services (request loops against the deployed
@@ -57,10 +60,15 @@ func (h *Harness) Run(kind Kind) (*Result, error) {
 	h.mu.Unlock()
 
 	res := &Result{
-		Scenario: string(kind),
-		Seed:     h.opts.Seed,
-		Nodes:    h.opts.Nodes,
-		Peers:    h.opts.Peers,
+		Scenario:    string(kind),
+		Seed:        h.opts.Seed,
+		Nodes:       h.opts.Nodes,
+		Peers:       h.opts.Peers,
+		Shards:      h.opts.Shards,
+		Replication: h.opts.Replication,
+	}
+	if h.cluster == nil {
+		res.Replication = 0
 	}
 	var err error
 	switch kind {
@@ -128,6 +136,21 @@ func (h *Harness) phase(res *Result, name string, fn func() error) error {
 	})
 	res.Phases = append(res.Phases, p)
 	return nil
+}
+
+// busiestShard returns the tier member with the most primary-routed
+// objects (ties broken by id, so the pick is deterministic) — the
+// worst-case single-shard failure the sharded failover scenario kills.
+func (h *Harness) busiestShard() string {
+	load := h.cluster.PrimaryLoad()
+	var victim string
+	most := -1
+	for _, id := range h.cluster.Shards() {
+		if load[id] > most {
+			most, victim = load[id], id
+		}
+	}
+	return victim
 }
 
 // latest returns the newest workload version index.
@@ -248,6 +271,28 @@ func (h *Harness) runFailover(res *Result) error {
 		return deployAll(0)()
 	}); err != nil {
 		return err
+	}
+	if h.cluster != nil {
+		// Sharded tier: the failure is one dead shard, not a slow WAN —
+		// specifically the shard carrying the most primary routes, the
+		// worst single-member loss. Deploys must complete from the
+		// surviving replicas.
+		victim := h.busiestShard()
+		res.KilledShard = victim
+		if err := h.phase(res, "degraded", func() error {
+			if err := h.cluster.KillShard(victim); err != nil {
+				return err
+			}
+			return deployAll(h.clampVersion(1))()
+		}); err != nil {
+			return err
+		}
+		return h.phase(res, "recovered", func() error {
+			if err := h.cluster.ReviveShard(victim); err != nil {
+				return err
+			}
+			return deployAll(h.clampVersion(2))()
+		})
 	}
 	healthy := h.topo.WANConfig()
 	degraded := healthy

