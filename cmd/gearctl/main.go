@@ -13,8 +13,8 @@
 //	gearctl peers  -tracker URL
 //	gearctl profile -library URL [-dump name:tag | -delete name:tag]
 //	gearctl stats  -url URL [-path /metrics] [-json] [-diff FILE] [-save FILE]
-//	gearctl fleet  -scenario flashcrowd -nodes 64 -seed 7 [-json]
-//	gearctl shards -shards 4 -replicas 2 [-json]
+//	gearctl fleet  -scenario flashcrowd -nodes 64 -seed 7 [-shards 4 -balance -hedge] [-json]
+//	gearctl shards -shards 4 -replicas 2 [-readpass 3 -balance -hedge -slow auto] [-json]
 //
 // The deploy subcommand's -mode selects the Docker baseline ("docker",
 // full image pull) or Gear ("gear", lazy index pull). Bandwidth is the
@@ -492,6 +492,8 @@ func cmdDeploy(args []string) error {
 // hash ring's per-shard primary ownership, what each shard actually
 // stores after replication, and the tier totals. Same workload flags as
 // fleet, so the tier shown here is the one a sharded fleet run uses.
+// With -readpass it also replays deterministic read passes over the
+// pool and reports the per-replica read split and hedge activity.
 func cmdShards(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("shards", flag.ContinueOnError)
 	var (
@@ -501,6 +503,10 @@ func cmdShards(args []string, out io.Writer) error {
 		versions = fs.Int("versions", 4, "published versions")
 		scale    = fs.Float64("scale", 0.25, "workload size scale factor")
 		seed     = fs.Int64("seed", 20211107, "workload seed")
+		readpass = fs.Int("readpass", 0, "deterministic read passes over the pool (0 = placement only)")
+		balance  = fs.Bool("balance", false, "balance reads across replicas (power-of-two-choices)")
+		hedge    = fs.Bool("hedge", false, "hedge slow reads to the next replica")
+		slow     = fs.String("slow", "", "run read passes after the first with this shard at 10x service time (\"auto\" = busiest primary)")
 		jsonOut  = fs.Bool("json", false, "emit the tier stats as JSON instead of the table")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -522,17 +528,62 @@ func cmdShards(args []string, out io.Writer) error {
 	for i := range ids {
 		ids[i] = fleet.ShardID(i)
 	}
-	cluster, err := shardreg.New(shardreg.Options{
+	opts := shardreg.Options{
 		Shards:      ids,
 		Replication: *replicas,
 		Compress:    true,
-	})
+		Read: shardreg.ReadOptions{
+			Balance: *balance,
+			Hedge:   *hedge,
+			Seed:    uint64(*seed),
+		},
+	}
+	var topo *netsim.Topology
+	if *readpass > 0 {
+		// Reads are priced over the fleet's registry link class so the
+		// balancer and hedge clock see realistic latencies.
+		topo, err = netsim.NewTopology(
+			netsim.DefaultLAN().WithBandwidth(20.0/1000**scale),
+			netsim.DefaultLAN().WithBandwidth(1000.0/1000**scale))
+		if err != nil {
+			return err
+		}
+		opts.Topology = topo
+	}
+	cluster, err := shardreg.New(opts)
 	if err != nil {
 		return err
 	}
 	seeded, err := cluster.Seed(wl.Gear)
 	if err != nil {
 		return err
+	}
+	if *readpass > 0 {
+		fps := wl.Gear.Fingerprints()
+		for pass := 0; pass < *readpass; pass++ {
+			if pass == 1 && *slow != "" {
+				// The first pass always runs healthy so the latency
+				// model has a baseline to call the straggler slow.
+				victim := *slow
+				if victim == "auto" {
+					load := cluster.PrimaryLoad()
+					most := -1
+					for _, id := range cluster.Shards() {
+						if load[id] > most {
+							most, victim = load[id], id
+						}
+					}
+				}
+				if err := topo.SetServiceFactor(victim, 10); err != nil {
+					return err
+				}
+			}
+			for _, fp := range fps {
+				if _, _, err := cluster.Download(fp); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	st := cluster.Stats()
 	if *jsonOut {
@@ -545,18 +596,21 @@ func cmdShards(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "shard ring: %d shards, replication %d, %d virtual nodes/shard\n",
 		len(st.Shards), st.Replication, st.VirtualNodes)
-	fmt.Fprintf(out, "%-10s %-5s %8s %12s %12s %7s\n",
-		"shard", "state", "objects", "stored B", "logical B", "owned")
+	fmt.Fprintf(out, "%-10s %-5s %8s %12s %12s %7s %8s %11s\n",
+		"shard", "state", "objects", "stored B", "logical B", "owned", "reads", "read share")
 	for _, s := range st.Shards {
 		state := "up"
 		if s.Down {
 			state = "down"
 		}
-		fmt.Fprintf(out, "%-10s %-5s %8d %12d %12d %6.1f%%\n",
-			s.ID, state, s.Objects, s.StoredBytes, s.LogicalBytes, s.OwnedShare*100)
+		fmt.Fprintf(out, "%-10s %-5s %8d %12d %12d %6.1f%% %8d %10.1f%%\n",
+			s.ID, state, s.Objects, s.StoredBytes, s.LogicalBytes, s.OwnedShare*100,
+			s.Reads, s.ReadShare*100)
 	}
 	fmt.Fprintf(out, "tier: %d objects seeded, %d replica copies, %d B stored\n",
 		seeded, st.Objects, st.StoredBytes)
+	fmt.Fprintf(out, "reads: %d served, %d balanced; hedges: %d fired, %d won, %d B extra egress\n",
+		st.Reads, st.BalancedReads, st.HedgesFired, st.HedgesWon, st.HedgeWasteBytes)
 	return nil
 }
 
@@ -566,13 +620,17 @@ func cmdShards(args []string, out io.Writer) error {
 // (scenario, seed).
 func cmdFleet(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
-	scenario := fs.String("scenario", string(fleet.FlashCrowd), "scenario: flashcrowd, churn, failover, or mixed")
+	scenario := fs.String("scenario", string(fleet.FlashCrowd), "scenario: flashcrowd, churn, failover, straggler, or mixed")
 	nodes := fs.Int("nodes", 64, "fleet size")
 	seed := fs.Int64("seed", 20211107, "workload and scenario seed")
 	series := fs.String("series", "nginx", "workload image series")
 	versions := fs.Int("versions", 4, "published versions the scenario rolls through")
 	scale := fs.Float64("scale", 0.25, "workload size scale factor")
 	peersOn := fs.Bool("peers", true, "enable peer-to-peer Gear-file exchange")
+	shards := fs.Int("shards", 0, "back the fleet with a sharded registry tier of this size (0 = single registry)")
+	replicas := fs.Int("replicas", 0, "replicas per object in the shard tier (0 = tier default)")
+	balance := fs.Bool("balance", false, "balance shard reads across replicas (power-of-two-choices)")
+	hedge := fs.Bool("hedge", false, "hedge slow shard reads to the next replica")
 	jsonOut := fs.Bool("json", false, "emit the canonical result JSON instead of the table")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -586,7 +644,15 @@ func cmdFleet(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	h, err := fleet.New(wl, fleet.Options{Nodes: *nodes, Seed: *seed, Peers: *peersOn})
+	h, err := fleet.New(wl, fleet.Options{
+		Nodes:       *nodes,
+		Seed:        *seed,
+		Peers:       *peersOn,
+		Shards:      *shards,
+		Replication: *replicas,
+		ReadBalance: *balance,
+		ReadHedge:   *hedge,
+	})
 	if err != nil {
 		return err
 	}

@@ -334,6 +334,42 @@ func TestShardsSubcommand(t *testing.T) {
 		t.Errorf("owned shares sum to %f, want 1", share)
 	}
 
+	// Read passes with balancing, hedging, and an auto-picked straggler:
+	// the read-split and hedge columns land in the table and the JSON,
+	// and the run stays bit-reproducible.
+	hedged := append(args, "-readpass", "3", "-balance", "-hedge", "-slow", "auto")
+	var h1, h2 bytes.Buffer
+	if err := cmdShards(hedged, &h1); err != nil {
+		t.Fatalf("gearctl shards (hedged): %v", err)
+	}
+	if err := cmdShards(hedged, &h2); err != nil {
+		t.Fatalf("gearctl shards (hedged replay): %v", err)
+	}
+	if h1.String() != h2.String() {
+		t.Errorf("hedged shards output not reproducible:\n--- run 1 ---\n%s--- run 2 ---\n%s", h1.String(), h2.String())
+	}
+	checkStatsGolden(t, "shards_hedged.txt", h1.Bytes())
+	var hjs bytes.Buffer
+	if err := cmdShards(append(hedged, "-json"), &hjs); err != nil {
+		t.Fatalf("gearctl shards (hedged) -json: %v", err)
+	}
+	checkStatsGolden(t, "shards_hedged.json", hjs.Bytes())
+	var hst shardreg.Stats
+	if err := json.Unmarshal(hjs.Bytes(), &hst); err != nil {
+		t.Fatalf("hedged shards -json output: %v", err)
+	}
+	if hst.Reads == 0 || hst.BalancedReads == 0 {
+		t.Errorf("hedged read pass served %d reads (%d balanced), want both > 0",
+			hst.Reads, hst.BalancedReads)
+	}
+	var shareSum float64
+	for _, s := range hst.Shards {
+		shareSum += s.ReadShare
+	}
+	if shareSum < 0.999 || shareSum > 1.001 {
+		t.Errorf("read shares sum to %f, want 1", shareSum)
+	}
+
 	if err := cmdShards([]string{"-shards", "0"}, io.Discard); err == nil {
 		t.Error("shards with zero shards succeeded")
 	}

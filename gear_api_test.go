@@ -160,7 +160,7 @@ func TestPublicWorkloadAndDedup(t *testing.T) {
 
 func TestPublicExperimentDispatch(t *testing.T) {
 	ids := gear.ExperimentIDs()
-	if len(ids) != 17 {
+	if len(ids) != 18 {
 		t.Fatalf("ids = %v", ids)
 	}
 	if err := gear.RunExperiment("bogus", gear.QuickExperimentConfig(), io.Discard); err == nil {

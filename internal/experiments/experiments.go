@@ -23,6 +23,7 @@
 //	extprefetch — extension: profile-guided startup prefetch coverage/bandwidth sweep
 //	extfleet — extension: fleet-scale scenario harness (flash crowd, churn, failover, mixed)
 //	extshard — extension: sharded registry tier shard-count sweep
+//	exthedge — extension: tail-latency-aware replica reads (balanced + hedged)
 package experiments
 
 import (
@@ -261,6 +262,7 @@ func All() []Runner {
 		{"extprefetch", "Extension: profile-guided startup prefetch coverage/bandwidth sweep", runExtPrefetch},
 		{"extfleet", "Extension: fleet-scale scenario harness (flash crowd, churn, failover, mixed)", runExtFleet},
 		{"extshard", "Extension: sharded registry tier shard-count sweep", runExtShard},
+		{"exthedge", "Extension: tail-latency-aware replica reads (balanced + hedged)", runExtHedge},
 	}
 }
 
@@ -332,6 +334,8 @@ func Result(id string, cfg Config) (any, error) {
 		return RunExtFleet(cfg)
 	case "extshard":
 		return RunExtShard(cfg)
+	case "exthedge":
+		return RunExtHedge(cfg)
 	default:
 		return nil, fmt.Errorf("experiments: %q: %w", id, ErrUnknownExperiment)
 	}

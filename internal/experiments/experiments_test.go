@@ -29,7 +29,7 @@ func TestRunDispatch(t *testing.T) {
 		t.Errorf("err = %v, want ErrUnknownExperiment", err)
 	}
 	ids := IDs()
-	if len(ids) != 17 || ids[0] != "inventory" || ids[16] != "extshard" {
+	if len(ids) != 18 || ids[0] != "inventory" || ids[17] != "exthedge" {
 		t.Errorf("ids = %v", ids)
 	}
 	for _, id := range ids {
@@ -684,6 +684,80 @@ func TestExtShardShape(t *testing.T) {
 	var buf bytes.Buffer
 	res.Print(&buf)
 	for _, want := range []string{"tier egress", "failover", "parity"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("print missing %q", want)
+		}
+	}
+}
+
+func TestExtHedgeShape(t *testing.T) {
+	// Quick, not mini: the p99-gain acceptance bound needs a corpus big
+	// enough that the straggler tail clears the healthy size tail.
+	res, err := RunExtHedge(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 6 || res.Objects == 0 || res.SlowShard == "" {
+		t.Fatalf("shape = %d cells, %d objects, slow shard %q",
+			len(res.Cells), res.Objects, res.SlowShard)
+	}
+	if res.ReadsPerCell != res.Rounds*res.Objects {
+		t.Fatalf("reads per cell = %d, want %d x %d", res.ReadsPerCell, res.Rounds, res.Objects)
+	}
+	cell := func(policy string, straggle bool) *ExtHedgeCell {
+		t.Helper()
+		for i := range res.Cells {
+			if res.Cells[i].Policy == policy && res.Cells[i].Straggler == straggle {
+				return &res.Cells[i]
+			}
+		}
+		t.Fatalf("no cell (%s, %v)", policy, straggle)
+		return nil
+	}
+	// Acceptance: identical client bytes in every cell, exact rank-order
+	// degeneration with the zero read options, tail rescued at bounded
+	// extra egress.
+	if !res.ParityOK {
+		t.Error("client bytes differ across read policies")
+	}
+	if !res.DegenerationOK {
+		t.Error("rank-order cells deviated from the primary-only path")
+	}
+	if res.P99Gain < 3 {
+		t.Errorf("straggler p99 gain = %.2fx, want >= 3x", res.P99Gain)
+	}
+	if !res.WasteOK || res.WasteShare >= 0.05 {
+		t.Errorf("hedge waste share = %.4f, want < 0.05", res.WasteShare)
+	}
+	// The straggler must actually hurt the rank-order policy...
+	rankSlow, rankOK := cell("primary", true), cell("primary", false)
+	if rankSlow.P99 <= 2*rankOK.P99 {
+		t.Errorf("straggler p99 %v vs healthy %v: straggler had no bite", rankSlow.P99, rankOK.P99)
+	}
+	// ...while balancing routes around it: its read share collapses
+	// versus the rank-order run.
+	balSlow := cell("balanced", true)
+	if balSlow.SlowShardReadShare*2 >= rankSlow.SlowShardReadShare {
+		t.Errorf("balanced slow-shard share %.3f, rank-order %.3f: balancer did not avoid it",
+			balSlow.SlowShardReadShare, rankSlow.SlowShardReadShare)
+	}
+	if balSlow.BalancedReads == 0 {
+		t.Error("balanced cell recorded no balanced reads")
+	}
+	// Hedges are insurance: against a straggler some must fire and win;
+	// with every shard healthy the size-aware trigger keeps quiet.
+	hedgeSlow, hedgeOK := cell("hedged", true), cell("hedged", false)
+	if hedgeSlow.HedgesFired == 0 || hedgeSlow.HedgesWon == 0 {
+		t.Errorf("straggler hedged cell fired %d won %d, want both > 0",
+			hedgeSlow.HedgesFired, hedgeSlow.HedgesWon)
+	}
+	if hedgeOK.HedgeWasteBytes*20 >= hedgeOK.ClientBytes {
+		t.Errorf("healthy hedged cell wasted %d of %d client bytes",
+			hedgeOK.HedgeWasteBytes, hedgeOK.ClientBytes)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	for _, want := range []string{"p99", "straggler", "hedge extra egress", "degeneration"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("print missing %q", want)
 		}

@@ -30,6 +30,11 @@ type ExtShardPoint struct {
 	// the tier-side tail that bounds how fast a fleet can be fed. It is
 	// the quantity that must fall near-linearly with S.
 	MaxShardServe time.Duration `json:"maxShardServe"`
+	// MaxReadShare is the largest fraction of the tier's served read
+	// requests any one replica answered during the rollout — the
+	// request-count analogue of MaxShardEgress (rank-order reads pin it
+	// to the primary split; balanced reads spread it).
+	MaxReadShare float64 `json:"maxReadShare"`
 	// MeanDeploy is the client-side mean deployment time.
 	MeanDeploy time.Duration `json:"meanDeploy"`
 	// ParityOK reports every client pulled exactly the bytes it pulls
@@ -210,6 +215,10 @@ func RunExtShard(cfg Config) (*ExtShardResult, error) {
 		for _, id := range cluster.Shards() {
 			seeded[id] = topo.Node(id).WAN.Stats()
 		}
+		// Read counters are cumulative across the sweep's clusters (they
+		// share one telemetry registry), so the point's share comes from
+		// before/after deltas.
+		readsBefore := cluster.Stats()
 		point.ParityOK = true
 		var tierTotal time.Duration
 		for n := 0; n < extShardClients; n++ {
@@ -240,6 +249,18 @@ func RunExtShard(cfg Config) (*ExtShardResult, error) {
 			}
 			if served.Elapsed > point.MaxShardServe {
 				point.MaxShardServe = served.Elapsed
+			}
+		}
+		readsAfter := cluster.Stats()
+		prior := make(map[string]int64, len(readsBefore.Shards))
+		for _, s := range readsBefore.Shards {
+			prior[s.ID] = s.Reads
+		}
+		if total := readsAfter.Reads - readsBefore.Reads; total > 0 {
+			for _, s := range readsAfter.Shards {
+				if share := float64(s.Reads-prior[s.ID]) / float64(total); share > point.MaxReadShare {
+					point.MaxReadShare = share
+				}
 			}
 		}
 		point.MeanDeploy = tierTotal / deploys
@@ -285,13 +306,13 @@ func (r *ExtShardResult) Print(w io.Writer) {
 		r.Series, r.Clients, r.WANMbps)
 	fmt.Fprintf(w, "single-node baseline: %s egress, %v mean deploy\n",
 		mb(r.BaselineEgress), r.BaselineMeanTime.Round(time.Millisecond))
-	fmt.Fprintf(w, "%-7s %9s %13s %11s %15s %12s %7s\n",
-		"shards", "replicas", "tier egress", "max shard", "max shard busy", "mean deploy", "parity")
+	fmt.Fprintf(w, "%-7s %9s %13s %11s %15s %15s %12s %7s\n",
+		"shards", "replicas", "tier egress", "max shard", "max shard busy", "max read share", "mean deploy", "parity")
 	for i := range r.Points {
 		p := &r.Points[i]
-		fmt.Fprintf(w, "%-7d %9d %13s %11s %15s %12s %7v\n",
+		fmt.Fprintf(w, "%-7d %9d %13s %11s %15s %15.3f %12s %7v\n",
 			p.Shards, p.Replication, mb(p.TierEgress), mb(p.MaxShardEgress),
-			p.MaxShardServe.Round(time.Millisecond),
+			p.MaxShardServe.Round(time.Millisecond), p.MaxReadShare,
 			p.MeanDeploy.Round(time.Millisecond), p.ParityOK)
 	}
 	if len(r.Points) > 1 {

@@ -200,6 +200,14 @@ type Options struct {
 	// with Shards > 0; default min(2, Shards) so the failover scenario
 	// can lose a shard without losing objects).
 	Replication int
+	// ReadBalance picks shard-tier download replicas by
+	// power-of-two-choices over observed load instead of ring rank
+	// (shardreg.ReadOptions.Balance). Placement is unchanged.
+	ReadBalance bool
+	// ReadHedge arms hedged shard-tier downloads: a mirrored request to
+	// the next-best replica once the first runs past the adaptive delay
+	// (shardreg.ReadOptions.Hedge).
+	ReadHedge bool
 }
 
 // node is one attached fleet member.
@@ -328,6 +336,11 @@ func New(wl *Workload, opts Options) (*Harness, error) {
 			Compress:    true,
 			Telemetry:   tele,
 			Topology:    h.shardTopo,
+			Read: shardreg.ReadOptions{
+				Balance: opts.ReadBalance,
+				Hedge:   opts.ReadHedge,
+				Seed:    uint64(opts.Seed),
+			},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fleet: shard tier: %w", err)

@@ -34,10 +34,17 @@ func testWorkload(t *testing.T) *Workload {
 }
 
 // runScenario builds a fresh harness and runs one scenario, returning
-// the result and the final stripped fleet snapshot.
+// the result and the final stripped fleet snapshot. The straggler
+// scenario gets the sharded tier it requires.
 func runScenario(t *testing.T, kind Kind, nodes int, seed int64) (*Result, telemetry.Snapshot) {
 	t.Helper()
-	h, err := New(testWorkload(t), Options{Nodes: nodes, Seed: seed, Peers: true})
+	opts := Options{Nodes: nodes, Seed: seed, Peers: true}
+	if kind == Straggler {
+		opts.Shards = 4
+		opts.ReadBalance = true
+		opts.ReadHedge = true
+	}
+	h, err := New(testWorkload(t), opts)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -360,5 +367,86 @@ func TestShardedSingleShard(t *testing.T) {
 	}
 	if _, err := h.Run(FlashCrowd); err != nil {
 		t.Fatalf("Run over single-shard tier: %v", err)
+	}
+}
+
+// TestStragglerScenario: the straggler scenario slows the busiest shard
+// 10x without killing anything. Rank-order reads must pay for it — the
+// slow phase's registry-side serve time balloons — while balanced reads
+// route around it and keep the slow phase close to steady. Either way
+// every deploy completes and the run stays bit-reproducible.
+func TestStragglerScenario(t *testing.T) {
+	run := func(balance, hedge bool) (*Result, *Harness) {
+		t.Helper()
+		// Peers stay off so every read lands on the shard tier — the
+		// contrast under test is read routing, not peer offload.
+		h, err := New(testWorkload(t), Options{
+			Nodes: 8, Seed: 11, Shards: 4,
+			ReadBalance: balance, ReadHedge: hedge,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		res, err := h.Run(Straggler)
+		if err != nil {
+			t.Fatalf("Run(straggler): %v", err)
+		}
+		return res, h
+	}
+	// Registry-side serve time of the slow phase, per variant.
+	slowServe := func(h *Harness, res *Result) int64 {
+		t.Helper()
+		if len(res.Phases) != 3 || res.Phases[1].Name != "slow" {
+			t.Fatalf("phases = %+v", res.Phases)
+		}
+		return res.Phases[1].ShardWAN.Elapsed.Nanoseconds()
+	}
+
+	rank, hRank := run(false, false)
+	if rank.SlowShard == "" {
+		t.Fatal("straggler slowed no shard")
+	}
+	for _, p := range rank.Phases {
+		if p.Deploys != 8 {
+			t.Fatalf("phase %s deployed %d of 8 nodes", p.Name, p.Deploys)
+		}
+	}
+	// No failures: a straggler is slow, not dead.
+	if got := hRank.Cluster().Stats().Failovers; got != 0 {
+		t.Fatalf("straggler run recorded %d failovers, want 0", got)
+	}
+
+	bal, hBal := run(true, true)
+	rankSlow, balSlow := slowServe(hRank, rank), slowServe(hBal, bal)
+	if balSlow*2 >= rankSlow {
+		t.Errorf("balanced slow-phase serve time %d ns, want well under rank-order %d ns", balSlow, rankSlow)
+	}
+	// Client bytes are unaffected by read policy: replicas serve
+	// identical compressed bytes.
+	if rank.WANBytes != bal.WANBytes {
+		t.Errorf("client WAN bytes %d rank-order vs %d balanced", rank.WANBytes, bal.WANBytes)
+	}
+
+	// Reproducibility.
+	again, _ := run(true, true)
+	j1, err := bal.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := again.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("same (scenario, seed) produced different straggler results:\n--- run 1\n%s\n--- run 2\n%s", j1, j2)
+	}
+
+	// Without a tier the scenario refuses to run.
+	h, err := New(testWorkload(t), Options{Nodes: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Run(Straggler); !errors.Is(err, ErrBadFleet) {
+		t.Fatalf("straggler without shards err = %v", err)
 	}
 }

@@ -29,9 +29,12 @@ type PhaseResult struct {
 	MeanDeploy time.Duration `json:"meanDeploy"`
 	MaxDeploy  time.Duration `json:"maxDeploy"`
 	// WAN is the registry egress the phase cost; LAN is what the
-	// cluster absorbed peer-to-peer instead.
-	WAN netsim.Stats `json:"wan"`
-	LAN netsim.Stats `json:"lan"`
+	// cluster absorbed peer-to-peer instead. ShardWAN is the sharded
+	// registry tier's own inter-shard/service traffic for the phase
+	// (zero when the run has no shard tier).
+	WAN      netsim.Stats `json:"wan"`
+	LAN      netsim.Stats `json:"lan"`
+	ShardWAN netsim.Stats `json:"shardWAN,omitzero"`
 	// Telemetry is the stripped fleet-wide snapshot diff.
 	Telemetry telemetry.Snapshot `json:"telemetry"`
 }
@@ -52,10 +55,12 @@ type Result struct {
 	Phases   []PhaseResult `json:"phases"`
 	// Shards/Replication describe the registry tier backing the run
 	// (0 = single-node registry); KilledShard is the member the sharded
-	// failover scenario killed.
+	// failover scenario killed; SlowShard the member the straggler
+	// scenario ran at 10x service time.
 	Shards      int    `json:"shards,omitempty"`
 	Replication int    `json:"replication,omitempty"`
 	KilledShard string `json:"killedShard,omitempty"`
+	SlowShard   string `json:"slowShard,omitempty"`
 	// Churn is the churn scenario's schedule (empty otherwise).
 	Churn []ChurnRound `json:"churn,omitempty"`
 	// Fleet-wide totals across all phases.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/gear-image/gear/internal/netsim"
 	"github.com/gear-image/gear/internal/telemetry"
 )
 
@@ -34,10 +35,16 @@ const (
 	// container) while the other half runs short-lived jobs (deploy the
 	// newest version, then destroy).
 	Mixed Kind = "mixed"
+	// Straggler: a steady rollout, a rollout while the busiest shard
+	// serves at 10x its nominal service time (no failures — the shard
+	// stays live and correct, just slow), and a rollout after it
+	// recovers. Requires a sharded tier (Options.Shards); whether the
+	// slow phase hurts depends on Options.ReadBalance/ReadHedge.
+	Straggler Kind = "straggler"
 )
 
 // Kinds lists every scenario in canonical order.
-func Kinds() []Kind { return []Kind{FlashCrowd, Churn, Failover, Mixed} }
+func Kinds() []Kind { return []Kind{FlashCrowd, Churn, Failover, Mixed, Straggler} }
 
 // ErrUnknownScenario reports an unrecognized scenario kind.
 var ErrUnknownScenario = errors.New("unknown scenario")
@@ -80,6 +87,8 @@ func (h *Harness) Run(kind Kind) (*Result, error) {
 		err = h.runFailover(res)
 	case Mixed:
 		err = h.runMixed(res)
+	case Straggler:
+		err = h.runStraggler(res)
 	default:
 		return nil, fmt.Errorf("fleet: %q: %w", kind, ErrUnknownScenario)
 	}
@@ -97,6 +106,10 @@ func (h *Harness) Run(kind Kind) (*Result, error) {
 func (h *Harness) phase(res *Result, name string, fn func() error) error {
 	before := h.Snapshot()
 	wanBefore, lanBefore := h.topo.WANStats(), h.topo.LANStats()
+	var shardBefore netsim.Stats
+	if h.shardTopo != nil {
+		shardBefore = h.shardTopo.WANStats()
+	}
 	h.mu.Lock()
 	h.maxDeploy = 0
 	h.mu.Unlock()
@@ -121,6 +134,9 @@ func (h *Harness) phase(res *Result, name string, fn func() error) error {
 		WAN:        h.topo.WANStats().Sub(wanBefore),
 		LAN:        h.topo.LANStats().Sub(lanBefore),
 		Telemetry:  diff,
+	}
+	if h.shardTopo != nil {
+		p.ShardWAN = h.shardTopo.WANStats().Sub(shardBefore)
 	}
 	if p.Deploys > 0 {
 		p.MeanDeploy = p.DeployTime / time.Duration(p.Deploys)
@@ -307,6 +323,58 @@ func (h *Harness) runFailover(res *Result) error {
 	}
 	return h.phase(res, "recovered", func() error {
 		if err := h.topo.SetWANConfig(healthy); err != nil {
+			return err
+		}
+		return deployAll(h.clampVersion(2))()
+	})
+}
+
+// stragglerFactor is the service slowdown the straggler scenario
+// applies to the busiest shard — the 10x slow node of the tail-latency
+// literature.
+const stragglerFactor = 10
+
+// runStraggler is failover's latency-side sibling: nothing dies, but
+// the shard carrying the most primary routes serves at stragglerFactor
+// its nominal service time for the middle rollout. Rank-order reads eat
+// the full slowdown on every object the straggler owns; balanced or
+// hedged reads should keep the slow phase close to the steady one.
+func (h *Harness) runStraggler(res *Result) error {
+	if h.cluster == nil {
+		return fmt.Errorf("fleet: straggler scenario needs a sharded tier (Options.Shards): %w", ErrBadFleet)
+	}
+	deployAll := func(v int) func() error {
+		return func() error {
+			for _, id := range h.Active() {
+				if _, err := h.Deploy(id, v); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	if err := h.phase(res, "steady", func() error {
+		for i := 0; i < h.opts.Nodes; i++ {
+			if err := h.Join(NodeID(i)); err != nil {
+				return err
+			}
+		}
+		return deployAll(0)()
+	}); err != nil {
+		return err
+	}
+	victim := h.busiestShard()
+	res.SlowShard = victim
+	if err := h.phase(res, "slow", func() error {
+		if err := h.shardTopo.SetServiceFactor(victim, stragglerFactor); err != nil {
+			return err
+		}
+		return deployAll(h.clampVersion(1))()
+	}); err != nil {
+		return err
+	}
+	return h.phase(res, "recovered", func() error {
+		if err := h.shardTopo.SetServiceFactor(victim, 1); err != nil {
 			return err
 		}
 		return deployAll(h.clampVersion(2))()

@@ -78,6 +78,16 @@ type Link struct {
 	bytes    int64
 	requests int64
 	elapsed  time.Duration
+	// factor scales the server-side cost (request overhead + wire time)
+	// of every future transfer: 0 or 1 is nominal, 10 a straggler
+	// serving at a tenth of its rated speed. The RTT is network
+	// propagation and stays unscaled.
+	factor float64
+	// jitterAmp > 0 adds deterministic per-request service jitter: each
+	// transfer draws u in [0,1) from the seeded xorshift stream and
+	// scales its server-side cost by 1+jitterAmp*u.
+	jitterAmp   float64
+	jitterState uint64
 }
 
 // NewLink returns a Link for cfg.
@@ -128,12 +138,96 @@ func (l *Link) Closed() bool {
 	return l.closed
 }
 
+// SetServiceFactor scales the server-side cost of every future
+// transfer on this link — the straggler knob: a factor of 10 models a
+// node serving at a tenth of its rated speed (overloaded disk, GC
+// storms, a failing NIC). Factor must be positive; 1 restores nominal
+// service. Traffic already recorded keeps its original pricing.
+func (l *Link) SetServiceFactor(f float64) error {
+	if f <= 0 {
+		return fmt.Errorf("netsim: service factor %f: %w", f, ErrBadLink)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.factor = f
+	return nil
+}
+
+// ServiceFactor returns the current server-side cost multiplier.
+func (l *Link) ServiceFactor() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.factor <= 0 {
+		return 1
+	}
+	return l.factor
+}
+
+// SetServiceJitter enables deterministic per-request service jitter:
+// each future transfer scales its server-side cost by 1+amp*u, with u
+// drawn in [0,1) from an xorshift stream seeded here. The same seed
+// replays the same jitter sequence, so slow requests are reproducible.
+// amp 0 disables jitter; negative amp is rejected.
+func (l *Link) SetServiceJitter(seed uint64, amp float64) error {
+	if amp < 0 {
+		return fmt.Errorf("netsim: jitter amplitude %f: %w", amp, ErrBadLink)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.jitterAmp = amp
+	if seed == 0 {
+		// xorshift is stuck at zero; displace with the splitmix constant.
+		seed = 0x9e3779b97f4a7c15
+	}
+	l.jitterState = seed
+	return nil
+}
+
+// jitterDrawLocked advances the jitter stream and returns u in [0,1).
+func (l *Link) jitterDrawLocked() float64 {
+	x := l.jitterState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	l.jitterState = x
+	return float64(x>>11) / float64(1<<53)
+}
+
+// costLocked prices n requests totalling size bytes: RTT once, request
+// overhead per request, wire time on the volume — with the server-side
+// parts scaled by the service factor and one jitter draw per call. With
+// factor 1 and jitter off the arithmetic is bit-identical to the
+// pre-knob pricing.
+func (l *Link) costLocked(n int, size int64) time.Duration {
+	wire := time.Duration(float64(size) / l.cfg.BytesPerSecond * float64(time.Second))
+	serve := l.cfg.RequestOverhead*time.Duration(n) + wire
+	f := 1.0
+	if l.factor > 0 {
+		f = l.factor
+	}
+	if l.jitterAmp > 0 {
+		f *= 1 + l.jitterAmp*l.jitterDrawLocked()
+	}
+	if f != 1 {
+		serve = time.Duration(float64(serve) * f)
+	}
+	return l.cfg.RTT + serve
+}
+
 // TransferCost returns the virtual time to move size bytes in a single
-// request, without recording it.
+// request, without recording it. The service factor applies; the jitter
+// stream is left untouched (a cost estimate must not perturb the
+// deterministic per-request sequence) — use TransferQuote to draw a
+// jittered cost.
 func (l *Link) TransferCost(size int64) time.Duration {
-	cfg := l.Config()
-	wire := time.Duration(float64(size) / cfg.BytesPerSecond * float64(time.Second))
-	return cfg.RTT + cfg.RequestOverhead + wire
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	wire := time.Duration(float64(size) / l.cfg.BytesPerSecond * float64(time.Second))
+	serve := l.cfg.RequestOverhead + wire
+	if l.factor > 0 && l.factor != 1 {
+		serve = time.Duration(float64(serve) * l.factor)
+	}
+	return l.cfg.RTT + serve
 }
 
 // Transfer records one request of size bytes and returns its cost. On a
@@ -155,12 +249,90 @@ func (l *Link) TransferE(size int64) (time.Duration, error) {
 	if l.closed {
 		return 0, fmt.Errorf("netsim: %w", ErrLinkClosed)
 	}
-	wire := time.Duration(float64(size) / l.cfg.BytesPerSecond * float64(time.Second))
-	cost := l.cfg.RTT + l.cfg.RequestOverhead + wire
+	cost := l.costLocked(1, size)
 	l.bytes += size
 	l.requests++
 	l.elapsed += cost
 	return cost, nil
+}
+
+// TransferQuote draws the (service-scaled, jittered) cost of n requests
+// totalling size bytes without recording any traffic. The jitter stream
+// advances exactly as a recorded transfer would, so a quote followed by
+// RecordTransfer prices identically to TransferE/TransferBatchE. Hedged
+// readers quote both replicas, pick the winner, and record the loser's
+// partial outcome.
+func (l *Link) TransferQuote(n int, size int64) (time.Duration, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	if size < 0 {
+		return 0, fmt.Errorf("netsim: quote of %d bytes: %w", size, ErrBadStream)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("netsim: %w", ErrLinkClosed)
+	}
+	return l.costLocked(n, size), nil
+}
+
+// RecordTransfer commits a previously quoted transfer outcome: n
+// requests, size bytes moved, cost of link busy time. A cancelled
+// (hedge-losing) transfer records the bytes and busy time it actually
+// spent before cancellation.
+func (l *Link) RecordTransfer(n int, size int64, cost time.Duration) error {
+	if n <= 0 {
+		return nil
+	}
+	if size < 0 || cost < 0 {
+		return fmt.Errorf("netsim: record of %d bytes in %v: %w", size, cost, ErrBadStream)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("netsim: %w", ErrLinkClosed)
+	}
+	l.bytes += size
+	l.requests += int64(n)
+	l.elapsed += cost
+	return nil
+}
+
+// PrefixBytes reports how many of size bytes a transfer of n requests
+// priced at cost has delivered when cancelled busy into its service:
+// nothing until the RTT and the (service-scaled) request overhead
+// elapse, then linear across the wire phase. The overhead/wire split is
+// taken from the current configuration; the service scaling cancels out
+// of the split, so the same call prices jittered and straggling
+// transfers correctly. Hedged readers use this to discount the bytes a
+// cancelled loser actually moved.
+func (l *Link) PrefixBytes(n int, size int64, busy, cost time.Duration) int64 {
+	if n < 1 || size <= 0 || busy <= 0 {
+		return 0
+	}
+	if busy >= cost {
+		return size
+	}
+	l.mu.Lock()
+	ovh := float64(l.cfg.RequestOverhead) * float64(n)
+	wire := float64(size) / l.cfg.BytesPerSecond * float64(time.Second)
+	rtt := float64(l.cfg.RTT)
+	l.mu.Unlock()
+	serve := float64(cost) - rtt
+	if serve <= 0 || ovh+wire <= 0 {
+		return 0
+	}
+	dataStart := rtt + serve*ovh/(ovh+wire)
+	span := float64(cost) - dataStart
+	if span <= 0 || float64(busy) <= dataStart {
+		return 0
+	}
+	got := int64(float64(size) * (float64(busy) - dataStart) / span)
+	if got > size {
+		got = size
+	}
+	return got
 }
 
 // TransferBatch records n requests totalling size bytes, as when a client
@@ -186,9 +358,7 @@ func (l *Link) TransferBatchE(n int, size int64) (time.Duration, error) {
 	if l.closed {
 		return 0, fmt.Errorf("netsim: %w", ErrLinkClosed)
 	}
-	wire := time.Duration(float64(size) / l.cfg.BytesPerSecond * float64(time.Second))
-	perReq := l.cfg.RequestOverhead * time.Duration(n)
-	cost := l.cfg.RTT + perReq + wire
+	cost := l.costLocked(n, size)
 	l.bytes += size
 	l.requests += int64(n)
 	l.elapsed += cost

@@ -34,6 +34,12 @@ type Topology struct {
 	// retired holds the link pairs of detached nodes so their traffic
 	// keeps counting toward the aggregates.
 	retired []*NodeLinks
+	// jitterSeed/jitterAmp, when amp > 0, arm deterministic per-node
+	// service jitter: every attachment derives its own stream seed from
+	// (jitterSeed, node id), so the same topology seed replays the same
+	// per-node slow-request schedule regardless of attachment order.
+	jitterSeed uint64
+	jitterAmp  float64
 }
 
 // NodeLinks is one node's attachment to the topology.
@@ -73,10 +79,87 @@ func (t *Topology) Node(id string) *NodeLinks {
 	// Configs were validated in NewTopology; NewLink cannot fail.
 	wan, _ := NewLink(t.wanCfg)
 	lan, _ := NewLink(t.lanCfg)
+	if t.jitterAmp > 0 {
+		// Amp was validated in SetServiceJitter; SetServiceJitter on a
+		// fresh link cannot fail.
+		_ = wan.SetServiceJitter(nodeSeed(t.jitterSeed, id, 0), t.jitterAmp)
+		_ = lan.SetServiceJitter(nodeSeed(t.jitterSeed, id, 1), t.jitterAmp)
+	}
 	n := &NodeLinks{WAN: wan, LAN: lan}
 	t.nodes[id] = n
 	t.order = append(t.order, id)
 	return n
+}
+
+// SetServiceFactor scales the named node's server-side cost on both its
+// links — the straggler knob (10 = one node serving at a tenth speed; 1
+// restores nominal service). The node must be attached; the factor does
+// not survive a detach/re-attach cycle (a rejoined node gets fresh
+// links at nominal speed).
+func (t *Topology) SetServiceFactor(id string, f float64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.nodes[id]
+	if !ok {
+		return fmt.Errorf("netsim: service factor %q: %w", id, ErrUnknownNode)
+	}
+	if err := n.WAN.SetServiceFactor(f); err != nil {
+		return err
+	}
+	return n.LAN.SetServiceFactor(f)
+}
+
+// SetServiceJitter arms deterministic per-request service jitter on
+// every attached node and every future attachment: each transfer's
+// server-side cost scales by 1+amp*u with u drawn from a per-node
+// xorshift stream derived from (seed, node id). Same seed, same slow
+// requests — the reproducible-straggler contract experiments replay.
+// amp 0 disarms jitter for future attachments (existing links keep
+// their streams).
+func (t *Topology) SetServiceJitter(seed uint64, amp float64) error {
+	if amp < 0 {
+		return fmt.Errorf("netsim: jitter amplitude %f: %w", amp, ErrBadLink)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.jitterSeed, t.jitterAmp = seed, amp
+	if amp == 0 {
+		return nil
+	}
+	for _, id := range t.order {
+		n := t.nodes[id]
+		// Attached links are never closed and amp was validated, so
+		// SetServiceJitter cannot fail.
+		_ = n.WAN.SetServiceJitter(nodeSeed(seed, id, 0), amp)
+		_ = n.LAN.SetServiceJitter(nodeSeed(seed, id, 1), amp)
+	}
+	return nil
+}
+
+// nodeSeed derives a per-(node, link-class) jitter seed: FNV-1a over
+// the id mixed with the topology seed and finalized so nearby ids land
+// on far-apart streams.
+func nodeSeed(seed uint64, id string, class uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	h ^= seed + class*0x9e3779b97f4a7c15
+	// murmur3 finalizer: avalanche every bit so streams decorrelate.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	if h == 0 {
+		h = 0x9e3779b97f4a7c15
+	}
+	return h
 }
 
 // Detach removes the named node: both its links close, so any transfer

@@ -1,0 +1,73 @@
+package shardreg
+
+import (
+	"testing"
+
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/netsim"
+)
+
+// benchCluster builds a seeded 4-shard, 2-replica tier with a topology
+// attached, the shape the read-path benchmarks exercise.
+func benchCluster(b *testing.B, read ReadOptions) (*Cluster, []hashing.Fingerprint) {
+	b.Helper()
+	topo, err := netsim.NewTopology(netsim.DefaultLAN().WithBandwidth(100), netsim.DefaultLAN())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := newCluster(b, 4, 2, Options{Topology: topo, Read: read})
+	objs := corpus(b, 64)
+	uploadAll(b, c, objs)
+	fps := make([]hashing.Fingerprint, 0, len(objs))
+	for fp := range objs {
+		fps = append(fps, fp)
+	}
+	return c, fps
+}
+
+func benchDownload(b *testing.B, read ReadOptions) {
+	c, fps := benchCluster(b, read)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := c.DownloadTimed(fps[i%len(fps)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDownloadRankOrder(b *testing.B) {
+	benchDownload(b, ReadOptions{})
+}
+
+func BenchmarkDownloadBalanced(b *testing.B) {
+	benchDownload(b, ReadOptions{Balance: true})
+}
+
+func BenchmarkDownloadHedged(b *testing.B) {
+	benchDownload(b, ReadOptions{Balance: true, Hedge: true})
+}
+
+func BenchmarkDownloadBatch(b *testing.B) {
+	c, fps := benchCluster(b, ReadOptions{Balance: true, Hedge: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.DownloadBatch(fps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadOrder(b *testing.B) {
+	c, fps := benchCluster(b, ReadOptions{Balance: true})
+	chains := make([][]*shard, len(fps))
+	for i, fp := range fps {
+		chains[i] = c.replicaChain(fp)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.readOrder(fps[i%len(fps)], chains[i%len(chains)])
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/gear-image/gear/internal/clientopt"
 	"github.com/gear-image/gear/internal/gearregistry"
@@ -89,6 +90,10 @@ type Options struct {
 	// and rebalanced bytes through that shard's WAN link — the
 	// registry-side cost model of the extshard experiment.
 	Topology *netsim.Topology
+	// Read tunes the download side: load-balanced replica selection and
+	// hedged requests. The zero value reads in strict rank order, the
+	// pre-hedging behavior.
+	Read ReadOptions
 }
 
 // shardStore is what every shard backend must speak: the three verbs
@@ -110,10 +115,20 @@ type shard struct {
 	links *netsim.NodeLinks
 	down  atomic.Bool
 
+	// ewma is the smoothed observed download latency in nanoseconds and
+	// inflight the concurrent-read occupancy — together the load score
+	// the power-of-two-choices balancer compares.
+	ewma     atomic.Int64
+	inflight atomic.Int64
+
 	// objects/bytes are the per-shard telemetry views
-	// (shardreg.shard.<id>.objects / .bytes), synced on every mutation.
-	objects *telemetry.Gauge
-	bytes   *telemetry.Gauge
+	// (shardreg.shard.<id>.objects / .bytes), synced on every mutation;
+	// reads/readBytes are the served-read counters behind the read-share
+	// columns.
+	objects   *telemetry.Gauge
+	bytes     *telemetry.Gauge
+	reads     *telemetry.Counter
+	readBytes *telemetry.Counter
 }
 
 // downErr is the typed unavailability error for this shard.
@@ -158,6 +173,24 @@ type Cluster struct {
 	rebalObjects, rebalBytes    *telemetry.Counter
 	shardsGauge, downGauge      *telemetry.Gauge
 	replGauge                   *telemetry.Gauge
+
+	// Read-path telemetry: balanced picks that diverged from rank order,
+	// hedges fired/won, cancelled-loser egress, and the client-observed
+	// download latency distribution.
+	readBalanced *telemetry.Counter
+	hedgeFired   *telemetry.Counter
+	hedgeWon     *telemetry.Counter
+	hedgeWaste   *telemetry.Counter
+	latHist      *telemetry.Histogram
+
+	// latMu guards the smoothed latency pair the adaptive hedge trigger
+	// is derived from: srtt (per-request download latency) and srttPB
+	// (per-byte latency, ns/byte). Together they model the expected cost
+	// of a read of known size in both overhead- and wire-dominated
+	// regimes, so big-but-healthy downloads don't trip the trigger.
+	latMu  sync.Mutex
+	srtt   time.Duration
+	srttPB float64
 }
 
 var (
@@ -220,6 +253,11 @@ func New(opts Options) (*Cluster, error) {
 		shardsGauge:  tele.Gauge("shardreg.shards"),
 		downGauge:    tele.Gauge("shardreg.shards.down"),
 		replGauge:    tele.Gauge("shardreg.replication"),
+		readBalanced: tele.Counter("shardreg.read.balanced"),
+		hedgeFired:   tele.Counter("shardreg.hedge.fired"),
+		hedgeWon:     tele.Counter("shardreg.hedge.won"),
+		hedgeWaste:   tele.Counter("shardreg.hedge.waste.bytes"),
+		latHist:      tele.Histogram("shardreg.download.latency", telemetry.DefaultLatencyBounds),
 	}
 	for _, id := range opts.Shards {
 		if err := validateShardID(id); err != nil {
@@ -245,11 +283,13 @@ func (c *Cluster) newShard(id string) *shard {
 		store = rs
 	}
 	s := &shard{
-		id:      id,
-		reg:     reg,
-		store:   store,
-		objects: c.tele.Gauge("shardreg.shard." + id + ".objects"),
-		bytes:   c.tele.Gauge("shardreg.shard." + id + ".bytes"),
+		id:        id,
+		reg:       reg,
+		store:     store,
+		objects:   c.tele.Gauge("shardreg.shard." + id + ".objects"),
+		bytes:     c.tele.Gauge("shardreg.shard." + id + ".bytes"),
+		reads:     c.tele.Counter("shardreg.shard." + id + ".reads"),
+		readBytes: c.tele.Counter("shardreg.shard." + id + ".read.bytes"),
 	}
 	if c.opts.Topology != nil {
 		s.links = c.opts.Topology.Node(id)
@@ -380,35 +420,12 @@ func (c *Cluster) Upload(fp hashing.Fingerprint, data []byte) error {
 // Download implements gearregistry.Store with replica failover: dead or
 // erroring shards are skipped (and counted as failovers); a replica
 // that simply does not hold the object is tried past without a failover
-// tick, so a tier-wide miss still reports ErrNotFound.
+// tick, so a tier-wide miss still reports ErrNotFound. Replica choice
+// and hedging follow Options.Read; see DownloadTimed for the
+// latency-returning form.
 func (c *Cluster) Download(fp hashing.Fingerprint) ([]byte, int64, error) {
-	c.downloads.Inc()
-	if err := fp.Validate(); err != nil {
-		return nil, 0, fmt.Errorf("shardreg: download: %w", err)
-	}
-	chain := c.replicaChain(fp)
-	if len(chain) == 0 {
-		return nil, 0, fmt.Errorf("shardreg: download %s: %w", fp, ErrNoShards)
-	}
-	var lastErr error
-	for _, s := range chain {
-		if s.down.Load() {
-			c.failovers.Inc()
-			lastErr = s.downErr()
-			continue
-		}
-		payload, wire, err := s.store.Download(fp)
-		if err != nil {
-			if !errors.Is(err, gearregistry.ErrNotFound) {
-				c.failovers.Inc()
-			}
-			lastErr = err
-			continue
-		}
-		s.charge(1, wire)
-		return payload, wire, nil
-	}
-	return nil, 0, fmt.Errorf("shardreg: download %s: %w", fp, lastErr)
+	payload, wire, _, err := c.DownloadTimed(fp)
+	return payload, wire, err
 }
 
 // batchPermanent reports sub-batch errors that re-routing to another
@@ -422,12 +439,16 @@ func batchPermanent(err error) bool {
 
 // routeBatch is the fan-out engine shared by QueryBatch and
 // DownloadBatch: it resolves every fingerprint's replica chain once,
-// partitions the indices by each fingerprint's lowest-rank live
-// replica, serves one sub-batch per shard (in shard-id order, so runs
-// are deterministic), and re-routes a failed sub-batch to each
-// fingerprint's next replica. With one shard the whole batch is a
+// partitions the indices by each fingerprint's first live replica,
+// serves one sub-batch per shard (in shard-id order, so runs are
+// deterministic), and re-routes a failed sub-batch to each
+// fingerprint's next replica. With balance set each chain is first
+// reordered by power-of-two-choices (downloads only — queries are too
+// cheap to matter); otherwise the first replica is the lowest rank.
+// serve receives alt, resolving an index's next live replica, so a
+// download sub-batch can hedge. With one shard the whole batch is a
 // single sub-batch in request order — the exact single-registry call.
-func (c *Cluster) routeBatch(fps []hashing.Fingerprint, serve func(s *shard, idxs []int) error) error {
+func (c *Cluster) routeBatch(fps []hashing.Fingerprint, balance bool, serve func(s *shard, idxs []int, alt func(int) *shard) error) error {
 	c.mu.RLock()
 	if c.ring.Len() == 0 {
 		c.mu.RUnlock()
@@ -443,6 +464,11 @@ func (c *Cluster) routeBatch(fps []hashing.Fingerprint, serve func(s *shard, idx
 		chains[i] = chain
 	}
 	c.mu.RUnlock()
+	if balance {
+		for i, fp := range fps {
+			chains[i] = c.readOrder(fp, chains[i])
+		}
+	}
 
 	rank := make([]int, len(fps))
 	remaining := make([]int, len(fps))
@@ -468,10 +494,11 @@ func (c *Cluster) routeBatch(fps []hashing.Fingerprint, serve func(s *shard, idx
 			groups[s] = append(groups[s], i)
 		}
 		sort.Slice(order, func(a, b int) bool { return order[a].id < order[b].id })
+		alt := func(i int) *shard { return nextLive(chains[i], rank[i]+1) }
 		remaining = remaining[:0]
 		for _, s := range order {
 			idxs := groups[s]
-			if err := serve(s, idxs); err != nil {
+			if err := serve(s, idxs, alt); err != nil {
 				if batchPermanent(err) {
 					return err
 				}
@@ -498,7 +525,7 @@ func (c *Cluster) QueryBatch(fps []hashing.Fingerprint) ([]bool, error) {
 		}
 	}
 	present := make([]bool, len(fps))
-	err := c.routeBatch(fps, func(s *shard, idxs []int) error {
+	err := c.routeBatch(fps, false, func(s *shard, idxs []int, _ func(int) *shard) error {
 		sub := make([]hashing.Fingerprint, len(idxs))
 		for k, i := range idxs {
 			sub[k] = fps[i]
@@ -532,7 +559,7 @@ func (c *Cluster) DownloadBatch(fps []hashing.Fingerprint) ([][]byte, int64, err
 	}
 	payloads := make([][]byte, len(fps))
 	var wire int64
-	err := c.routeBatch(fps, func(s *shard, idxs []int) error {
+	err := c.routeBatch(fps, c.opts.Read.Balance, func(s *shard, idxs []int, alt func(int) *shard) error {
 		sub := make([]hashing.Fingerprint, len(idxs))
 		for k, i := range idxs {
 			sub[k] = fps[i]
@@ -545,7 +572,7 @@ func (c *Cluster) DownloadBatch(fps []hashing.Fingerprint) ([][]byte, int64, err
 			payloads[i] = ps[k]
 		}
 		wire += w
-		s.charge(len(idxs), w)
+		c.priceBatch(s, idxs, w, alt)
 		return nil
 	})
 	if err != nil {
@@ -586,6 +613,7 @@ func (c *Cluster) ShardDownloadBatch(id string, fps []hashing.Fingerprint) ([][]
 		return nil, 0, err
 	}
 	s.charge(len(fps), wire)
+	s.countRead(len(fps), wire)
 	return payloads, wire, nil
 }
 
@@ -832,6 +860,9 @@ type ShardStats struct {
 	StoredBytes  int64   `json:"storedBytes"`
 	LogicalBytes int64   `json:"logicalBytes"`
 	OwnedShare   float64 `json:"ownedShare"` // primary hash-space fraction
+	Reads        int64   `json:"reads"`      // read requests this shard served
+	ReadBytes    int64   `json:"readBytes"`  // wire bytes it served to readers
+	ReadShare    float64 `json:"readShare"`  // fraction of the tier's served reads
 }
 
 // Stats summarizes the tier: per-shard placement and pool usage plus
@@ -846,6 +877,11 @@ type Stats struct {
 	DegradedUploads   int64        `json:"degradedUploads"`
 	RebalancedObjects int64        `json:"rebalancedObjects"`
 	RebalancedBytes   int64        `json:"rebalancedBytes"`
+	Reads             int64        `json:"reads"`           // read requests served across the tier
+	BalancedReads     int64        `json:"balancedReads"`   // p2c picks that diverged from rank order
+	HedgesFired       int64        `json:"hedgesFired"`     // hedged requests issued
+	HedgesWon         int64        `json:"hedgesWon"`       // hedges whose backup finished first
+	HedgeWasteBytes   int64        `json:"hedgeWasteBytes"` // cancelled-loser egress
 }
 
 // Stats returns a snapshot of the tier.
@@ -860,6 +896,10 @@ func (c *Cluster) Stats() Stats {
 		DegradedUploads:   c.degraded.Value(),
 		RebalancedObjects: c.rebalObjects.Value(),
 		RebalancedBytes:   c.rebalBytes.Value(),
+		BalancedReads:     c.readBalanced.Value(),
+		HedgesFired:       c.hedgeFired.Value(),
+		HedgesWon:         c.hedgeWon.Value(),
+		HedgeWasteBytes:   c.hedgeWaste.Value(),
 	}
 	for _, id := range c.ring.Shards() {
 		s := c.shards[id]
@@ -871,9 +911,17 @@ func (c *Cluster) Stats() Stats {
 			StoredBytes:  ps.StoredBytes,
 			LogicalBytes: ps.LogicalBytes,
 			OwnedShare:   share[id],
+			Reads:        s.reads.Value(),
+			ReadBytes:    s.readBytes.Value(),
 		})
 		st.Objects += ps.Objects
 		st.StoredBytes += ps.StoredBytes
+		st.Reads += s.reads.Value()
+	}
+	if st.Reads > 0 {
+		for i := range st.Shards {
+			st.Shards[i].ReadShare = float64(st.Shards[i].Reads) / float64(st.Reads)
+		}
 	}
 	return st
 }
