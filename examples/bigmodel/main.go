@@ -3,10 +3,12 @@
 // that need to download big files, such as AI containers with big
 // models" — implemented end to end.
 //
-// An image carrying a 4 MB model file is converted with chunking
-// enabled; the container then reads one 64 KB slice of the model
-// (an embedding lookup, say) and only the overlapping chunks cross the
-// wire.
+// The same AI-serving image (one 4 MB model blob) is published twice:
+// once with whole-file Gear, once with content-defined chunking. Both
+// containers then read the same 64 KB slice of the model (an embedding
+// lookup, say); the whole-file deployment stalls on the entire model,
+// the chunked one only on the chunks the slice overlaps, faulted
+// through the bounded fetch window.
 //
 // Run with:
 //
@@ -14,22 +16,57 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	gear "github.com/gear-image/gear"
 )
 
 const (
 	modelSize = 4 << 20
-	chunkSize = 128 << 10
+	chunkAvg  = 64 << 10
+	windowCap = 512 << 10
 )
 
 func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// deploy publishes img (converted under pol) into fresh registries and
+// returns the running deployment plus its daemon. Chunked deploys fault
+// through a bounded demand window.
+func deploy(img *gear.Image, pol gear.ChunkPolicy) (*gear.Deployment, *gear.Daemon, error) {
+	conv, err := gear.NewConverter(gear.ConverterOptions{Chunking: pol})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := conv.Convert(img)
+	if err != nil {
+		return nil, nil, err
+	}
+	docker := gear.NewRegistry()
+	files := gear.NewFileStore(gear.FileStoreOptions{Compress: true})
+	if _, _, err := gear.Publish(res, docker, files); err != nil {
+		return nil, nil, err
+	}
+	var dopts gear.DaemonOptions
+	if pol.Enabled() {
+		dopts.ChunkWindowBytes = windowCap
+	}
+	daemon, err := gear.NewDaemon(docker, files, dopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	dep, err := daemon.DeployGear("ai-serving", "v1", nil, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dep, daemon, nil
 }
 
 func run() error {
@@ -51,64 +88,56 @@ func run() error {
 		return err
 	}
 
-	// 2. Convert with chunking: files above chunkSize split into pieces.
-	conv, err := gear.NewConverter(gear.ConverterOptions{ChunkSize: chunkSize})
+	// 2. Publish twice: whole-file Gear vs content-defined chunks.
+	whole, _, err := deploy(img, gear.ChunkPolicy{})
 	if err != nil {
 		return err
 	}
-	res, err := conv.Convert(img)
+	chunked, chunkedDaemon, err := deploy(img, gear.CDCChunks(chunkAvg))
 	if err != nil {
 		return err
 	}
-	entry := res.Index.Lookup("/srv/model/weights.bin")
-	fmt.Printf("model is %d bytes -> %d chunks of %d KB\n",
-		entry.Size, len(entry.Chunks), chunkSize>>10)
+	ix, err := chunkedDaemon.GearStore().Index("ai-serving:v1")
+	if err != nil {
+		return err
+	}
+	entry := ix.Lookup("/srv/model/weights.bin")
+	fmt.Printf("model is %d bytes -> %d content-defined chunks (avg %d KB, window %d KB)\n",
+		entry.Size, len(entry.Chunks), chunkAvg>>10, windowCap>>10)
 
-	docker := gear.NewRegistry()
-	files := gear.NewFileStore(gear.FileStoreOptions{Compress: true})
-	if _, _, err := gear.Publish(res, docker, files); err != nil {
-		return err
-	}
-
-	// 3. Deploy and read one 64 KB slice out of the middle of the model.
-	daemon, err := gear.NewDaemon(docker, files, gear.DaemonOptions{})
-	if err != nil {
-		return err
-	}
-	if _, err := daemon.DeployGear("ai-serving", "v1", nil, 0); err != nil {
-		return err
-	}
-	st := daemon.GearStore()
-	view, err := st.Container("gear-1")
-	if err != nil {
-		return err
-	}
-
+	// 3. Both containers read the same 64 KB slice out of the middle.
 	const off, n = 1<<20 + 7, 64 << 10
-	slice, err := view.ReadAt("/srv/model/weights.bin", off, n)
+	wholeSlice, wholeStall, err := whole.ReadAt("/srv/model/weights.bin", off, n)
 	if err != nil {
 		return err
 	}
-	stats := st.Stats()
-	fmt.Printf("read model[%d:%d] (%d bytes)\n", off, off+n, len(slice))
-	fmt.Printf("chunks fetched: %d of %d (%d B over the wire, not %d B)\n",
-		stats.RemoteObjects, len(entry.Chunks), stats.RemoteBytes, modelSize)
-	ok := true
-	for i := range slice {
-		if slice[i] != model[off+i] {
-			ok = false
-			break
-		}
+	chunkSlice, chunkStall, err := chunked.ReadAt("/srv/model/weights.bin", off, n)
+	if err != nil {
+		return err
 	}
-	fmt.Printf("slice content correct: %v\n", ok)
+	st := chunkedDaemon.GearStore().Stats()
+	fmt.Printf("\nfirst read of model[%d:%d]:\n", off, off+n)
+	fmt.Printf("  whole-file gear: %8s stall (%d bytes over the wire)\n",
+		round(wholeStall), modelSize)
+	fmt.Printf("  chunked gear:    %8s stall (%d chunks, %d bytes over the wire)\n",
+		round(chunkStall), st.RemoteObjects, st.RemoteBytes)
+	if chunkStall > 0 {
+		fmt.Printf("  stall reduction: %.1fx\n", float64(wholeStall)/float64(chunkStall))
+	}
+	ok := bytes.Equal(wholeSlice, model[off:off+n]) && bytes.Equal(chunkSlice, wholeSlice)
+	fmt.Printf("  slice content identical on both paths: %v\n", ok)
 
-	// 4. A full sequential read later reuses the cached chunks.
-	full, err := view.ReadFile("/srv/model/weights.bin")
+	// 4. A full sequential read faults the remaining chunks through the
+	// bounded window and reuses what the slice already cached.
+	full, _, err := chunked.Read("/srv/model/weights.bin")
 	if err != nil {
 		return err
 	}
-	after := st.Stats()
-	fmt.Printf("full read (%d bytes) fetched the remaining %d chunks\n",
-		len(full), after.RemoteObjects-stats.RemoteObjects)
+	after := chunkedDaemon.GearStore().Stats()
+	fmt.Printf("\nfull read (%d bytes) fetched the remaining %d chunks; peak window %d KB\n",
+		len(full), after.RemoteObjects-st.RemoteObjects,
+		chunkedDaemon.GearStore().ChunkWindowPeak()>>10)
 	return nil
 }
+
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }

@@ -31,9 +31,31 @@
 //
 // Both registries also speak HTTP (RegistryHandler/FileStoreHandler and
 // the matching clients), mirroring the paper's two-server deployment.
+//
+// At fleet scale the single Gear registry is replaced by the sharded
+// tier: a ShardCluster consistent-hashes the file pool over replicated
+// members and satisfies GearStore, so it drops into the same pipeline —
+//
+//	cluster, _ := gear.NewShardCluster(gear.ShardClusterOptions{
+//		Shards: []string{"s0", "s1", "s2"}, Replication: 2,
+//	})
+//	daemon, _ := gear.NewDaemon(docker, cluster, gear.DaemonOptions{})
+//
+// Large files (the AI/big-model workload) chunk at conversion time with
+// a content-defined policy and fault in chunk by chunk through a
+// bounded fetch window; registries additionally serve byte ranges
+// (GearRangeStore) so even unchunked cold files can be read partially:
+//
+//	conv, _ := gear.NewConverter(gear.ConverterOptions{
+//		Chunking: gear.CDCChunks(4 << 20), // 4 MB average chunks
+//	})
+//	st, _ := gear.NewStore(gear.StoreOptions{
+//		Remote: files, ChunkWindowBytes: 8 << 20, ChunkReadahead: 2,
+//	})
 package gear
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 
@@ -54,6 +76,7 @@ import (
 	"github.com/gear-image/gear/internal/peer"
 	"github.com/gear-image/gear/internal/prefetch"
 	"github.com/gear-image/gear/internal/registry"
+	"github.com/gear-image/gear/internal/shardreg"
 	"github.com/gear-image/gear/internal/slacker"
 	"github.com/gear-image/gear/internal/telemetry"
 	"github.com/gear-image/gear/internal/vfs"
@@ -114,12 +137,34 @@ type (
 	IndexEntry = index.Entry
 	// FileRef is one unique Gear file an index references.
 	FileRef = index.FileRef
+	// ChunkPolicy selects how large files split into chunks: fixed-size
+	// pieces or content-defined (rolling-hash) chunks. The zero value
+	// keeps files whole.
+	ChunkPolicy = index.ChunkPolicy
+	// FileChunk is one chunk of a split Gear file, in file order.
+	FileChunk = index.Chunk
 )
+
+// FixedChunks is the fixed-size chunk policy: files larger than size
+// split into size-byte pieces.
+func FixedChunks(size int64) ChunkPolicy { return index.FixedChunks(size) }
+
+// CDCChunks is the content-defined chunk policy: rolling-hash cut
+// points averaging avg bytes within [avg/4, avg*4], so identical
+// regions of different files chunk identically regardless of offset.
+func CDCChunks(avg int64) ChunkPolicy { return index.CDCChunks(avg) }
 
 // BuildIndex constructs an Index and its file pool from a flattened root
 // filesystem.
 func BuildIndex(name, tag string, cfg ImageConfig, root *FS) (*Index, map[Fingerprint][]byte, error) {
 	return index.Build(name, tag, cfg, root, nil)
+}
+
+// BuildIndexChunked is BuildIndex with large files split under pol; the
+// pool then holds chunks as first-class Gear files and the index
+// carries each split file's chunk table.
+func BuildIndexChunked(name, tag string, cfg ImageConfig, root *FS, pol ChunkPolicy) (*Index, map[Fingerprint][]byte, error) {
+	return index.BuildPolicy(name, tag, cfg, root, nil, pol, 1)
 }
 
 // IndexFromImage extracts the Index from a pulled single-layer Gear
@@ -144,6 +189,11 @@ type (
 	// GearStore is the protocol shared by in-process and HTTP Gear
 	// registries.
 	GearStore = gearregistry.Store
+	// GearRangeStore is the optional byte-range verb of the redesigned
+	// store surface: DownloadRange(fp, off, n) returns n bytes of a Gear
+	// file from offset off. The in-process FileStore, the HTTP client,
+	// the retrying wrapper, and the ShardCluster all implement it.
+	GearRangeStore = gearregistry.RangeDownloader
 	// FileStoreClient speaks to a remote FileStore over HTTP.
 	FileStoreClient = gearregistry.Client
 )
@@ -257,6 +307,30 @@ func NewDaemon(docker RegistryStore, files GearStore, opts DaemonOptions) (*Daem
 // DefaultLAN is the paper's measured 904 Mbps two-server link.
 func DefaultLAN() LinkConfig { return netsim.DefaultLAN() }
 
+// The sharded registry tier. A ShardCluster consistent-hashes the Gear
+// file pool over replicated shard members with load-balanced, hedged
+// replica reads and byte-range routing; it satisfies GearStore (and
+// GearRangeStore), so it substitutes for a single FileStore anywhere —
+// in particular as NewDaemon's files argument.
+type (
+	// ShardCluster is the routing client over the sharded Gear
+	// registry tier.
+	ShardCluster = shardreg.Cluster
+	// ShardClusterOptions configures a ShardCluster: members,
+	// replication, compression, retry policy, and read tuning.
+	ShardClusterOptions = shardreg.Options
+	// ShardReadOptions tunes replica selection and request hedging on
+	// the cluster's download path.
+	ShardReadOptions = shardreg.ReadOptions
+	// ShardStats is a point-in-time view of the tier.
+	ShardStats = shardreg.Stats
+)
+
+// NewShardCluster returns a sharded Gear registry tier.
+func NewShardCluster(opts ShardClusterOptions) (*ShardCluster, error) {
+	return shardreg.New(opts)
+}
+
 // Baselines and workloads.
 type (
 	// SlackerServer hosts block-device images (the Fig 10 baseline).
@@ -298,6 +372,7 @@ const (
 	DedupLayer = dedup.Layer
 	DedupFile  = dedup.File
 	DedupChunk = dedup.Chunk
+	DedupCDC   = dedup.CDC
 )
 
 // NewDedupAnalyzer returns an analyzer using chunkSize for the chunk row.
@@ -336,6 +411,8 @@ type (
 	// ProfileLibrary persists startup profiles for prefetch-guided
 	// deploys.
 	ProfileLibrary = prefetch.Library
+	// ProfileLibraryClient speaks to a remote ProfileLibrary over HTTP.
+	ProfileLibraryClient = prefetch.LibraryClient
 )
 
 // NewMetricsRegistry returns an empty metrics registry, typically
@@ -359,16 +436,40 @@ func NewTrackerClient(baseURL string, hc *http.Client) *TrackerClient {
 	return peer.NewTrackerClient(baseURL, hc)
 }
 
+// Every *WithOptions constructor follows one shape:
+//
+//	New<X>ClientWithOptions(baseURL string, o ClientOptions) (T, error)
+//
+// where T is the client (the GearStore interface for the file store,
+// whose retrying variant is a wrapper type; the concrete client
+// elsewhere). An empty baseURL is the one configuration error common
+// to all of them and is reported instead of deferred to the first
+// request.
+
+// clientBase validates the one shared constructor precondition.
+func clientBase(kind, baseURL string) error {
+	if baseURL == "" {
+		return fmt.Errorf("gear: %s client: empty base URL", kind)
+	}
+	return nil
+}
+
 // NewTrackerClientWithOptions is NewTrackerClient with the shared
 // retry/backoff/timeout client configuration.
-func NewTrackerClientWithOptions(baseURL string, o ClientOptions) *TrackerClient {
-	return peer.NewTrackerClientWithOptions(baseURL, o)
+func NewTrackerClientWithOptions(baseURL string, o ClientOptions) (*TrackerClient, error) {
+	if err := clientBase("tracker", baseURL); err != nil {
+		return nil, err
+	}
+	return peer.NewTrackerClientWithOptions(baseURL, o), nil
 }
 
 // NewFileStoreClientWithOptions is NewFileStoreClient with the shared
 // retry/backoff/timeout client configuration; with Retries > 0 the
 // returned store transparently retries transient failures.
 func NewFileStoreClientWithOptions(baseURL string, o ClientOptions) (GearStore, error) {
+	if err := clientBase("file store", baseURL); err != nil {
+		return nil, err
+	}
 	return gearregistry.NewClientWithOptions(baseURL, o)
 }
 
@@ -381,9 +482,21 @@ func ProfileLibraryHandler(lib *ProfileLibrary) http.Handler {
 	return prefetch.NewLibraryHandler(lib)
 }
 
+// NewProfileLibraryClientWithOptions is the profile-library client
+// with the shared retry/backoff/timeout client configuration.
+func NewProfileLibraryClientWithOptions(baseURL string, o ClientOptions) (*ProfileLibraryClient, error) {
+	if err := clientBase("profile library", baseURL); err != nil {
+		return nil, err
+	}
+	return prefetch.NewLibraryClientWithOptions(baseURL, o), nil
+}
+
 // NewProfileLibraryClient returns a client for the library at baseURL
 // with the shared retry/backoff/timeout client configuration.
-func NewProfileLibraryClient(baseURL string, o ClientOptions) *prefetch.LibraryClient {
+//
+// Deprecated: use NewProfileLibraryClientWithOptions, which follows
+// the unified (T, error) constructor shape.
+func NewProfileLibraryClient(baseURL string, o ClientOptions) *ProfileLibraryClient {
 	return prefetch.NewLibraryClientWithOptions(baseURL, o)
 }
 

@@ -5,6 +5,7 @@ package gear_test
 import (
 	"bytes"
 	"io"
+	"math/rand"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -153,14 +154,19 @@ func TestPublicWorkloadAndDedup(t *testing.T) {
 		}
 	}
 	reports := analyzer.Reports()
-	if len(reports) != 4 || reports[0].Granularity != gear.DedupNone {
+	if len(reports) != 5 || reports[0].Granularity != gear.DedupNone {
 		t.Errorf("reports = %+v", reports)
+	}
+	// Sub-file CDC dedups at least as much raw data as file granularity.
+	if reports[4].Granularity != gear.DedupCDC || reports[4].Objects == 0 ||
+		reports[4].RawBytes > reports[2].RawBytes {
+		t.Errorf("cdc row = %+v", reports[4])
 	}
 }
 
 func TestPublicExperimentDispatch(t *testing.T) {
 	ids := gear.ExperimentIDs()
-	if len(ids) != 18 {
+	if len(ids) != 19 {
 		t.Fatalf("ids = %v", ids)
 	}
 	if err := gear.RunExperiment("bogus", gear.QuickExperimentConfig(), io.Discard); err == nil {
@@ -177,6 +183,248 @@ func TestPublicExperimentDispatch(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "average") {
 		t.Error("experiment report missing content")
+	}
+}
+
+// buildModelApp authors an image whose payload file is large enough to
+// chunk under every policy the tests use.
+func buildModelApp(t *testing.T, size int) (*gear.Image, []byte) {
+	t.Helper()
+	fs := gear.NewFS()
+	if err := fs.MkdirAll("/srv", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	model := make([]byte, size)
+	rand.New(rand.NewSource(7)).Read(model)
+	if err := fs.WriteFile("/srv/model", model, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	img, err := gear.SingleLayerImage("model", "v1", fs, gear.ImageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, model
+}
+
+// deployModel converts img under pol and deploys it on a fresh daemon.
+func deployModel(t *testing.T, img *gear.Image, pol gear.ChunkPolicy, dopts gear.DaemonOptions) (*gear.Deployment, *gear.Daemon) {
+	t.Helper()
+	conv, err := gear.NewConverter(gear.ConverterOptions{Chunking: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := conv.Convert(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docker := gear.NewRegistry()
+	files := gear.NewFileStore(gear.FileStoreOptions{Compress: true})
+	if _, _, err := gear.Publish(res, docker, files); err != nil {
+		t.Fatal(err)
+	}
+	daemon, err := gear.NewDaemon(docker, files, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := daemon.DeployGear("model", "v1", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep, daemon
+}
+
+func TestPublicChunkedLazyDeploy(t *testing.T) {
+	const size = 256 << 10
+	img, model := buildModelApp(t, size)
+	const window = int64(64 << 10)
+	dep, daemon := deployModel(t, img, gear.CDCChunks(8<<10), gear.DaemonOptions{
+		ChunkWindowBytes: window, ChunkReadahead: 1,
+	})
+
+	// The index carries a chunk table for the big file.
+	ix, err := daemon.GearStore().Index("model:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := ix.Lookup("/srv/model")
+	if entry == nil || len(entry.Chunks) < 2 {
+		t.Fatalf("entry = %+v", entry)
+	}
+
+	// A partial read faults only the overlapping chunks.
+	const off, n = int64(100_003), int64(8 << 10)
+	slice, stall, err := dep.ReadAt("/srv/model", off, n)
+	if err != nil || stall <= 0 {
+		t.Fatalf("ReadAt: %v (stall %v)", err, stall)
+	}
+	if !bytes.Equal(slice, model[off:off+n]) {
+		t.Error("partial read bytes differ")
+	}
+	st := daemon.GearStore().Stats()
+	if st.RemoteBytes >= size {
+		t.Errorf("partial read moved the whole file: %d bytes", st.RemoteBytes)
+	}
+
+	// A full read completes the file within the window budget.
+	full, _, err := dep.Read("/srv/model")
+	if err != nil || !bytes.Equal(full, model) {
+		t.Fatalf("full read parity: %v", err)
+	}
+	if peak := daemon.GearStore().ChunkWindowPeak(); peak <= 0 || peak > window {
+		t.Errorf("window peak = %d, budget %d", peak, window)
+	}
+}
+
+func TestPublicChunkingOffDegenerates(t *testing.T) {
+	img, model := buildModelApp(t, 96<<10)
+	plain, _ := deployModel(t, img, gear.ChunkPolicy{}, gear.DaemonOptions{})
+	chunked, _ := deployModel(t, img, gear.CDCChunks(8<<10), gear.DaemonOptions{})
+
+	const off, n = int64(33_333), int64(4 << 10)
+	a, _, err := plain.ReadAt("/srv/model", off, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := chunked.ReadAt("/srv/model", off, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) || !bytes.Equal(a, model[off:off+n]) {
+		t.Error("chunked and whole-file reads differ")
+	}
+	fa, _, err := plain.Read("/srv/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, _, err := chunked.Read("/srv/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fa, fb) || !bytes.Equal(fa, model) {
+		t.Error("full reads differ across chunking modes")
+	}
+}
+
+func TestPublicRangeVerb(t *testing.T) {
+	data := make([]byte, 40<<10)
+	rand.New(rand.NewSource(11)).Read(data)
+	fp := gear.FingerprintBytes(data)
+
+	files := gear.NewFileStore(gear.FileStoreOptions{Compress: true})
+	if err := files.Upload(fp, data); err != nil {
+		t.Fatal(err)
+	}
+	var rs gear.GearRangeStore = files
+	payload, wire, err := rs.DownloadRange(fp, 1000, 512)
+	if err != nil || !bytes.Equal(payload, data[1000:1512]) || wire <= 0 {
+		t.Fatalf("DownloadRange = %d bytes, wire %d, %v", len(payload), wire, err)
+	}
+
+	// The same verb over HTTP through the unified client constructor.
+	srv := httptest.NewServer(gear.FileStoreHandler(files))
+	defer srv.Close()
+	client, err := gear.NewFileStoreClientWithOptions(srv.URL, gear.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hrs, ok := client.(gear.GearRangeStore)
+	if !ok {
+		t.Fatal("HTTP client does not speak the range verb")
+	}
+	payload, _, err = hrs.DownloadRange(fp, 2048, 100)
+	if err != nil || !bytes.Equal(payload, data[2048:2148]) {
+		t.Fatalf("HTTP DownloadRange: %v", err)
+	}
+}
+
+func TestPublicShardCluster(t *testing.T) {
+	cluster, err := gear.NewShardCluster(gear.ShardClusterOptions{
+		Shards: []string{"s1", "s2", "s3"}, Replication: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gear.NewShardCluster(gear.ShardClusterOptions{}); err == nil {
+		t.Error("empty cluster accepted")
+	}
+
+	// The cluster drops into the daemon wherever a GearStore goes.
+	img := buildApp(t, "v1", "binary-v1")
+	conv, err := gear.NewConverter(gear.ConverterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := conv.Convert(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docker := gear.NewRegistry()
+	if _, _, err := gear.Publish(res, docker, cluster); err != nil {
+		t.Fatal(err)
+	}
+	daemon, err := gear.NewDaemon(docker, cluster, gear.DaemonOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := daemon.DeployGear("app", "v1", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := dep.Read("/app/conf")
+	if err != nil || string(data) != "shared config" {
+		t.Errorf("shard-backed read = %q, %v", data, err)
+	}
+}
+
+func TestPublicClientConstructors(t *testing.T) {
+	if _, err := gear.NewTrackerClientWithOptions("", gear.ClientOptions{}); err == nil {
+		t.Error("tracker client accepted empty URL")
+	}
+	if _, err := gear.NewFileStoreClientWithOptions("", gear.ClientOptions{}); err == nil {
+		t.Error("file store client accepted empty URL")
+	}
+	if _, err := gear.NewProfileLibraryClientWithOptions("", gear.ClientOptions{}); err == nil {
+		t.Error("profile library client accepted empty URL")
+	}
+	if _, err := gear.NewTrackerClientWithOptions("http://tracker.local", gear.ClientOptions{}); err != nil {
+		t.Errorf("tracker client: %v", err)
+	}
+	if _, err := gear.NewProfileLibraryClientWithOptions("http://profiles.local", gear.ClientOptions{}); err != nil {
+		t.Errorf("profile library client: %v", err)
+	}
+	if c := gear.NewProfileLibraryClient("http://profiles.local", gear.ClientOptions{}); c == nil {
+		t.Error("deprecated profile library constructor returned nil")
+	}
+}
+
+func TestPublicBuildIndexChunked(t *testing.T) {
+	fs := gear.NewFS()
+	data := make([]byte, 64<<10)
+	rand.New(rand.NewSource(3)).Read(data)
+	if err := fs.WriteFile("/blob", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix, pool, err := gear.BuildIndexChunked("app", "v1", gear.ImageConfig{}, fs, gear.FixedChunks(8<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := ix.Lookup("/blob")
+	if entry == nil || len(entry.Chunks) != 8 {
+		t.Fatalf("entry = %+v", entry)
+	}
+	var total int64
+	for _, c := range entry.Chunks {
+		piece, ok := pool[c.Fingerprint]
+		if !ok {
+			t.Fatalf("pool missing chunk %s", c.Fingerprint)
+		}
+		total += int64(len(piece))
+	}
+	if total != int64(len(data)) {
+		t.Errorf("chunk bytes = %d, want %d", total, len(data))
+	}
+	if _, err := gear.CDCChunks(8 << 10).Split(data); err != nil {
+		t.Errorf("Split: %v", err)
 	}
 }
 

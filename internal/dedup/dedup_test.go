@@ -47,7 +47,7 @@ func reportsByG(reports []Report) map[Granularity]Report {
 
 func TestGranularityString(t *testing.T) {
 	names := map[Granularity]string{
-		None: "none", Layer: "layer", File: "file", Chunk: "chunk", Granularity(9): "Granularity(9)",
+		None: "none", Layer: "layer", File: "file", Chunk: "chunk", CDC: "cdc", Granularity(9): "Granularity(9)",
 	}
 	for g, want := range names {
 		if got := g.String(); got != want {
@@ -167,6 +167,49 @@ func TestChunkLevelFindsSubFileDuplication(t *testing.T) {
 	// 8 shared prefix chunks + 2 distinct tails = 10 objects vs 2 files.
 	if r[Chunk].Objects != 10 {
 		t.Errorf("chunk objects = %d, want 10", r[Chunk].Objects)
+	}
+}
+
+func TestCDCSurvivesOffsetShift(t *testing.T) {
+	// A byte prepended to a big file shifts every fixed-size chunk
+	// boundary, so fixed chunking re-stores nearly everything; the
+	// content-defined row re-cuts at the same content boundaries and
+	// shares almost all of it.
+	rng := rand.New(rand.NewSource(7))
+	body := make([]byte, 64*1024)
+	rng.Read(body)
+	img := mkImage(t, "s", "1", map[string]string{
+		"/orig":    string(body),
+		"/shifted": "!" + string(body),
+	})
+	reports, err := Analyze([]*imagefmt.Image{img}, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := reportsByG(reports)
+	if r[Chunk].RawBytes < 64*1024*19/10 {
+		t.Errorf("fixed chunks shared shifted data: raw = %d", r[Chunk].RawBytes)
+	}
+	if r[CDC].RawBytes > 64*1024*13/10 {
+		t.Errorf("cdc raw = %d, want near one copy of %d", r[CDC].RawBytes, 64*1024)
+	}
+	if r[CDC].RawBytes > r[Chunk].RawBytes {
+		t.Errorf("cdc raw %d > fixed-chunk raw %d", r[CDC].RawBytes, r[Chunk].RawBytes)
+	}
+}
+
+func TestCDCSmallFilesStayWhole(t *testing.T) {
+	// Files at most MaxSize (4x the average) are one CDC object each,
+	// matching the file row exactly.
+	img := mkImage(t, "w", "1", map[string]string{"/a": "alpha", "/b": "beta"})
+	reports, err := Analyze([]*imagefmt.Image{img}, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := reportsByG(reports)
+	if r[CDC] != (Report{Granularity: CDC, StorageBytes: r[File].StorageBytes,
+		RawBytes: r[File].RawBytes, Objects: r[File].Objects}) {
+		t.Errorf("cdc row %+v differs from file row %+v on whole-file corpus", r[CDC], r[File])
 	}
 }
 

@@ -132,6 +132,14 @@ type Options struct {
 	// PrefetchInflight bounds the profile replay's in-flight objects
 	// (see store.Options.PrefetchInflight).
 	PrefetchInflight int
+	// ChunkWindowBytes bounds the in-flight chunk bytes of the daemon
+	// store's demand window when faulting chunked files (see
+	// store.Options.ChunkWindowBytes). 0 selects the store default.
+	ChunkWindowBytes int64
+	// ChunkReadahead speculatively fetches up to this many chunks past a
+	// demand read inside the window budget (see
+	// store.Options.ChunkReadahead).
+	ChunkReadahead int
 	// Trace records a per-access event timeline on every deployment
 	// (path, bytes moved, cost), at some memory cost per deploy.
 	Trace bool
@@ -334,6 +342,8 @@ func NewDaemon(docker registry.Store, gear gearregistry.Store, opts Options) (*D
 		FetchWorkers:     max(opts.FetchWorkers, 1),
 		Profiles:         opts.Profiles,
 		PrefetchInflight: opts.PrefetchInflight,
+		ChunkWindowBytes: opts.ChunkWindowBytes,
+		ChunkReadahead:   opts.ChunkReadahead,
 		Telemetry:        tele,
 		Trace:            d.ring,
 		OnRemoteFetch: func(objects int, bytes int64) {
@@ -815,6 +825,44 @@ func (dep *Deployment) Read(p string) ([]byte, time.Duration, error) {
 	default:
 		return nil, 0, fmt.Errorf("dockersim: bad mode %v", dep.Mode)
 	}
+}
+
+// ReadAt serves n bytes of one file from offset off, returning the
+// data and its modeled service latency. On a Gear deployment with a
+// chunked file only the overlapping chunks fault in, so the latency is
+// the partial-read stall the chunked format exists to shrink; Docker
+// and Slacker deployments slice their full-file read.
+func (dep *Deployment) ReadAt(p string, off, n int64) ([]byte, time.Duration, error) {
+	if dep.closed {
+		return nil, 0, fmt.Errorf("dockersim: %s: %w", dep.ContainerID, ErrNotDeployed)
+	}
+	d := dep.daemon
+	if dep.Mode != ModeGear {
+		data, cost, err := dep.Read(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		if off < 0 || n <= 0 || off >= int64(len(data)) {
+			return nil, cost, nil
+		}
+		if off+n > int64(len(data)) {
+			n = int64(len(data)) - off
+		}
+		return data[off : off+n], cost, nil
+	}
+	before := d.link.Stats()
+	peerBefore := d.peerLink.Stats()
+	data, err := dep.view.ReadAt(p, off, n)
+	if err != nil {
+		return nil, 0, err
+	}
+	after := d.link.Stats()
+	cost := d.opts.OverlayLatency + d.localRead(int64(len(data))) +
+		(after.Elapsed - before.Elapsed)
+	if d.peerLink != d.link {
+		cost += d.peerLink.Stats().Elapsed - peerBefore.Elapsed
+	}
+	return data, cost, nil
 }
 
 // Write stores a file in the container's writable layer (Gear/Docker

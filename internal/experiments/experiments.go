@@ -24,6 +24,7 @@
 //	extfleet — extension: fleet-scale scenario harness (flash crowd, churn, failover, mixed)
 //	extshard — extension: sharded registry tier shard-count sweep
 //	exthedge — extension: tail-latency-aware replica reads (balanced + hedged)
+//	extchunk — extension: chunked lazy loading file/chunk/window sweep
 package experiments
 
 import (
@@ -263,6 +264,7 @@ func All() []Runner {
 		{"extfleet", "Extension: fleet-scale scenario harness (flash crowd, churn, failover, mixed)", runExtFleet},
 		{"extshard", "Extension: sharded registry tier shard-count sweep", runExtShard},
 		{"exthedge", "Extension: tail-latency-aware replica reads (balanced + hedged)", runExtHedge},
+		{"extchunk", "Extension: chunked lazy loading file/chunk/window sweep", runExtChunk},
 	}
 }
 
@@ -336,6 +338,8 @@ func Result(id string, cfg Config) (any, error) {
 		return RunExtShard(cfg)
 	case "exthedge":
 		return RunExtHedge(cfg)
+	case "extchunk":
+		return RunExtChunk(cfg)
 	default:
 		return nil, fmt.Errorf("experiments: %q: %w", id, ErrUnknownExperiment)
 	}

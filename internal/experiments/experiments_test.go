@@ -29,7 +29,7 @@ func TestRunDispatch(t *testing.T) {
 		t.Errorf("err = %v, want ErrUnknownExperiment", err)
 	}
 	ids := IDs()
-	if len(ids) != 18 || ids[0] != "inventory" || ids[17] != "exthedge" {
+	if len(ids) != 19 || ids[0] != "inventory" || ids[18] != "extchunk" {
 		t.Errorf("ids = %v", ids)
 	}
 	for _, id := range ids {
@@ -74,6 +74,9 @@ func TestTable2Shape(t *testing.T) {
 	}
 	if rows[dedup.Chunk].Objects <= rows[dedup.File].Objects {
 		t.Error("chunk objects not above file objects")
+	}
+	if rows[dedup.CDC].Objects < rows[dedup.File].Objects {
+		t.Error("cdc row missing or below file objects")
 	}
 	if rows[dedup.None].Objects != 18 {
 		t.Errorf("none objects = %d", rows[dedup.None].Objects)
@@ -758,6 +761,50 @@ func TestExtHedgeShape(t *testing.T) {
 	var buf bytes.Buffer
 	res.Print(&buf)
 	for _, want := range []string{"p99", "straggler", "hedge extra egress", "degeneration"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("print missing %q", want)
+		}
+	}
+}
+
+func TestExtChunkShape(t *testing.T) {
+	res, err := RunExtChunk(mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 8 || len(res.Degen) != 2 {
+		t.Fatalf("points = %d, degen = %d", len(res.Points), len(res.Degen))
+	}
+	for _, p := range res.Points {
+		if !p.ParityOK {
+			t.Errorf("point %dKB/%dKB/%dKB: client bytes not exact",
+				p.FileBytes>>10, p.ChunkAvg>>10, p.WindowBytes>>10)
+		}
+		if !p.WindowOK || p.PeakWindowBytes == 0 {
+			t.Errorf("point %dKB/%dKB/%dKB: window peak %d vs budget %d",
+				p.FileBytes>>10, p.ChunkAvg>>10, p.WindowBytes>>10,
+				p.PeakWindowBytes, p.WindowBytes)
+		}
+		if p.Chunks < 2 {
+			t.Errorf("file %d at avg %d produced %d chunks", p.FileBytes, p.ChunkAvg, p.Chunks)
+		}
+		// The startup read must stall on strictly less than the file, and
+		// the modeled stall must drop accordingly.
+		if p.DemandBytes >= p.FileBytes || p.DemandBytes < p.HeadBytes {
+			t.Errorf("demand bytes %d outside (%d, %d)", p.DemandBytes, p.HeadBytes, p.FileBytes)
+		}
+		if p.FirstReadStall >= p.WholeFileStall {
+			t.Errorf("first-read stall %v not below whole-file %v", p.FirstReadStall, p.WholeFileStall)
+		}
+	}
+	for _, d := range res.Degen {
+		if !d.BytesExact || !d.TimingExact || !d.ParityOK {
+			t.Errorf("degeneration at %d bytes: %+v", d.FileBytes, d)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	for _, want := range []string{"stall reduction", "degeneration", "parity"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("print missing %q", want)
 		}

@@ -77,6 +77,10 @@ type Options struct {
 	// ChunkSize > 0 enables the big-file extension: files larger than
 	// this are split into ChunkSize pieces (§VII future work).
 	ChunkSize int64
+	// Chunking is the general chunk policy — set it for content-defined
+	// chunking (index.CDCChunks) instead of the fixed-size ChunkSize.
+	// Setting both is an error.
+	Chunking index.ChunkPolicy
 	// IndexName optionally renames the converted image; empty keeps the
 	// original name (the paper stores the Gear index under the original
 	// reference once the regular image is removed).
@@ -116,6 +120,15 @@ func New(opts Options) (*Converter, error) {
 	}
 	if opts.Workers < 1 {
 		opts.Workers = 1
+	}
+	if opts.ChunkSize > 0 && opts.Chunking.Enabled() {
+		return nil, fmt.Errorf("convert: both ChunkSize and Chunking set: %w", index.ErrBadChunkPolicy)
+	}
+	if opts.ChunkSize > 0 {
+		opts.Chunking = index.FixedChunks(opts.ChunkSize)
+	}
+	if err := opts.Chunking.Validate(); err != nil {
+		return nil, fmt.Errorf("convert: %w", err)
 	}
 	disk, err := disksim.New(opts.Disk)
 	if err != nil {
@@ -185,8 +198,8 @@ func (c *Converter) Convert(img *imagefmt.Image) (*Result, error) {
 	if c.opts.IndexName != "" {
 		name = c.opts.IndexName
 	}
-	ix, pool, err := index.BuildChunkedParallel(name, img.Manifest.Tag, img.Manifest.Config,
-		root, c.reg, c.opts.ChunkSize, workers)
+	ix, pool, err := index.BuildPolicy(name, img.Manifest.Tag, img.Manifest.Config,
+		root, c.reg, c.opts.Chunking, workers)
 	if err != nil {
 		return nil, fmt.Errorf("convert %s: %w", ref, err)
 	}

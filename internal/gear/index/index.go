@@ -101,37 +101,41 @@ func Build(name, tag string, cfg imagefmt.Config, root *vfs.FS, reg *hashing.Reg
 // files larger than chunkSize bytes are split into chunkSize pieces that
 // are stored and fetched independently. chunkSize <= 0 disables chunking.
 func BuildChunked(name, tag string, cfg imagefmt.Config, root *vfs.FS, reg *hashing.Registry, chunkSize int64) (*Index, map[hashing.Fingerprint][]byte, error) {
-	if reg == nil {
-		reg = hashing.NewRegistry(nil)
-	}
-	b := &builder{reg: reg, pool: make(map[hashing.Fingerprint][]byte), chunkSize: chunkSize}
-	rootEntry, err := b.buildEntry("", root.Root())
-	if err != nil {
-		return nil, nil, fmt.Errorf("index: build %s:%s: %w", name, tag, err)
-	}
-	return &Index{Name: name, Tag: tag, Config: cfg, Root: rootEntry}, b.pool, nil
+	return BuildPolicy(name, tag, cfg, root, reg, ChunkPolicy{FixedSize: chunkSize}, 1)
 }
 
 // BuildChunkedParallel is BuildChunked with the fingerprinting fanned out
 // over a bounded worker pool — the CPU-bound hash over the many small
 // files that dominates conversion time (Fig 6 of the paper). The output
-// is bit-identical to BuildChunked for any worker count: the tree walk
-// first collects every content item in exactly the order the serial
-// builder would Assign it (whole file, then its chunks, in walk order),
-// hashes run concurrently, and collision IDs are assigned sequentially in
-// that order (see hashing.Registry.AssignAll). workers <= 1 is the serial
-// path.
+// is bit-identical to BuildChunked for any worker count. workers <= 1 is
+// the serial path.
 func BuildChunkedParallel(name, tag string, cfg imagefmt.Config, root *vfs.FS, reg *hashing.Registry, chunkSize int64, workers int) (*Index, map[hashing.Fingerprint][]byte, error) {
-	if workers <= 1 {
-		return BuildChunked(name, tag, cfg, root, reg, chunkSize)
+	return BuildPolicy(name, tag, cfg, root, reg, ChunkPolicy{FixedSize: chunkSize}, workers)
+}
+
+// BuildPolicy is the general index builder: chunking follows pol (none,
+// fixed-size, or content-defined; see ChunkPolicy) and fingerprinting
+// fans out over workers. The output is bit-identical for any worker
+// count: chunk boundaries depend only on pol and the file bytes, the
+// tree walk collects every content item in exactly the order the serial
+// builder would Assign it (whole file, then its chunks, in walk order),
+// hashes run concurrently, and collision IDs are assigned sequentially
+// in that order (see hashing.Registry.AssignAll).
+func BuildPolicy(name, tag string, cfg imagefmt.Config, root *vfs.FS, reg *hashing.Registry, pol ChunkPolicy, workers int) (*Index, map[hashing.Fingerprint][]byte, error) {
+	if err := pol.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("index: build %s:%s: %w", name, tag, err)
 	}
 	if reg == nil {
 		reg = hashing.NewRegistry(nil)
 	}
-	b := &builder{reg: reg, pool: make(map[hashing.Fingerprint][]byte), chunkSize: chunkSize, collect: true}
+	b := &builder{reg: reg, pool: make(map[hashing.Fingerprint][]byte), pol: pol.normalized(), collect: workers > 1}
 	rootEntry, err := b.buildEntry("", root.Root())
 	if err != nil {
 		return nil, nil, fmt.Errorf("index: build %s:%s: %w", name, tag, err)
+	}
+	ix := &Index{Name: name, Tag: tag, Config: cfg, Root: rootEntry}
+	if !b.collect {
+		return ix, b.pool, nil
 	}
 	items := make([][]byte, len(b.slots))
 	for i, s := range b.slots {
@@ -150,13 +154,13 @@ func BuildChunkedParallel(name, tag string, cfg imagefmt.Config, root *vfs.FS, r
 			}
 		}
 	}
-	return &Index{Name: name, Tag: tag, Config: cfg, Root: rootEntry}, b.pool, nil
+	return ix, b.pool, nil
 }
 
 type builder struct {
-	reg       *hashing.Registry
-	pool      map[hashing.Fingerprint][]byte
-	chunkSize int64
+	reg  *hashing.Registry
+	pool map[hashing.Fingerprint][]byte
+	pol  ChunkPolicy
 	// collect defers fingerprint assignment: buildEntry records slots in
 	// serial Assign order instead of calling Assign inline.
 	collect bool
@@ -187,7 +191,8 @@ func (b *builder) buildEntry(name string, n *vfs.Node) (*Entry, error) {
 	case vfs.TypeRegular:
 		data := n.Content().Data()
 		e.Size = int64(len(data))
-		chunked := b.chunkSize > 0 && e.Size > b.chunkSize
+		pieces := b.pol.split(data)
+		chunked := pieces != nil
 		if b.collect {
 			b.slots = append(b.slots, assignSlot{entry: e, data: data, chunked: chunked})
 		} else {
@@ -196,21 +201,14 @@ func (b *builder) buildEntry(name string, n *vfs.Node) (*Entry, error) {
 				b.pool[e.Fingerprint] = data
 			}
 		}
-		if chunked {
-			for off := int64(0); off < e.Size; off += b.chunkSize {
-				end := off + b.chunkSize
-				if end > e.Size {
-					end = e.Size
-				}
-				piece := data[off:end]
-				if b.collect {
-					b.slots = append(b.slots, assignSlot{entry: e, data: piece, chunk: true})
-					continue
-				}
-				cfp := b.reg.Assign(piece)
-				e.Chunks = append(e.Chunks, Chunk{Fingerprint: cfp, Size: int64(len(piece))})
-				b.pool[cfp] = piece
+		for _, piece := range pieces {
+			if b.collect {
+				b.slots = append(b.slots, assignSlot{entry: e, data: piece, chunk: true})
+				continue
 			}
+			cfp := b.reg.Assign(piece)
+			e.Chunks = append(e.Chunks, Chunk{Fingerprint: cfp, Size: int64(len(piece))})
+			b.pool[cfp] = piece
 		}
 	case vfs.TypeSymlink:
 		e.Target = n.Target()

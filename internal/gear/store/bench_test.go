@@ -1,0 +1,42 @@
+package store
+
+import (
+	"testing"
+)
+
+// benchWindowRead measures the chunked demand-read path: each
+// iteration cold-faults a 256 KB / 8 KB-chunk file through the window
+// budget. Store construction is excluded from the timer so B/op tracks
+// the fetch machinery (window accounting, singleflight, assembly).
+func benchWindowRead(b *testing.B, window int64, readahead int) {
+	ix, reg, want := chunkedFixture(b, 256<<10, 8<<10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := New(Options{Remote: reg, ChunkWindowBytes: window, ChunkReadahead: readahead})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.AddIndex(ix); err != nil {
+			b.Fatal(err)
+		}
+		v, err := s.CreateContainer("c", "ai:v1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		data, err := v.ReadFile("/model")
+		if err != nil || len(data) != len(want) {
+			b.Fatalf("read %d bytes, %v", len(data), err)
+		}
+	}
+}
+
+func BenchmarkChunkWindowRead(b *testing.B) {
+	benchWindowRead(b, 64<<10, 0)
+}
+
+func BenchmarkChunkWindowReadahead(b *testing.B) {
+	benchWindowRead(b, 64<<10, 2)
+}

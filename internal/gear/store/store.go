@@ -86,6 +86,21 @@ type Options struct {
 	// strict priority regardless of this value. 0 selects
 	// DefaultPrefetchInflight.
 	PrefetchInflight int
+	// ChunkWindowBytes bounds the bytes of chunk transfers in flight for
+	// ranged reads of chunked files — the client's transient-memory
+	// budget, however large the file. Demand chunks preempt readahead
+	// admission. 0 selects DefaultChunkWindowBytes.
+	ChunkWindowBytes int64
+	// ChunkReadahead is how many chunks past a demanded range the window
+	// opportunistically fetches in the background with leftover budget.
+	// 0 disables readahead.
+	ChunkReadahead int
+	// RangeReads enables the partial-read fast path for non-chunked
+	// files: a ranged fault asks the registry's range verb for exactly
+	// the requested bytes instead of materializing the file. Off (the
+	// default), ranged reads of non-chunked files behave byte-identically
+	// to full materialization.
+	RangeReads bool
 	// Telemetry, if set, is the registry the store (and its level-1
 	// cache) publishes store.*/cache.* metrics into — typically the
 	// per-daemon registry. Nil gets private, live handles, so the
@@ -125,6 +140,11 @@ type Store struct {
 	// priority over profile-replay prefetch.
 	sched *scheduler
 
+	// window is the byte-budget gate chunk-granular ranged reads fault
+	// through; bg tracks its background readahead fetches.
+	window *chunkWindow
+	bg     sync.WaitGroup
+
 	// recMu guards recorders, the per-image startup-profile recorders
 	// (populated only when opts.Profiles is set).
 	recMu     sync.Mutex
@@ -157,6 +177,10 @@ type storeMetrics struct {
 	prefetchHits                   *telemetry.Counter
 	prefetchWasted                 *telemetry.Gauge
 
+	chunkDemand, chunkReadahead *telemetry.Counter
+	rangeReads                  *telemetry.Counter
+	windowPeak                  *telemetry.Gauge
+
 	indexes, containers *telemetry.Gauge
 }
 
@@ -174,6 +198,10 @@ func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
 		prefetchBytes:   reg.Counter("store.prefetch.bytes"),
 		prefetchHits:    reg.Counter("store.prefetch.hits"),
 		prefetchWasted:  reg.Gauge("store.prefetch.wasted"),
+		chunkDemand:     reg.Counter("store.chunk.demand"),
+		chunkReadahead:  reg.Counter("store.chunk.readahead"),
+		rangeReads:      reg.Counter("store.range.reads"),
+		windowPeak:      reg.Gauge("store.chunk.window.peak"),
 		indexes:         reg.Gauge("store.indexes"),
 		containers:      reg.Gauge("store.containers"),
 	}
@@ -203,10 +231,14 @@ func New(opts Options) (*Store, error) {
 	if opts.PrefetchInflight <= 0 {
 		opts.PrefetchInflight = DefaultPrefetchInflight
 	}
+	if opts.ChunkWindowBytes <= 0 {
+		opts.ChunkWindowBytes = DefaultChunkWindowBytes
+	}
 	c, err := cache.NewTelemetered(opts.CacheCapacity, opts.CachePolicy, opts.Telemetry)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	m := newStoreMetrics(opts.Telemetry)
 	return &Store{
 		opts:       opts,
 		cache:      c,
@@ -214,9 +246,10 @@ func New(opts Options) (*Store, error) {
 		containers: make(map[string]*containerState),
 		flights:    make(map[hashing.Fingerprint]*flight),
 		sched:      newScheduler(opts.PrefetchInflight),
+		window:     newChunkWindow(opts.ChunkWindowBytes, m.windowPeak),
 		recorders:  make(map[string]*prefetch.Recorder),
 		prefetched: make(map[hashing.Fingerprint]bool),
-		m:          newStoreMetrics(opts.Telemetry),
+		m:          m,
 	}, nil
 }
 
@@ -507,8 +540,12 @@ func (s *Store) recordPeer(objects int, bytes int64) {
 // ResolveRange implements viewer.RangeResolver: it serves [off, off+n)
 // of the file behind fp, fetching only the chunks that overlap the range
 // — the paper's future-work "read big files on demand in chunks" (§VII).
-// Non-chunked files fall back to full materialization. Partial reads do
-// not link anything into the index tree (the file is not complete), but
+// Overlapping chunks fault concurrently through the chunk window (at
+// most ChunkWindowBytes in flight, however wide the read), and leftover
+// budget reads ahead along the file per ChunkReadahead. Non-chunked
+// files use the registry range verb when RangeReads is enabled, and
+// fall back to full materialization otherwise. Partial reads do not
+// link anything into the index tree (the file is not complete), but
 // every fetched chunk lands in the level-1 cache for reuse.
 func (s *Store) ResolveRange(imageRef string, fp hashing.Fingerprint, off, n int64) ([]byte, error) {
 	if n <= 0 || off < 0 {
@@ -521,7 +558,7 @@ func (s *Store) ResolveRange(imageRef string, fp hashing.Fingerprint, off, n int
 	}
 	s.mu.Unlock()
 	if len(chunks) == 0 {
-		return nil, ErrNotChunked
+		return s.rangeRead(fp, off, n)
 	}
 	// Ranged reads are first-class accesses too; the profile records the
 	// file, and its replay pulls the chunks.
@@ -535,42 +572,39 @@ func (s *Store) ResolveRange(imageRef string, fp hashing.Fingerprint, off, n int
 		s.noteDemandHit(fp)
 		return sliceRange(c.Data(), off, n), nil
 	}
-	out := make([]byte, 0, n)
-	var pos int64
-	var reg, peer tally
-	for _, ch := range chunks {
-		chunkEnd := pos + ch.Size
-		if chunkEnd <= off {
-			pos = chunkEnd
-			continue
-		}
-		if pos >= off+n {
-			break
-		}
-		c, wire, src, err := s.fetchOne(ch.Fingerprint)
-		if err != nil {
-			return nil, err
-		}
-		switch src {
-		case srcRegistry:
-			reg.add(wire)
-		case srcPeer:
-			peer.add(wire)
-		}
-		data := c.Data()
-		lo := int64(0)
-		if off > pos {
-			lo = off - pos
-		}
-		hi := int64(len(data))
-		if off+n < chunkEnd {
-			hi = off + n - pos
-		}
-		out = append(out, data[lo:hi]...)
-		pos = chunkEnd
+	lo, hi, loOff := chunkSpan(chunks, off, n)
+	if lo == hi {
+		return nil, nil // range starts past the end of the file
 	}
+	contents, reg, peer, err := s.fetchChunks(chunks[lo:hi])
 	s.recordRemote(reg.objects, reg.bytes)
 	s.recordPeer(peer.objects, peer.bytes)
+	if err != nil {
+		return nil, err
+	}
+	if ra := s.opts.ChunkReadahead; ra > 0 && hi < len(chunks) {
+		end := hi + ra
+		if end > len(chunks) {
+			end = len(chunks)
+		}
+		s.readahead(chunks[hi:end])
+	}
+	out := make([]byte, 0, n)
+	pos := loOff
+	for _, c := range contents {
+		data := c.Data()
+		chunkEnd := pos + int64(len(data))
+		a := int64(0)
+		if off > pos {
+			a = off - pos
+		}
+		b := int64(len(data))
+		if off+n < chunkEnd {
+			b = off + n - pos
+		}
+		out = append(out, data[a:b]...)
+		pos = chunkEnd
+	}
 	return out, nil
 }
 

@@ -1,0 +1,286 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/gear-image/gear/internal/gear/index"
+	"github.com/gear-image/gear/internal/gearregistry"
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/telemetry"
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// The chunk fetch window: ranged reads of chunked files fault their
+// chunks through a fixed byte budget of in-flight transfers instead of
+// serially. The budget bounds the client's transient memory (and the
+// link concurrency) however large the file or the read; demand chunks
+// — the ones a blocked Read overlaps — are admitted with strict
+// priority, and whatever budget is left behind them opportunistically
+// reads ahead along the file. Readahead is admission-only: a demand
+// read never waits for a readahead chunk's budget (a waiting demand
+// blocks further readahead admission), and an in-flight readahead is
+// not aborted — its bytes are already moving and are wanted next.
+
+// DefaultChunkWindowBytes is the in-flight chunk byte budget used when
+// Options leaves ChunkWindowBytes zero.
+const DefaultChunkWindowBytes = 4 << 20
+
+// chunkWindow is the byte-budget admission gate. Demand acquisitions
+// block until the budget fits them (or the window is empty — a chunk
+// bigger than the whole budget degenerates to serial admission rather
+// than deadlocking); readahead admission is non-blocking and yields to
+// any waiting demand.
+type chunkWindow struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	budget int64
+	// inflight is the admitted byte volume; waiting counts demand
+	// acquisitions currently blocked, which veto readahead admission.
+	inflight int64
+	waiting  int
+	// peak mirrors into the store.chunk.window.peak gauge: the high-water
+	// mark of admitted bytes, the experiment's bounded-memory witness.
+	peak *telemetry.Gauge
+}
+
+func newChunkWindow(budget int64, peak *telemetry.Gauge) *chunkWindow {
+	w := &chunkWindow{budget: budget, peak: peak}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// acquire admits size demand bytes, blocking while they do not fit.
+func (w *chunkWindow) acquire(size int64) {
+	w.mu.Lock()
+	w.waiting++
+	for w.inflight > 0 && w.inflight+size > w.budget {
+		w.cond.Wait()
+	}
+	w.waiting--
+	w.admitLocked(size)
+	w.mu.Unlock()
+}
+
+// tryAcquire admits size readahead bytes only if they fit right now and
+// no demand acquisition is waiting.
+func (w *chunkWindow) tryAcquire(size int64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.waiting > 0 || w.inflight+size > w.budget {
+		return false
+	}
+	w.admitLocked(size)
+	return true
+}
+
+func (w *chunkWindow) admitLocked(size int64) {
+	w.inflight += size
+	if w.inflight > w.peak.Value() {
+		w.peak.Set(w.inflight)
+	}
+}
+
+// release retires size admitted bytes.
+func (w *chunkWindow) release(size int64) {
+	w.mu.Lock()
+	w.inflight -= size
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// ChunkWindowPeak returns the high-water mark of in-flight chunk bytes
+// — never above ChunkWindowBytes unless a single chunk exceeded the
+// whole budget (the serial-degeneration case).
+func (s *Store) ChunkWindowPeak() int64 { return s.m.windowPeak.Value() }
+
+// chunkSpan locates the chunks overlapping [off, off+n): the index
+// range [lo, hi) and the file offset at which chunk lo starts.
+func chunkSpan(chunks []index.Chunk, off, n int64) (lo, hi int, loOff int64) {
+	var pos int64
+	lo = -1
+	for i, ch := range chunks {
+		end := pos + ch.Size
+		if end > off && pos < off+n {
+			if lo < 0 {
+				lo = i
+				loOff = pos
+			}
+			hi = i + 1
+		}
+		if pos >= off+n {
+			break
+		}
+		pos = end
+	}
+	if lo < 0 {
+		return 0, 0, 0
+	}
+	return lo, hi, loOff
+}
+
+// fetchChunks faults the given chunks through the window concurrently
+// and returns their contents in order, plus the per-source transfer
+// tallies of what this call itself moved. Chunks already cached are
+// served without touching the window.
+func (s *Store) fetchChunks(chunks []index.Chunk) ([]*vfs.Content, tally, tally, error) {
+	out := make([]*vfs.Content, len(chunks))
+	var mu sync.Mutex
+	var reg, peer tally
+	var errs []error
+	var wg sync.WaitGroup
+	for i, ch := range chunks {
+		if c, ok := s.cache.Get(ch.Fingerprint); ok {
+			s.noteDemandHit(ch.Fingerprint)
+			out[i] = c
+			continue
+		}
+		wg.Add(1)
+		go func(i int, ch index.Chunk) {
+			defer wg.Done()
+			s.window.acquire(ch.Size)
+			defer s.window.release(ch.Size)
+			s.m.chunkDemand.Inc()
+			c, wire, src, err := s.fetchOne(ch.Fingerprint)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			out[i] = c
+			switch src {
+			case srcRegistry:
+				reg.add(wire)
+			case srcPeer:
+				peer.add(wire)
+			}
+		}(i, ch)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, reg, peer, errors.Join(errs...)
+	}
+	return out, reg, peer, nil
+}
+
+// readahead opportunistically schedules the next chunks after a
+// demanded span, each admitted only if the window has spare budget and
+// no demand read is waiting on it. Fetches run in the background; a
+// later demand read on the same chunk joins the flight instead of
+// re-downloading.
+func (s *Store) readahead(chunks []index.Chunk) {
+	for _, ch := range chunks {
+		if s.cache.Contains(ch.Fingerprint) {
+			continue
+		}
+		if !s.window.tryAcquire(ch.Size) {
+			return
+		}
+		s.bg.Add(1)
+		go s.readaheadChunk(ch.Fingerprint, ch.Size)
+	}
+}
+
+// readaheadChunk downloads one admitted readahead chunk into the
+// level-1 cache. It leads a flight like any fetch (a demand miss that
+// arrives meanwhile joins it, scoring the readahead as useful via the
+// prefetch-hit accounting); if another flight already has the chunk,
+// the admission is simply returned.
+func (s *Store) readaheadChunk(fp hashing.Fingerprint, size int64) {
+	defer s.bg.Done()
+	defer s.window.release(size)
+	f, leader := s.claimFlight(fp)
+	if !leader {
+		return
+	}
+	defer s.finishFlight(fp, f)
+	if c, ok := s.cache.Get(fp); ok {
+		f.content = c
+		return
+	}
+	data, wire, fromPeer, err := s.download(fp)
+	if err != nil {
+		f.err = err
+		return
+	}
+	c, err := s.cache.Put(fp, data)
+	if err != nil {
+		f.err = fmt.Errorf("store: cache %s: %w", fp, err)
+		return
+	}
+	f.content = c
+	s.markPrefetched(fp)
+	s.m.chunkReadahead.Inc()
+	source := telemetry.SourceRegistry
+	if fromPeer {
+		s.recordPeer(1, wire)
+		source = telemetry.SourcePeer
+	} else {
+		s.recordRemote(1, wire)
+		s.m.prefetchObjects.Add(1)
+		s.m.prefetchBytes.Add(wire)
+	}
+	s.opts.Trace.Record(telemetry.Span{
+		Op: "readahead", Ref: refPrefix(fp), Class: telemetry.ClassPrefetch,
+		Source: source, Objects: 1, Bytes: wire,
+	})
+}
+
+// WaitReadahead blocks until every background readahead in flight has
+// completed — the quiescence point experiments and tests measure at.
+func (s *Store) WaitReadahead() { s.bg.Wait() }
+
+// rangeRead is the non-chunked partial-read fast path: with
+// Options.RangeReads set and a registry that speaks the range verb, a
+// ranged fault moves only the requested bytes instead of materializing
+// the file. The slice is served uncompressed and is NOT cached — it is
+// not the whole verifiable object — so repeated cold partial reads
+// re-fetch; a workload that re-reads should materialize instead. With
+// the option off (the default) or the verb absent, ErrNotChunked tells
+// the viewer to fall back to full materialization, byte-identical to a
+// store without this path.
+func (s *Store) rangeRead(fp hashing.Fingerprint, off, n int64) ([]byte, error) {
+	if !s.opts.RangeReads || s.opts.Remote == nil {
+		return nil, ErrNotChunked
+	}
+	rd, ok := s.opts.Remote.(gearregistry.RangeDownloader)
+	if !ok {
+		return nil, ErrNotChunked
+	}
+	if c, ok := s.cache.Get(fp); ok {
+		s.noteDemandHit(fp)
+		return sliceRange(c.Data(), off, n), nil
+	}
+	s.sched.beginDemand()
+	start := time.Now()
+	defer func() {
+		stall := time.Since(start)
+		s.m.stallNanos.Add(stall.Nanoseconds())
+		s.m.stall.ObserveDuration(stall)
+		s.sched.endDemand()
+	}()
+	payload, wire, err := rd.DownloadRange(fp, off, n)
+	if err != nil {
+		// A range past the file's end (or a registry without the object)
+		// falls back to the full-read path, whose own clamping and error
+		// reporting take over.
+		if errors.Is(err, gearregistry.ErrBadRange) ||
+			errors.Is(err, gearregistry.ErrRangeUnsupported) ||
+			errors.Is(err, gearregistry.ErrNotFound) {
+			return nil, ErrNotChunked
+		}
+		return nil, fmt.Errorf("store: range read %s: %w", fp, err)
+	}
+	s.recordRemote(1, wire)
+	s.noteDemandMiss(fp, int64(len(payload)))
+	s.m.rangeReads.Inc()
+	s.opts.Trace.Record(telemetry.Span{
+		Op: "rangefault", Ref: refPrefix(fp), Class: telemetry.ClassDemand,
+		Source: telemetry.SourceRegistry, Objects: 1, Bytes: wire,
+		Transfer: time.Since(start),
+	})
+	return payload, nil
+}

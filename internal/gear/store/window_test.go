@@ -1,0 +1,322 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gear-image/gear/internal/gear/index"
+	"github.com/gear-image/gear/internal/gearregistry"
+	"github.com/gear-image/gear/internal/hashing"
+	"github.com/gear-image/gear/internal/imagefmt"
+	"github.com/gear-image/gear/internal/vfs"
+)
+
+// chunkedFixture publishes one size-byte file chunked at chunkSize into
+// a fresh registry and returns the index, registry, and file bytes.
+func chunkedFixture(t testing.TB, size, chunkSize int64) (*index.Index, *gearregistry.Registry, []byte) {
+	t.Helper()
+	root := vfs.New()
+	big := make([]byte, size)
+	rand.New(rand.NewSource(41)).Read(big)
+	if err := root.WriteFile("/model", big, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix, pool, err := index.BuildChunked("ai", "v1", imagefmt.Config{}, root, nil, chunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := gearregistry.New(gearregistry.Options{})
+	for fp, data := range pool {
+		if err := reg.Upload(fp, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix, reg, big
+}
+
+// slowRemote delays every download and tracks the peak number of
+// concurrent ones — the observable the window budget must bound.
+type slowRemote struct {
+	inner gearregistry.Store
+	delay time.Duration
+
+	mu       sync.Mutex
+	conc     int
+	peakConc int
+}
+
+func (r *slowRemote) Query(fp hashing.Fingerprint) (bool, error)    { return r.inner.Query(fp) }
+func (r *slowRemote) Upload(fp hashing.Fingerprint, d []byte) error { return r.inner.Upload(fp, d) }
+func (r *slowRemote) Download(fp hashing.Fingerprint) ([]byte, int64, error) {
+	r.mu.Lock()
+	r.conc++
+	if r.conc > r.peakConc {
+		r.peakConc = r.conc
+	}
+	r.mu.Unlock()
+	time.Sleep(r.delay)
+	defer func() {
+		r.mu.Lock()
+		r.conc--
+		r.mu.Unlock()
+	}()
+	return r.inner.Download(fp)
+}
+
+// A wide ranged read faults its chunks concurrently, but never holds
+// more than ChunkWindowBytes in flight.
+func TestChunkWindowBoundsInflight(t *testing.T) {
+	ix, reg, big := chunkedFixture(t, 65536, 4096) // 16 chunks
+	slow := &slowRemote{inner: reg, delay: 10 * time.Millisecond}
+	s, err := New(Options{Remote: slow, ChunkWindowBytes: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.CreateContainer("c1", "ai:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ReadAt("/model", 0, 65536)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("windowed read: %d bytes, %v", len(got), err)
+	}
+	if peak := s.ChunkWindowPeak(); peak > 8192 {
+		t.Errorf("window peak = %d bytes, budget 8192", peak)
+	}
+	if slow.peakConc > 2 {
+		t.Errorf("concurrent downloads = %d, budget admits 2", slow.peakConc)
+	}
+	if slow.peakConc < 2 {
+		t.Errorf("concurrent downloads = %d, want the window to overlap transfers", slow.peakConc)
+	}
+	if st := s.Stats(); st.RemoteObjects != 16 || st.RemoteBytes != 65536 {
+		t.Errorf("remote = %d objects / %d bytes", st.RemoteObjects, st.RemoteBytes)
+	}
+}
+
+// A chunk bigger than the whole budget degenerates to serial admission
+// instead of deadlocking.
+func TestChunkWindowOversizedChunk(t *testing.T) {
+	ix, reg, big := chunkedFixture(t, 16384, 4096)
+	slow := &slowRemote{inner: reg, delay: time.Millisecond}
+	s, err := New(Options{Remote: slow, ChunkWindowBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.CreateContainer("c1", "ai:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ReadAt("/model", 0, 16384)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("oversized-chunk read: %v", err)
+	}
+	if slow.peakConc != 1 {
+		t.Errorf("concurrent downloads = %d, want serial degeneration", slow.peakConc)
+	}
+	if peak := s.ChunkWindowPeak(); peak != 4096 {
+		t.Errorf("window peak = %d, want one chunk", peak)
+	}
+}
+
+// Leftover budget reads ahead along the file; the readahead chunks are
+// background prefetch traffic, and a later demand read consumes them
+// from the cache as prefetch hits.
+func TestChunkReadahead(t *testing.T) {
+	ix, reg, big := chunkedFixture(t, 20000, 4096) // 5 chunks
+	s, err := New(Options{Remote: reg, ChunkReadahead: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.CreateContainer("c1", "ai:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ReadAt("/model", 0, 10)
+	if err != nil || !bytes.Equal(got, big[:10]) {
+		t.Fatalf("head read: %v", err)
+	}
+	s.WaitReadahead()
+	st := s.Stats()
+	if st.RemoteObjects != 3 { // chunk 0 demand + chunks 1,2 readahead
+		t.Fatalf("remote objects = %d, want 3", st.RemoteObjects)
+	}
+	if st.PrefetchObjects != 2 || st.PrefetchWasted != 2 {
+		t.Errorf("readahead accounting = %d objects / %d wasted, want 2/2",
+			st.PrefetchObjects, st.PrefetchWasted)
+	}
+	// The next read lands entirely on readahead chunks: no new wire.
+	got, err = v.ReadAt("/model", 4096, 8192)
+	if err != nil || !bytes.Equal(got, big[4096:12288]) {
+		t.Fatalf("follow-up read: %v", err)
+	}
+	st = s.Stats()
+	if st.RemoteObjects != 3 {
+		t.Errorf("follow-up fetched again: %d objects", st.RemoteObjects)
+	}
+	if st.PrefetchHits != 2 || st.PrefetchWasted != 0 {
+		t.Errorf("hits = %d, wasted = %d, want 2/0", st.PrefetchHits, st.PrefetchWasted)
+	}
+}
+
+// Demand admission preempts readahead: while a demand acquisition
+// waits, tryAcquire refuses even though bytes would fit.
+func TestChunkWindowDemandPreemptsReadahead(t *testing.T) {
+	w := newChunkWindow(100, newStore(t, nil).m.windowPeak)
+	w.acquire(80)
+	done := make(chan struct{})
+	go func() {
+		w.acquire(40) // blocks: 80+40 > 100
+		close(done)
+	}()
+	waitFor(t, func() bool {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return w.waiting == 1
+	})
+	if w.tryAcquire(10) {
+		t.Fatal("readahead admitted past a waiting demand read")
+	}
+	w.release(80)
+	<-done
+	if !w.tryAcquire(10) {
+		t.Fatal("readahead refused with free budget and no waiters")
+	}
+	w.release(40)
+	w.release(10)
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// With RangeReads enabled and a range-capable registry, a ranged fault
+// on a NON-chunked file moves only the requested bytes and does not
+// materialize the file; the slice is not cached, so the path trades
+// repeat-read locality for first-touch latency.
+func TestRangeReadsFastPath(t *testing.T) {
+	ix, reg := fixture(t)
+	s, err := New(Options{Remote: reg, RangeReads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.CreateContainer("c1", "web:v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ReadAt("/bin/app", 100, 50)
+	if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{0xcd}, 50)) {
+		t.Fatalf("range fast path: %q, %v", got, err)
+	}
+	st := s.Stats()
+	if st.RemoteObjects != 1 || st.RemoteBytes != 50 {
+		t.Errorf("remote = %d objects / %d bytes, want 1/50", st.RemoteObjects, st.RemoteBytes)
+	}
+	if s.CacheStats().Objects != 0 {
+		t.Error("partial read entered the cache")
+	}
+	// Uncached: a second cold partial read re-fetches.
+	if _, err := v.ReadAt("/bin/app", 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.RemoteObjects != 2 || st.RemoteBytes != 60 {
+		t.Errorf("second range = %d objects / %d bytes, want 2/60", st.RemoteObjects, st.RemoteBytes)
+	}
+	// Materializing caches the whole file; later ranges are local.
+	if _, err := v.ReadFile("/bin/app"); err != nil {
+		t.Fatal(err)
+	}
+	base := s.Stats().RemoteBytes
+	if _, err := v.ReadAt("/bin/app", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.RemoteBytes != base {
+		t.Errorf("materialized range still hit the wire: %d -> %d", base, st.RemoteBytes)
+	}
+	// A range past the end falls back to the full-read clamp.
+	tail, err := v.ReadAt("/etc/conf", 5, 100)
+	if err != nil || string(tail) != "80\n" {
+		t.Errorf("oob fallback = %q, %v", tail, err)
+	}
+}
+
+// Without the option (or without a range-capable remote) non-chunked
+// ranged reads keep the pre-range behavior: full materialization.
+func TestRangeReadsDisabledDegenerates(t *testing.T) {
+	ix, reg := fixture(t)
+	for name, s := range map[string]*Store{
+		"option off":      newStore(t, reg),
+		"rangeless store": mustStore(t, Options{Remote: &slowRemote{inner: reg}, RangeReads: true}),
+	} {
+		if err := s.AddIndex(ix); err != nil {
+			t.Fatal(err)
+		}
+		v, err := s.CreateContainer("c1", "web:v1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := v.ReadAt("/bin/app", 100, 50)
+		if err != nil || len(got) != 50 {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Whole file crossed the wire and is cached — the legacy path.
+		if st := s.Stats(); st.RemoteBytes != 4096 {
+			t.Errorf("%s: remote bytes = %d, want full file", name, st.RemoteBytes)
+		}
+		if s.CacheStats().Objects != 1 {
+			t.Errorf("%s: file not materialized", name)
+		}
+	}
+}
+
+func mustStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// ResolveRange input validation and absent-image behavior are
+// unchanged by the window engine.
+func TestResolveRangeValidation(t *testing.T) {
+	ix, reg := fixture(t)
+	s := newStore(t, reg)
+	if err := s.AddIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	fp := ix.Lookup("/bin/app").Fingerprint
+	if _, err := s.ResolveRange("web:v1", fp, -1, 10); !errors.Is(err, ErrBadRange) {
+		t.Errorf("negative off: %v", err)
+	}
+	if _, err := s.ResolveRange("web:v1", fp, 0, 0); !errors.Is(err, ErrBadRange) {
+		t.Errorf("zero n: %v", err)
+	}
+	if _, err := s.ResolveRange("web:v1", fp, 0, 10); !errors.Is(err, ErrNotChunked) {
+		t.Errorf("non-chunked without RangeReads: %v", err)
+	}
+}

@@ -76,6 +76,7 @@ type Registry struct {
 	queries      *telemetry.Counter
 	uploads      *telemetry.Counter
 	downloads    *telemetry.Counter
+	ranges       *telemetry.Counter
 }
 
 var _ Store = (*Registry)(nil)
@@ -98,6 +99,7 @@ func New(opts Options) *Registry {
 		queries:      tele.Counter("gear.query.requests"),
 		uploads:      tele.Counter("gear.upload.requests"),
 		downloads:    tele.Counter("gear.download.requests"),
+		ranges:       tele.Counter("gear.range.requests"),
 	}
 }
 

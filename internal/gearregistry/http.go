@@ -28,6 +28,7 @@ import (
 //	                                     gzip-framed via X-Gear-Encoding)
 //	POST /gear/gc                     <- newline-separated fingerprints to KEEP
 //	                                  -> "removed=N freed=M"
+//	GET  /gear/range/{fp}/{off}/{n}   -> strict range frame (see serveRange)
 
 // Handler adapts a Registry to HTTP.
 type Handler struct {
@@ -51,6 +52,10 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.URL.Path == "/gear/querybatch" {
 		h.serveQueryBatch(w, r)
+		return
+	}
+	if strings.HasPrefix(r.URL.Path, "/gear/range/") {
+		h.serveRange(w, r)
 		return
 	}
 	verb, fp, ok := splitPath(r.URL.Path)

@@ -1,0 +1,169 @@
+package gearregistry
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/gear-image/gear/internal/hashing"
+)
+
+// HTTP transport for the range verb:
+//
+//	GET /gear/range/{fingerprint}/{off}/{n}
+//
+// A successful response is one strict frame,
+//
+//	<fingerprint> <off> <n> <total>\n
+//
+// followed by exactly n raw payload bytes — the uncompressed
+// [off, off+n) slice. The header echoes the request and carries the
+// object's total uncompressed size so clients can plan later ranges;
+// any mismatch between header, request, and body length is a protocol
+// error. Out-of-bounds ranges answer 416.
+
+// parseRangePath decodes "/gear/range/{fp}/{off}/{n}". The fingerprint
+// itself never contains '/', so the last two segments are
+// unambiguously the offsets.
+func parseRangePath(p string) (fp hashing.Fingerprint, off, n int64, ok bool) {
+	rest, found := strings.CutPrefix(p, "/gear/range/")
+	if !found {
+		return "", 0, 0, false
+	}
+	rawFP, nums, found := strings.Cut(rest, "/")
+	if !found || rawFP == "" {
+		return "", 0, 0, false
+	}
+	rawOff, rawN, found := strings.Cut(nums, "/")
+	if !found {
+		return "", 0, 0, false
+	}
+	off, err := strconv.ParseInt(rawOff, 10, 64)
+	if err != nil {
+		return "", 0, 0, false
+	}
+	n, err = strconv.ParseInt(rawN, 10, 64)
+	if err != nil {
+		return "", 0, 0, false
+	}
+	return hashing.Fingerprint(rawFP), off, n, true
+}
+
+// serveRange implements GET /gear/range/{fp}/{off}/{n}.
+func (h *Handler) serveRange(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	fp, off, n, ok := parseRangePath(r.URL.Path)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	payload, _, err := h.reg.DownloadRange(fp, off, n)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrNotFound):
+			status = http.StatusNotFound
+		case errors.Is(err, ErrBadRange):
+			status = http.StatusRequestedRangeNotSatisfiable
+		case errors.Is(err, hashing.ErrMalformed):
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	total, err := h.reg.Size(fp)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	fmt.Fprintf(w, "%s %d %d %d\n", fp, off, n, total)
+	_, _ = w.Write(payload)
+}
+
+// rangeFrame is a decoded /gear/range response.
+type rangeFrame struct {
+	fp      hashing.Fingerprint
+	off     int64
+	n       int64
+	total   int64
+	payload []byte
+}
+
+// parseRangeResponse decodes the strict /gear/range framing. Every
+// deviation — missing header, short or long body, negative numbers, a
+// range that does not fit the declared total — is rejected.
+func parseRangeResponse(body []byte) (rangeFrame, error) {
+	var f rangeFrame
+	nl := bytes.IndexByte(body, '\n')
+	if nl < 0 {
+		return f, fmt.Errorf("truncated range header %q", body)
+	}
+	header := string(body[:nl])
+	payload := body[nl+1:]
+	fields := strings.Fields(header)
+	if len(fields) != 4 {
+		return f, fmt.Errorf("malformed range header %q", header)
+	}
+	fp := hashing.Fingerprint(fields[0])
+	if err := fp.Validate(); err != nil {
+		return f, fmt.Errorf("range header %q: %w", header, err)
+	}
+	nums := make([]int64, 3)
+	for i, raw := range fields[1:] {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return f, fmt.Errorf("range header %q: bad number %q", header, raw)
+		}
+		nums[i] = v
+	}
+	off, n, total := nums[0], nums[1], nums[2]
+	if off < 0 || n <= 0 || total < 0 || off+n > total {
+		return f, fmt.Errorf("range header %q: %w", header, ErrBadRange)
+	}
+	if int64(len(payload)) != n {
+		return f, fmt.Errorf("range %s [%d,+%d): body is %d bytes", fp, off, n, len(payload))
+	}
+	return rangeFrame{fp: fp, off: off, n: n, total: total, payload: payload}, nil
+}
+
+// DownloadRange implements RangeDownloader over HTTP via GET
+// /gear/range. The wire size is the framed body as transported.
+func (c *Client) DownloadRange(fp hashing.Fingerprint, off, n int64) ([]byte, int64, error) {
+	resp, err := c.http.Get(fmt.Sprintf("%s/gear/range/%s/%d/%d", c.base, fp, off, n))
+	if err != nil {
+		return nil, 0, fmt.Errorf("gearregistry client: range %s: %w", fp, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("gearregistry client: range %s: %w", fp, err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, 0, fmt.Errorf("gearregistry client: %s: %w", fp, ErrNotFound)
+	case http.StatusRequestedRangeNotSatisfiable:
+		return nil, 0, fmt.Errorf("gearregistry client: range %s [%d,+%d): %s: %w",
+			fp, off, n, strings.TrimSpace(string(body)), ErrBadRange)
+	default:
+		return nil, 0, fmt.Errorf("gearregistry client: range %s: %s: %s",
+			fp, resp.Status, strings.TrimSpace(string(body)))
+	}
+	frame, err := parseRangeResponse(body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("gearregistry client: range: %w", err)
+	}
+	if frame.fp != fp || frame.off != off || frame.n != n {
+		return nil, 0, fmt.Errorf("gearregistry client: range %s [%d,+%d): server echoed %s [%d,+%d)",
+			fp, off, n, frame.fp, frame.off, frame.n)
+	}
+	return frame.payload, int64(len(body)), nil
+}

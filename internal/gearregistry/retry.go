@@ -65,6 +65,8 @@ func (r *RetryStore) Retries() int64 { return r.retries.Load() }
 func permanent(err error) bool {
 	return errors.Is(err, ErrNotFound) ||
 		errors.Is(err, ErrFingerprintMismatch) ||
+		errors.Is(err, ErrBadRange) ||
+		errors.Is(err, ErrRangeUnsupported) ||
 		errors.Is(err, hashing.ErrMalformed)
 }
 

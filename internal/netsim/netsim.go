@@ -40,6 +40,12 @@ type LinkConfig struct {
 	// Slacker's block fetches — slower than few large ones at the same
 	// byte volume.
 	RequestOverhead time.Duration
+	// RangeOverhead is the extra server-side cost a byte-range request
+	// pays on top of RequestOverhead — seeking into the stored object
+	// and framing the Content-Range slice. Zero (the default) prices a
+	// range request exactly like a whole-object request of the same
+	// size, so chunked transfers degenerate to today's arithmetic.
+	RangeOverhead time.Duration
 }
 
 // Validate checks the configuration.
@@ -47,7 +53,7 @@ func (c LinkConfig) Validate() error {
 	if c.BytesPerSecond <= 0 {
 		return fmt.Errorf("netsim: bytes per second %f: %w", c.BytesPerSecond, ErrBadLink)
 	}
-	if c.RTT < 0 || c.RequestOverhead < 0 {
+	if c.RTT < 0 || c.RequestOverhead < 0 || c.RangeOverhead < 0 {
 		return fmt.Errorf("netsim: negative latency: %w", ErrBadLink)
 	}
 	return nil
@@ -199,8 +205,15 @@ func (l *Link) jitterDrawLocked() float64 {
 // factor 1 and jitter off the arithmetic is bit-identical to the
 // pre-knob pricing.
 func (l *Link) costLocked(n int, size int64) time.Duration {
+	return l.costPerReqLocked(n, size, l.cfg.RequestOverhead)
+}
+
+// costPerReqLocked is costLocked with an explicit per-request overhead
+// — the range-request path pays RequestOverhead+RangeOverhead per
+// request through the same factor/jitter arithmetic.
+func (l *Link) costPerReqLocked(n int, size int64, perReq time.Duration) time.Duration {
 	wire := time.Duration(float64(size) / l.cfg.BytesPerSecond * float64(time.Second))
-	serve := l.cfg.RequestOverhead*time.Duration(n) + wire
+	serve := perReq*time.Duration(n) + wire
 	f := 1.0
 	if l.factor > 0 {
 		f = l.factor
@@ -363,6 +376,53 @@ func (l *Link) TransferBatchE(n int, size int64) (time.Duration, error) {
 	l.requests += int64(n)
 	l.elapsed += cost
 	return cost, nil
+}
+
+// TransferRange records one byte-range request of size bytes — a chunk
+// fetched out of a larger stored object — and returns its cost. Range
+// requests pay RangeOverhead on top of the per-request overhead; with
+// RangeOverhead zero the cost is bit-identical to Transfer(size). On a
+// closed link it records nothing and returns 0.
+func (l *Link) TransferRange(size int64) time.Duration {
+	cost, _ := l.TransferRangeE(size)
+	return cost
+}
+
+// TransferRangeE is TransferRange with typed failure reporting:
+// ErrLinkClosed on a closed link, ErrBadStream for a negative size.
+func (l *Link) TransferRangeE(size int64) (time.Duration, error) {
+	if size < 0 {
+		return 0, fmt.Errorf("netsim: range transfer of %d bytes: %w", size, ErrBadStream)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("netsim: %w", ErrLinkClosed)
+	}
+	cost := l.costPerReqLocked(1, size, l.cfg.RequestOverhead+l.cfg.RangeOverhead)
+	l.bytes += size
+	l.requests++
+	l.elapsed += cost
+	return cost, nil
+}
+
+// TransferRangeQuote draws the cost of n range requests totalling size
+// bytes without recording traffic, advancing the jitter stream exactly
+// as a recorded transfer would — the range analogue of TransferQuote,
+// for readers that quote replicas before committing via RecordTransfer.
+func (l *Link) TransferRangeQuote(n int, size int64) (time.Duration, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	if size < 0 {
+		return 0, fmt.Errorf("netsim: range quote of %d bytes: %w", size, ErrBadStream)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("netsim: %w", ErrLinkClosed)
+	}
+	return l.costPerReqLocked(n, size, l.cfg.RequestOverhead+l.cfg.RangeOverhead), nil
 }
 
 // Stats is a snapshot of traffic carried by a link.

@@ -48,6 +48,17 @@ func BenchmarkDownloadHedged(b *testing.B) {
 	benchDownload(b, ReadOptions{Balance: true, Hedge: true})
 }
 
+func BenchmarkDownloadRange(b *testing.B) {
+	c, fps := benchCluster(b, ReadOptions{Balance: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.DownloadRange(fps[i%len(fps)], 4, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkDownloadBatch(b *testing.B) {
 	c, fps := benchCluster(b, ReadOptions{Balance: true, Hedge: true})
 	b.ReportAllocs()

@@ -169,6 +169,7 @@ type Cluster struct {
 	shards map[string]*shard
 
 	queries, uploads, downloads *telemetry.Counter
+	ranges                      *telemetry.Counter
 	failovers, degraded         *telemetry.Counter
 	rebalObjects, rebalBytes    *telemetry.Counter
 	shardsGauge, downGauge      *telemetry.Gauge
@@ -246,6 +247,7 @@ func New(opts Options) (*Cluster, error) {
 		queries:      tele.Counter("shardreg.query.requests"),
 		uploads:      tele.Counter("shardreg.upload.requests"),
 		downloads:    tele.Counter("shardreg.download.requests"),
+		ranges:       tele.Counter("shardreg.range.requests"),
 		failovers:    tele.Counter("shardreg.failovers"),
 		degraded:     tele.Counter("shardreg.upload.degraded"),
 		rebalObjects: tele.Counter("shardreg.rebalance.objects"),

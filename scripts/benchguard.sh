@@ -6,7 +6,7 @@
 #   ./scripts/benchguard.sh -update
 set -eu
 cd "$(dirname "$0")/.."
-PKGS="./internal/hashing ./internal/tarstream ./internal/gear/index ./internal/telemetry ./internal/shardreg"
+PKGS="./internal/hashing ./internal/tarstream ./internal/gear/index ./internal/gear/store ./internal/telemetry ./internal/shardreg"
 OUT="${BENCH_OUT:-$(mktemp)}"
 # shellcheck disable=SC2086
 go test -run '^$' -bench . -benchmem -count=1 $PKGS | tee "$OUT.raw"
